@@ -1,0 +1,26 @@
+"""Shared helpers for the figure-regeneration benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at reduced
+(but shape-preserving) scale, prints the rendered figure, and asserts the
+paper's qualitative claims about it.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark a whole experiment exactly once (they are minutes-long
+    at full scale; timing variance across rounds is not the point — the
+    figure content is)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(autouse=True)
+def _print_separator(request, capsys):
+    yield
+    with capsys.disabled():
+        print(f"\n[{request.node.name} complete]")

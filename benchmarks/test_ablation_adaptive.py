@@ -1,0 +1,39 @@
+"""Regenerates the Section VII adaptive-interval ablation."""
+
+from conftest import run_once
+
+from repro.experiments.ablation_adaptive import (
+    render_ablation_adaptive,
+    run_ablation_adaptive,
+)
+
+
+def test_ablation_adaptive(benchmark, capsys):
+    cells = run_once(
+        benchmark, lambda: run_ablation_adaptive(n_records=4000, ops=40_000)
+    )
+    with capsys.disabled():
+        print("\n" + render_ablation_adaptive(cells))
+    by_key = {(c.base_interval_s, c.policy): c.result for c in cells}
+    good, bad = 0.25, 5.0
+    # From a mis-tuned (slow) base, the controller must not hurt and
+    # should find promotion work the fixed daemon misses.
+    assert (
+        by_key[(bad, "multiclock-adaptive")].throughput_ops
+        >= by_key[(bad, "multiclock")].throughput_ops * 0.99
+    )
+    assert (
+        by_key[(bad, "multiclock-adaptive")].promotions
+        >= by_key[(bad, "multiclock")].promotions
+    )
+    # From a well-tuned base it stays within a modest band of fixed.
+    assert (
+        by_key[(good, "multiclock-adaptive")].throughput_ops
+        >= by_key[(good, "multiclock")].throughput_ops * 0.8
+    )
+    # And the well-tuned configuration still beats the mis-tuned one for
+    # both variants (sanity of the sweep itself).
+    assert (
+        by_key[(good, "multiclock")].throughput_ops
+        > by_key[(bad, "multiclock")].throughput_ops
+    )

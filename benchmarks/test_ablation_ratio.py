@@ -1,0 +1,24 @@
+"""Regenerates the Section VII DRAM:PM ratio ablation."""
+
+from conftest import run_once
+
+from repro.experiments.ablation_ratio import render_ablation_ratio, run_ablation_ratio
+
+
+def test_ablation_ratio(benchmark, capsys):
+    points = run_once(
+        benchmark, lambda: run_ablation_ratio(n_records=3000, ops=8000)
+    )
+    with capsys.disabled():
+        print("\n" + render_ablation_ratio(points))
+    by_fraction = {p.dram_fraction: p for p in points}
+    # Dynamic tiering matters most when DRAM is the scarce tier: the gain
+    # at the smallest DRAM share beats the gain at the largest.
+    fractions = sorted(by_fraction)
+    assert by_fraction[fractions[0]].gain > by_fraction[fractions[-1]].gain
+    # With DRAM covering most of the footprint there is little left to
+    # win — the gain shrinks toward zero (within noise).
+    assert by_fraction[fractions[-1]].gain < 0.25
+    # MULTI-CLOCK never collapses below static by more than noise.
+    for point in points:
+        assert point.gain > -0.15, point

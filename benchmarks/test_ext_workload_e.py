@@ -1,0 +1,21 @@
+"""Regenerates the workload-E extension experiment."""
+
+from conftest import run_once
+
+from repro.experiments.ext_workload_e import render_ext_workload_e, run_ext_workload_e
+
+
+def test_ext_workload_e(benchmark, capsys):
+    comparison = run_once(
+        benchmark, lambda: run_ext_workload_e(n_records=3000, ops=4000)
+    )
+    with capsys.disabled():
+        print("\n" + render_ext_workload_e(comparison))
+    values = comparison.values
+    # Scan-dominated, weak-locality access: static tiering wins, exactly
+    # as the paper's Section V-C1 locality argument predicts.
+    assert values["static"] >= max(v for k, v in values.items() if k != "static")
+    # MULTI-CLOCK's selectivity keeps it the best dynamic policy.
+    assert values["multiclock"] > values["nimble"]
+    # Nothing collapses: scans are still served, mostly from PM.
+    assert min(values.values()) > 0.3

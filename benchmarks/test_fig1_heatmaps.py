@@ -1,0 +1,22 @@
+"""Regenerates Figure 1: the sampled-page access heatmaps."""
+
+from conftest import run_once
+
+from repro.experiments.fig1_heatmaps import render_fig1, run_fig1
+
+
+def test_fig1_heatmaps(benchmark, capsys):
+    heatmaps = run_once(
+        benchmark, lambda: run_fig1(pages=1000, segments=24, ops_per_segment=4000)
+    )
+    with capsys.disabled():
+        print("\n" + render_fig1(heatmaps))
+    assert set(heatmaps) == {"rubis", "specpower", "xalan", "lusearch"}
+    for name, heatmap in heatmaps.items():
+        counts = heatmap.class_counts()
+        # The paper's observation: all three page populations coexist in
+        # every workload's heatmap.
+        assert counts["dram_friendly"] > 0, name
+        assert counts["tier_friendly"] > 0, name
+        assert counts["rare"] > 0, name
+        assert heatmap.counts.shape == (50, 24)

@@ -1,0 +1,26 @@
+"""Regenerates the Figure 4 state-machine coverage report."""
+
+from conftest import run_once
+
+from repro.core.state import PageState
+from repro.experiments.fig4_transitions import render_fig4, run_fig4
+
+
+def test_fig4_transitions(benchmark, capsys):
+    data = run_once(benchmark, lambda: run_fig4(ops=60_000))
+    with capsys.disabled():
+        print("\n" + render_fig4(data))
+    observed = data["observed_states"]
+    # Every live state of Figure 4 must occur during a real run.
+    for state in (
+        PageState.INACTIVE_UNREFERENCED,
+        PageState.INACTIVE_REFERENCED,
+        PageState.ACTIVE_UNREFERENCED,
+        PageState.ACTIVE_REFERENCED,
+        PageState.PROMOTE,
+    ):
+        assert observed.get(state, 0) > 0, state
+    # The MULTI-CLOCK-specific edges fired.
+    assert data["promote_list_adds"] > 0  # edge 10
+    assert data["promotions"] > 0  # edge 13
+    assert data["demotions"] > 0  # edge 3

@@ -1,0 +1,28 @@
+"""Regenerates Figure 5: YCSB throughput normalized to static tiering."""
+
+from conftest import run_once
+
+from repro.experiments.fig5_ycsb import render_fig5, run_fig5
+
+
+def test_fig5_ycsb(benchmark, capsys):
+    comparisons = run_once(
+        benchmark, lambda: run_fig5(n_records=3000, ops_per_phase=6000)
+    )
+    with capsys.disabled():
+        print("\n" + render_fig5(comparisons))
+    for phase, comparison in comparisons.items():
+        values = comparison.values
+        # "MULTI-CLOCK outperforms static tiering, Nimble, AT-CPM, and
+        # AT-OPM for all the workloads."
+        assert values["multiclock"] > 1.0, phase
+        assert values["multiclock"] > values["nimble"], phase
+        assert values["multiclock"] > values["autotiering-cpm"], phase
+        assert values["multiclock"] > values["autotiering-opm"], phase
+    # "MULTI-CLOCK achieves the maximum throughput gain in Workload D" —
+    # D must be at or near the top of the per-workload gains.
+    gains = {phase: c.values["multiclock"] for phase, c in comparisons.items()}
+    top_two = sorted(gains, key=gains.get, reverse=True)[:2]
+    assert "D" in top_two, gains
+    # The D gain is substantial (paper: +132%; we require > +50%).
+    assert gains["D"] > 1.5

@@ -1,0 +1,19 @@
+"""Regenerates Figure 8: pages promoted per window, MULTI-CLOCK vs Nimble."""
+
+from conftest import run_once
+
+from repro.experiments.fig8_promotions import render_fig8, run_fig8
+
+
+def test_fig8_promotions(benchmark, capsys):
+    series = run_once(benchmark, lambda: run_fig8(n_records=4000, ops=30_000))
+    with capsys.disabled():
+        print("\n" + render_fig8(series))
+    multiclock = series["multiclock"]
+    nimble = series["nimble"]
+    # Both policies promote pages...
+    assert multiclock.total > 0
+    assert nimble.total > 0
+    # ... but "Nimble promotes more pages than MULTI-CLOCK" (the paper's
+    # Fig 8 observation, by a clear margin).
+    assert nimble.total > 1.3 * multiclock.total

@@ -1,0 +1,27 @@
+"""Regenerates the Section V-F overhead accounting table."""
+
+from conftest import run_once
+
+from repro.experiments.overhead import render_overhead, run_overhead
+
+
+def test_overhead_accounting(benchmark, capsys):
+    rows = run_once(benchmark, lambda: run_overhead(n_records=3000, ops=10_000))
+    with capsys.disabled():
+        print("\n" + render_overhead(rows))
+    by_policy = {row.policy: row for row in rows}
+    static = by_policy["static"]
+    multiclock = by_policy["multiclock"]
+    # Static tiering does no background work at all.
+    assert static.system_percent == 0.0
+    assert static.promotions == 0 and static.demotions == 0
+    # MULTI-CLOCK pays a real but bounded overhead...
+    assert 0.0 < multiclock.system_percent < 30.0
+    assert multiclock.promotions > 0
+    # ... and "MULTI-CLOCK's benefit will surpass the migration overhead"
+    # for this memory-intensive workload.
+    assert multiclock.throughput_ops > static.throughput_ops
+    # The hint-fault trackers pay for tracking with faults; CLOCK-based
+    # policies never take hint faults.
+    assert by_policy["autotiering-cpm"].hint_faults > 0
+    assert multiclock.hint_faults == 0

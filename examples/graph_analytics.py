@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Graph analytics (GAPBS-style) on a tiered-memory machine.
+
+Builds an R-MAT graph whose footprint exceeds DRAM, loads it (the CSR
+fills DRAM first, exactly as on the paper's testbed), then runs PageRank
+and BFS trials under several policies, reporting per-trial execution
+time — the paper's Figure 6 view — plus where each kernel's pages ended
+up.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro.analysis.compare import normalize_exec_time
+from repro.analysis.report import render_table
+from repro.experiments.common import scaled_config
+from repro.machine import Machine
+from repro.run import run_workload
+from repro.workloads.gapbs import Graph, KERNELS
+
+POLICIES = ("static", "multiclock", "nimble")
+KERNEL_NAMES = ("pr", "bfs")
+
+
+def main() -> None:
+    graph = Graph.rmat(scale=11, edge_factor=8, seed=7)
+    print(f"graph: {graph.n} vertices, {graph.m_directed} directed edges")
+
+    rows = []
+    for kernel_name in KERNEL_NAMES:
+        results = {}
+        for policy in POLICIES:
+            kernel = KERNELS[kernel_name](graph, trials=3, seed=3)
+            config = scaled_config(
+                dram_pages=max(24, int(kernel.footprint_pages() * 0.4)),
+                pm_pages=kernel.footprint_pages() * 4,
+                interval_s=0.1,
+                scan_budget_pages=64,
+            )
+            machine = Machine(config, policy)
+            run_workload(kernel.load_workload(), config, machine=machine)
+            result = run_workload(kernel, config, machine=machine)
+            results[policy] = result
+            ms_per_trial = result.elapsed_seconds * 1000 / result.operations
+            print(
+                f"  {kernel_name} under {policy:>10}: {ms_per_trial:.3f} ms/trial "
+                f"(virtual), {result.promotions} promotions"
+            )
+        comparison = normalize_exec_time(results)
+        rows.append(
+            [kernel_name] + [f"{comparison.values[p]:.3f}" for p in POLICIES]
+        )
+
+    print()
+    print("execution time normalized to static tiering (lower is better):")
+    print(render_table(["kernel", *POLICIES], rows))
+    print(
+        "\nGAPBS gains are smaller than YCSB's: the CSR fills DRAM in load "
+        "order, so static placement is already decent — MULTI-CLOCK's edge "
+        "comes from promoting the per-trial property arrays born in PM."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Every registered tiering policy side by side, with overhead breakdown.
+
+Runs the same Tier-friendly workload under every registered policy
+(including Memory-mode and the Section VII read/write-weighted
+MULTI-CLOCK extension) and prints throughput, the app/system time split,
+and the migration and fault counts behind each result.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro.analysis.report import render_table
+from repro.experiments.common import scaled_config
+from repro.policies.base import policy_names
+from repro.run import run_workload
+from repro.workloads.synthetic import ShiftingHotSetWorkload
+
+
+def main() -> None:
+    config = scaled_config(dram_pages=512, pm_pages=4096)
+
+    def workload():
+        return ShiftingHotSetWorkload(
+            pages=2500, ops=150_000, phase_ops=50_000, hot_fraction=0.12, seed=5
+        )
+
+    rows = []
+    for policy in policy_names():
+        result = run_workload(workload(), config, policy=policy)
+        total_ns = result.app_ns + result.system_ns
+        system_pct = 100.0 * result.system_ns / total_ns if total_ns else 0.0
+        rows.append(
+            [
+                policy,
+                f"{result.throughput_ops:,.0f}",
+                f"{100 * result.dram_access_fraction:.1f}%",
+                result.promotions,
+                result.demotions,
+                result.counters.get("faults.hint", 0),
+                f"{system_pct:.1f}%",
+            ]
+        )
+        print(f"finished {policy}")
+
+    rows.sort(key=lambda row: -float(row[1].replace(",", "")))
+    print()
+    print(
+        render_table(
+            ["policy", "ops/s", "DRAM hits", "promoted", "demoted",
+             "hint faults", "system time"],
+            rows,
+        )
+    )
+    print(
+        "\nReading the table: the CLOCK-based policies track access with "
+        "reference bits (zero hint faults); the AutoNUMA family pays "
+        "software faults for tracking; Memory-mode shows no migrations "
+        "because its DRAM cache moves data in hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""MULTI-CLOCK: Dynamic Tiering for Hybrid Memory Systems (HPCA 2022).
+
+A trace-driven reproduction of the paper's Linux hybrid-memory tiering
+system: per-tier CLOCK page selection with recency *and* frequency, the
+``kpromoted`` promotion daemon, watermark-driven demotion, and every
+baseline from the evaluation (static tiering, Nimble page selection,
+AutoTiering-CPM/OPM, AutoNUMA-tiering and Memory-mode).
+
+Quickstart::
+
+    from repro import Machine, SimulationConfig, run_workload
+    from repro.workloads.synthetic import ZipfWorkload
+
+    config = SimulationConfig(dram_pages=(2048,), pm_pages=(8192,))
+    result = run_workload(ZipfWorkload(pages=6000, ops=50_000), config,
+                          policy="multiclock")
+    print(result.summary())
+"""
+
+from repro.machine import Machine
+from repro.run import RunResult, run_workload
+from repro.sim.config import PAGE_SIZE, DaemonConfig, LatencyConfig, SimulationConfig
+
+__all__ = [
+    "Machine",
+    "RunResult",
+    "run_workload",
+    "PAGE_SIZE",
+    "DaemonConfig",
+    "LatencyConfig",
+    "SimulationConfig",
+]
+
+__version__ = "1.0.0"

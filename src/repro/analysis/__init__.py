@@ -1,0 +1,27 @@
+"""Analysis utilities: the measurement side of every figure."""
+
+from repro.analysis.compare import (
+    PolicyComparison,
+    normalize_exec_time,
+    normalize_throughput,
+)
+from repro.analysis.heatmap import Heatmap, build_heatmap
+from repro.analysis.report import render_bars, render_series, render_table
+from repro.analysis.residency import ResidencyProbe, ResidencySample
+from repro.analysis.windows import WindowAnalysis, WindowPairStats, analyze_windows
+
+__all__ = [
+    "PolicyComparison",
+    "normalize_exec_time",
+    "normalize_throughput",
+    "Heatmap",
+    "build_heatmap",
+    "render_bars",
+    "render_series",
+    "render_table",
+    "ResidencyProbe",
+    "ResidencySample",
+    "WindowAnalysis",
+    "WindowPairStats",
+    "analyze_windows",
+]

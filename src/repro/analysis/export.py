@@ -1,0 +1,74 @@
+"""CSV export of experiment results, for external plotting.
+
+The ASCII renderings are for terminals; anyone regenerating the paper's
+figures with a real plotting stack wants the underlying series.  These
+writers emit plain CSV (no dependencies) for the three result shapes the
+experiments produce: policy comparisons (Figs 5-7, 10 columns), windowed
+series (Figs 8-9), and generic labelled rows.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.compare import PolicyComparison
+from repro.sim.stats import WindowPoint
+
+__all__ = ["write_comparisons_csv", "write_series_csv", "write_rows_csv"]
+
+
+def write_comparisons_csv(
+    comparisons: dict[str, PolicyComparison], path: str | Path
+) -> Path:
+    """One row per workload, one column per policy (the Fig 5/6 layout)."""
+    path = Path(path)
+    if not comparisons:
+        raise ValueError("nothing to export")
+    policies = sorted(next(iter(comparisons.values())).values)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        first = next(iter(comparisons.values()))
+        writer.writerow(["workload", "metric", "baseline", *policies])
+        for name, comparison in comparisons.items():
+            writer.writerow(
+                [name, comparison.metric, comparison.baseline]
+                + [f"{comparison.values[p]:.6f}" for p in policies]
+            )
+    return path
+
+
+def write_series_csv(
+    series: dict[str, Sequence[WindowPoint]], path: str | Path
+) -> Path:
+    """One row per window, one column per labelled series (Figs 8/9)."""
+    path = Path(path)
+    if not series:
+        raise ValueError("nothing to export")
+    labels = sorted(series)
+    width = max((len(points) for points in series.values()), default=0)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["window", *labels])
+        for window in range(width):
+            row = [window]
+            for label in labels:
+                points = series[label]
+                row.append(f"{points[window].value:.6f}" if window < len(points) else "")
+            writer.writerow(row)
+    return path
+
+
+def write_rows_csv(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], path: str | Path
+) -> Path:
+    """Generic labelled rows (overhead/ablation tables)."""
+    path = Path(path)
+    if len(set(map(len, rows))) > 1 or (rows and len(rows[0]) != len(headers)):
+        raise ValueError("every row must match the header width")
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path

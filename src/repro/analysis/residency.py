@@ -1,0 +1,100 @@
+"""Tier-residency probes: where a workload's pages live over time.
+
+The evaluation's per-window figures show *what the policy did* (Figs 8
+and 9); a residency probe shows *what the memory looks like* while it
+happens — how many of a process's pages sit in DRAM, PM, or swap at each
+sample point.  Attach one to a machine and it samples on the daemon
+scheduler like any kernel thread::
+
+    machine = Machine(config, "multiclock")
+    probe = ResidencyProbe(machine, process, interval_s=0.01)
+    ...run the workload...
+    print(probe.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine import Machine
+from repro.mm.address_space import Process
+from repro.mm.hardware import MemoryTier
+from repro.sim.events import Daemon
+from repro.sim.vclock import NANOS_PER_SECOND
+
+__all__ = ["ResidencySample", "ResidencyProbe"]
+
+
+@dataclass(frozen=True)
+class ResidencySample:
+    """One snapshot of a process's page placement."""
+
+    time_ns: int
+    dram_pages: int
+    pm_pages: int
+    swapped_pages: int
+
+    @property
+    def resident(self) -> int:
+        return self.dram_pages + self.pm_pages
+
+    @property
+    def dram_fraction(self) -> float:
+        return self.dram_pages / self.resident if self.resident else 0.0
+
+
+class ResidencyProbe:
+    """Periodic sampler of one process's tier residency."""
+
+    def __init__(
+        self, machine: Machine, process: Process, *, interval_s: float = 0.01
+    ) -> None:
+        self.machine = machine
+        self.process = process
+        self.samples: list[ResidencySample] = []
+        self._daemon = machine.scheduler.register(
+            Daemon(f"residency-probe/{process.pid}", interval_s, self._sample)
+        )
+
+    def _sample(self, now_ns: int) -> int:
+        dram = pm = 0
+        system = self.machine.system
+        for pte in self.process.page_table.entries():
+            if system.tier_of(pte.page) is MemoryTier.DRAM:
+                dram += 1
+            else:
+                pm += 1
+        swapped = sum(
+            1
+            for region in self.process.regions
+            if region.is_anon
+            for vpage in range(region.start_vpage, region.end_vpage)
+            if system.backing.is_swapped(self.process.pid, vpage)
+        )
+        self.samples.append(ResidencySample(now_ns, dram, pm, swapped))
+        return 0  # observation is free: probes must not perturb timing
+
+    # -- reporting ------------------------------------------------------------
+
+    def final(self) -> ResidencySample | None:
+        return self.samples[-1] if self.samples else None
+
+    def peak_dram_fraction(self) -> float:
+        return max((s.dram_fraction for s in self.samples), default=0.0)
+
+    def render(self, *, width: int = 50) -> str:
+        if not self.samples:
+            return "(no samples)"
+        peak = max(s.resident + s.swapped_pages for s in self.samples) or 1
+        lines = [f"tier residency of {self.process.name} (D=DRAM, p=PM, s=swap)"]
+        for sample in self.samples:
+            t = sample.time_ns / NANOS_PER_SECOND
+            d = int(width * sample.dram_pages / peak)
+            p = int(width * sample.pm_pages / peak)
+            s = int(width * sample.swapped_pages / peak)
+            lines.append(
+                f"{t:9.4f}s |{'D' * d}{'p' * p}{'s' * s}| "
+                f"dram={sample.dram_pages} pm={sample.pm_pages} "
+                f"swap={sample.swapped_pages}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Figure 2: observation/performance window frequency analysis.
+
+"We divide the whole execution period ... into multiple sets of
+observation windows followed by performance windows.  We divide sampled
+pages that were accessed into two defined categories: pages that were
+accessed only once during that particular observation window and pages
+that were accessed multiple times.  Finally, we measure their accesses in
+the next performance window."
+
+The paper's conclusion — pages accessed multiple times in an observation
+window are accessed "with a much higher frequency on average" in the
+following performance window — is MULTI-CLOCK's principal hypothesis, and
+:func:`analyze_windows` reproduces the measurement for any traceable
+workload.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["WindowPairStats", "WindowAnalysis", "analyze_windows"]
+
+
+@dataclass(frozen=True)
+class WindowPairStats:
+    """One (observation, performance) window pair."""
+
+    pair_id: int
+    single_pages: int
+    multi_pages: int
+    single_mean_future: float
+    multi_mean_future: float
+
+
+@dataclass(frozen=True)
+class WindowAnalysis:
+    """Aggregate over all window pairs."""
+
+    workload: str
+    pairs: tuple[WindowPairStats, ...]
+
+    def mean_future(self, group: str) -> float:
+        """Average future-window frequency for 'single' or 'multi' pages,
+        weighted by group population per pair."""
+        total_pages = 0
+        total_accesses = 0.0
+        for pair in self.pairs:
+            pages = pair.single_pages if group == "single" else pair.multi_pages
+            mean = pair.single_mean_future if group == "single" else pair.multi_mean_future
+            total_pages += pages
+            total_accesses += mean * pages
+        return total_accesses / total_pages if total_pages else 0.0
+
+    @property
+    def multi_over_single_ratio(self) -> float:
+        """How much more future traffic multi-access pages receive."""
+        single = self.mean_future("single")
+        if single == 0:
+            return float("inf") if self.mean_future("multi") > 0 else 1.0
+        return self.mean_future("multi") / single
+
+    def render(self) -> str:
+        lines = [
+            f"Fig 2 window analysis — {self.workload}",
+            f"{'pair':>4} {'#single':>8} {'#multi':>8} "
+            f"{'future(single)':>15} {'future(multi)':>14}",
+        ]
+        for pair in self.pairs:
+            lines.append(
+                f"{pair.pair_id:>4} {pair.single_pages:>8} {pair.multi_pages:>8} "
+                f"{pair.single_mean_future:>15.2f} {pair.multi_mean_future:>14.2f}"
+            )
+        lines.append(
+            f"aggregate: single={self.mean_future('single'):.2f} "
+            f"multi={self.mean_future('multi'):.2f} "
+            f"ratio={self.multi_over_single_ratio:.2f}x"
+        )
+        return "\n".join(lines)
+
+
+def analyze_windows(
+    trace: Iterable[tuple[int, int]],
+    *,
+    workload: str = "trace",
+    segments_per_window: int = 2,
+) -> WindowAnalysis:
+    """Group a ``(segment, vpage)`` trace into window pairs and compare.
+
+    Consecutive windows of ``segments_per_window`` segments alternate in
+    the roles (observation, performance), sliding by one window so every
+    adjacent window pair contributes, as in the paper's "all (observation
+    window, performance window) pairs".
+    """
+    if segments_per_window <= 0:
+        raise ValueError("segments_per_window must be positive")
+    window_counts: dict[int, Counter] = {}
+    for segment, vpage in trace:
+        window = segment // segments_per_window
+        window_counts.setdefault(window, Counter())[vpage] += 1
+    if not window_counts:
+        return WindowAnalysis(workload, ())
+    pairs = []
+    last_window = max(window_counts)
+    for window in range(last_window):
+        observed = window_counts.get(window, Counter())
+        future = window_counts.get(window + 1, Counter())
+        single = [page for page, count in observed.items() if count == 1]
+        multi = [page for page, count in observed.items() if count > 1]
+        single_future = [future.get(page, 0) for page in single]
+        multi_future = [future.get(page, 0) for page in multi]
+        pairs.append(
+            WindowPairStats(
+                pair_id=window,
+                single_pages=len(single),
+                multi_pages=len(multi),
+                single_mean_future=_mean(single_future),
+                multi_mean_future=_mean(multi_future),
+            )
+        )
+    return WindowAnalysis(workload, tuple(pairs))
+
+
+def _mean(values: list[int]) -> float:
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``policies`` — list registered tiering policies with their Table-I row.
+* ``run`` — simulate a synthetic workload under a policy and print the
+  result summary and memory report.
+* ``experiment`` — regenerate one of the paper's tables/figures by name
+  (``fig1`` ... ``fig10``, ``table1``, ``table2``, ``overhead``,
+  ``ablation-*``, ``ext-*``).
+* ``record`` / ``replay`` — capture a workload's access trace to a file,
+  or replay a trace under any policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.machine import Machine
+from repro.run import run_workload
+from repro.sim.config import DaemonConfig, SimulationConfig
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _lazy(module: str, runner: str, renderer: str) -> Callable[[], str]:
+    def run() -> str:
+        import importlib
+
+        mod = importlib.import_module(f"repro.experiments.{module}")
+        return getattr(mod, renderer)(getattr(mod, runner)())
+
+    return run
+
+
+EXPERIMENTS: dict[str, Callable[[], str]] = {
+    "fig1": _lazy("fig1_heatmaps", "run_fig1", "render_fig1"),
+    "fig2": _lazy("fig2_frequency", "run_fig2", "render_fig2"),
+    "fig4": _lazy("fig4_transitions", "run_fig4", "render_fig4"),
+    "fig5": _lazy("fig5_ycsb", "run_fig5", "render_fig5"),
+    "fig6": _lazy("fig6_gapbs", "run_fig6", "render_fig6"),
+    "fig7": _lazy("fig7_memory_mode", "run_fig7", "render_fig7"),
+    "fig8": _lazy("fig8_promotions", "run_fig8", "render_fig8"),
+    "fig9": _lazy("fig9_reaccess", "run_fig9", "render_fig9"),
+    "fig10": _lazy("fig10_interval", "run_fig10", "render_fig10"),
+    "table1": lambda: __import__(
+        "repro.experiments.table1_features", fromlist=["render_table1"]
+    ).render_table1(),
+    "table2": lambda: __import__(
+        "repro.experiments.table2_inventory", fromlist=["render_table2"]
+    ).render_table2(),
+    "overhead": _lazy("overhead", "run_overhead", "render_overhead"),
+    "ablation-ratio": _lazy("ablation_ratio", "run_ablation_ratio", "render_ablation_ratio"),
+    "ablation-dirty": _lazy("ablation_dirty", "run_ablation_dirty", "render_ablation_dirty"),
+    "ablation-adaptive": _lazy(
+        "ablation_adaptive", "run_ablation_adaptive", "render_ablation_adaptive"
+    ),
+    "ext-workload-e": _lazy("ext_workload_e", "run_ext_workload_e", "render_ext_workload_e"),
+    "ext-dual-socket": _lazy("ext_dual_socket", "run_ext_dual_socket", "render_ext_dual_socket"),
+}
+
+WORKLOADS = ("zipf", "uniform", "seqscan", "shifting-hotset")
+
+
+def _build_workload(args: argparse.Namespace):
+    from repro.workloads.synthetic import (
+        SequentialScanWorkload,
+        ShiftingHotSetWorkload,
+        UniformWorkload,
+        ZipfWorkload,
+    )
+
+    builders = {
+        "zipf": lambda: ZipfWorkload(args.pages, args.ops, seed=args.seed,
+                                     write_ratio=args.write_ratio),
+        "uniform": lambda: UniformWorkload(args.pages, args.ops, seed=args.seed,
+                                           write_ratio=args.write_ratio),
+        "seqscan": lambda: SequentialScanWorkload(args.pages, args.ops, seed=args.seed,
+                                                  write_ratio=args.write_ratio),
+        "shifting-hotset": lambda: ShiftingHotSetWorkload(
+            args.pages, args.ops, seed=args.seed, write_ratio=args.write_ratio,
+            phase_ops=max(1, args.ops // 4),
+        ),
+    }
+    return builders[args.workload]()
+
+
+def _build_config(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(
+        dram_pages=(args.dram_pages,),
+        pm_pages=(args.pm_pages,),
+        daemons=DaemonConfig(
+            kpromoted_interval_s=args.interval,
+            kswapd_interval_s=args.interval / 2,
+            hint_scan_interval_s=args.interval,
+        ),
+        seed=args.seed,
+    )
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--policy", default="multiclock", help="tiering policy name")
+    parser.add_argument("--dram-pages", type=int, default=1024)
+    parser.add_argument("--pm-pages", type=int, default=8192)
+    parser.add_argument("--interval", type=float, default=0.005,
+                        help="daemon interval in virtual seconds")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=WORKLOADS, default="shifting-hotset")
+    parser.add_argument("--pages", type=int, default=4000)
+    parser.add_argument("--ops", type=int, default=100_000)
+    parser.add_argument("--write-ratio", type=float, default=0.0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MULTI-CLOCK hybrid-memory tiering reproduction (HPCA 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("policies", help="list registered tiering policies")
+
+    run_p = sub.add_parser("run", help="simulate a synthetic workload")
+    _add_machine_args(run_p)
+    _add_workload_args(run_p)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    rec_p = sub.add_parser("record", help="record a workload's access trace")
+    rec_p.add_argument("path", help="output trace file")
+    _add_machine_args(rec_p)
+    _add_workload_args(rec_p)
+
+    rep_p = sub.add_parser("replay", help="replay a recorded trace")
+    rep_p.add_argument("path", help="trace file to replay")
+    _add_machine_args(rep_p)
+    return parser
+
+
+def _cmd_policies() -> int:
+    from repro.policies.base import _REGISTRY
+
+    for name in sorted(_REGISTRY):
+        features = _REGISTRY[name].features
+        insight = features.key_insight if features else ""
+        print(f"{name:>20}  {insight}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    machine = Machine(_build_config(args), args.policy)
+    result = run_workload(_build_workload(args), machine.config, machine=machine)
+    print(result.summary())
+    for node, counts in machine.memory_report().items():
+        print(f"  {node}: used {counts['used']}/{counts['capacity']}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    print(EXPERIMENTS[args.name]())
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.workloads.trace import TraceRecorder
+
+    recorder = TraceRecorder(_build_workload(args), args.path)
+    result = run_workload(recorder, _build_config(args), policy=args.policy)
+    print(result.summary())
+    print(f"trace written to {args.path}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.workloads.trace import TraceReplayWorkload
+
+    replay = TraceReplayWorkload(args.path)
+    result = run_workload(replay, _build_config(args), policy=args.policy)
+    print(result.summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "policies":
+        return _cmd_policies()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "record":
+        return _cmd_record(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""MULTI-CLOCK — the paper's primary contribution.
+
+The Figure-4 page state machine, the per-node ``kpromoted`` promotion
+daemon, the watermark-driven demotion pipeline, and the policy class that
+wires them into the memory-management substrate.
+"""
+
+from repro.core.adaptive import AdaptiveMultiClockPolicy
+from repro.core.demotion import DemotionDaemon
+from repro.core.kpromoted import KPromoted
+from repro.core.multiclock import MultiClockPolicy
+from repro.core.rw_weighted import RWWeightedMultiClockPolicy
+from repro.core.state import PageState, classify, move_to_promote, recycle_promote_to_active
+
+__all__ = [
+    "AdaptiveMultiClockPolicy",
+    "DemotionDaemon",
+    "KPromoted",
+    "MultiClockPolicy",
+    "RWWeightedMultiClockPolicy",
+    "PageState",
+    "classify",
+    "move_to_promote",
+    "recycle_promote_to_active",
+]

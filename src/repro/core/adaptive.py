@@ -1,0 +1,181 @@
+"""Section VII extension: workload-adaptive kpromoted scheduling.
+
+"it could be valuable to dynamically adjust the scanning interval for
+kpromoted by analyzing the characteristics of the running workload."
+
+The controller is a banded multiplicative loop on each node's kpromoted
+interval, driven by the *workload's PM traffic share* between wakeups —
+the "characteristics of the running workload" the paper suggests
+analyzing — disambiguated by the promotion pipeline's yield:
+
+* a high PM share of recent accesses means the application is paying PM
+  latency for a meaningful part of its traffic: there is placement work
+  to do, so the daemon speeds up (interval x ``SPEEDUP``);
+* an idle machine, or a quiet PM tier with an empty promotion pipeline,
+  means placement has converged: the daemon backs off (``BACKOFF``)
+  after a few such wakeups and stops burning CPU;
+* anything in between holds the current interval.
+
+A warmup grace period skips the first wakeups (cold lists say nothing),
+and bounds keep the interval within [1/8x, 8x] of the configured base so
+a misbehaving estimate can neither starve nor freeze the daemon.
+"""
+
+from __future__ import annotations
+
+from repro.core.multiclock import MultiClockPolicy
+from repro.mm.system import MemorySystem
+from repro.policies.base import PolicyFeatures, register_policy
+from repro.sim.events import Daemon
+from repro.sim.vclock import NANOS_PER_SECOND
+
+__all__ = ["AdaptiveMultiClockPolicy"]
+
+SPEEDUP = 0.5
+BACKOFF = 2.0
+IDLE_WAKEUPS_BEFORE_BACKOFF = 3
+WARMUP_WAKEUPS = 5
+RANGE = 8.0
+PM_PRESSURE_SHARE = 0.25
+"""PM share of recent traffic above which faster scanning is warranted."""
+PM_QUIET_SHARE = 0.05
+"""PM share below which an empty pipeline means convergence."""
+QUALITY_FLOOR = 0.25
+"""Re-access rate of recent promotions below which the interval is too
+short: the scan cadence *is* the frequency filter's time constant, so
+over-frequent scanning promotes one-touch pages exactly like Nimble.
+Dropping below the floor forces a back-off."""
+QUALITY_GATE = 0.5
+"""Re-access rate required before a speed-up is allowed."""
+MIN_PROMOTIONS_FOR_QUALITY = 5
+"""Fewer recent promotions than this make the quality estimate noise."""
+
+
+@register_policy("multiclock-adaptive")
+class AdaptiveMultiClockPolicy(MultiClockPolicy):
+    """MULTI-CLOCK with self-tuning kpromoted intervals."""
+
+    features = PolicyFeatures(
+        tiering="MULTI-CLOCK (adaptive interval, §VII extension)",
+        page_access_tracking="Reference Bit",
+        selection_promotion="Recency + Frequency",
+        selection_demotion="Recency",
+        numa_aware="Yes",
+        space_overhead="No",
+        generality="All",
+        evaluation="PM",
+        usability_limitation="None",
+        key_insight="MIMD control of the scan interval from promotion yield",
+    )
+
+    def __init__(self, system: MemorySystem) -> None:
+        super().__init__(system)
+        base_s = system.config.daemons.kpromoted_interval_s
+        self._base_interval_ns = int(base_s * NANOS_PER_SECOND)
+        self._min_interval_ns = max(1, int(self._base_interval_ns / RANGE))
+        self._max_interval_ns = int(self._base_interval_ns * RANGE)
+        self._idle_streak: dict[int, int] = {}
+        self._wakeups_seen: dict[int, int] = {}
+        self._kpromoted_daemons: dict[str, Daemon] = {}
+
+    def daemons(self) -> list[Daemon]:
+        cfg = self.system.config.daemons
+        daemons = [
+            Daemon(ks.name, cfg.kswapd_interval_s, ks.run) for ks in self._kswapd
+        ]
+        for kp in self._kpromoted:
+            daemon = Daemon(kp.name, cfg.kpromoted_interval_s, lambda now: 0)
+            daemon.body = self._make_adaptive_body(kp, daemon)
+            self._kpromoted_daemons[kp.name] = daemon
+            daemons.append(daemon)
+        return daemons
+
+    _PIPELINE_COUNTERS = ("migrate.promotions", "kpromoted.to_promote_list")
+
+    def _make_adaptive_body(self, kp, daemon: Daemon):
+        node_id = kp.node.node_id
+        self._idle_streak[node_id] = 0
+        self._wakeups_seen[node_id] = 0
+        last = {"pm": 0, "total": 0, "pipeline": 0, "promoted": 0, "reaccessed": 0}
+
+        def run(now_ns: int) -> int:
+            stats = self.system.stats
+            pm_delta = stats.get("accesses.pm") - last["pm"]
+            total_delta = stats.get("accesses.total") - last["total"]
+            promos_delta = stats.get("migrate.promotions") - last["promoted"]
+            reacc_delta = stats.get("promoted.reaccessed") - last["reaccessed"]
+            work_ns = kp.run(now_ns)
+            pipeline = sum(stats.get(name) for name in self._PIPELINE_COUNTERS)
+            yield_ = pipeline - last["pipeline"]
+            last["pm"] = stats.get("accesses.pm")
+            last["total"] = stats.get("accesses.total")
+            last["pipeline"] = pipeline
+            last["promoted"] = stats.get("migrate.promotions")
+            last["reaccessed"] = stats.get("promoted.reaccessed")
+            self._retune(
+                daemon, node_id, yield_, pm_delta, total_delta, promos_delta, reacc_delta
+            )
+            return work_ns
+
+        return run
+
+    def _retune(
+        self,
+        daemon: Daemon,
+        node_id: int,
+        yield_: int,
+        pm_delta: int,
+        total_delta: int,
+        promos_delta: int,
+        reacc_delta: int,
+    ) -> None:
+        self._wakeups_seen[node_id] += 1
+        if self._wakeups_seen[node_id] <= WARMUP_WAKEUPS:
+            return  # cold lists say nothing about the steady state
+        pm_share = pm_delta / total_delta if total_delta else 0.0
+        quality = (
+            reacc_delta / promos_delta
+            if promos_delta >= MIN_PROMOTIONS_FOR_QUALITY
+            else None
+        )
+        if quality is not None and quality < QUALITY_FLOOR:
+            # Promotions are not being re-accessed: the interval is below
+            # the workload's recurrence time and the frequency filter has
+            # degenerated into one-touch selection.  Slow down.
+            self._idle_streak[node_id] = 0
+            daemon.interval_ns = min(
+                self._max_interval_ns, int(daemon.interval_ns * BACKOFF)
+            )
+            self.system.stats.inc("adaptive.quality_backoffs")
+        elif (
+            total_delta
+            and pm_share > PM_PRESSURE_SHARE
+            and yield_ > 0
+            and (quality is None or quality >= QUALITY_GATE)
+        ):
+            # The workload is paying PM latency, the scan is finding
+            # promotable pages, and recent promotions proved worthwhile:
+            # scanning faster will convert that PM traffic sooner.
+            self._idle_streak[node_id] = 0
+            daemon.interval_ns = max(
+                self._min_interval_ns, int(daemon.interval_ns * SPEEDUP)
+            )
+            self.system.stats.inc("adaptive.speedups")
+        elif total_delta == 0 or (yield_ == 0 and pm_share < PM_QUIET_SHARE):
+            # Idle machine, or converged placement: stop burning CPU.
+            self._idle_streak[node_id] += 1
+            if self._idle_streak[node_id] >= IDLE_WAKEUPS_BEFORE_BACKOFF:
+                self._idle_streak[node_id] = 0
+                daemon.interval_ns = min(
+                    self._max_interval_ns, int(daemon.interval_ns * BACKOFF)
+                )
+                self.system.stats.inc("adaptive.backoffs")
+        else:
+            self._idle_streak[node_id] = 0  # in the comfortable band: hold
+
+    def current_intervals_s(self) -> dict[str, float]:
+        """Live intervals per kpromoted daemon (for inspection/tests)."""
+        return {
+            name: daemon.interval_ns / NANOS_PER_SECOND
+            for name, daemon in self._kpromoted_daemons.items()
+        }

@@ -1,0 +1,108 @@
+"""Watermark-driven demotion — MULTI-CLOCK's kswapd extension.
+
+Section III-C, step by step: when a tier is under pressure, (1) promote-
+list pages are migrated up first (or moved to the active list when they
+cannot be), (2) the active:inactive ratio is rebalanced against the
+√(10·n):1 threshold, and (3) unreferenced inactive-tail pages are
+migrated to the lower tier — or, at the lowest tier, written back to
+block storage before the OOM killer becomes the last resort.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.state import recycle_promote_to_active
+from repro.mm.flags import PageFlags
+from repro.mm.lruvec import ListKind
+from repro.mm.numa import NumaNode
+from repro.mm.vmscan import ScanResult, deactivate_excess_active, shrink_inactive_list
+from repro.mm.watermarks import PressureLevel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.policies.base import TieringPolicy
+
+__all__ = ["DemotionDaemon"]
+
+
+class DemotionDaemon:
+    """Per-node kswapd running the Section III-C pressure pipeline.
+
+    Policy-agnostic by duck typing: the policy must provide
+    ``demotion_destination(node)`` and ``promote_page(page)``; a policy
+    with a ``second_reference_hook`` (MULTI-CLOCK) feeds its promote list
+    during the active-list rebalance, others run vanilla CLOCK.
+    """
+
+    def __init__(self, policy: "TieringPolicy", node: NumaNode) -> None:
+        self.policy = policy
+        self.node = node
+
+    @property
+    def name(self) -> str:
+        return f"kswapd/{self.node.node_id}"
+
+    def run(self, now_ns: int) -> int:
+        """One wakeup; no-op unless the node is below its low watermark."""
+        if self.node.pressure() is PressureLevel.NONE:
+            return 0
+        return self.balance()
+
+    def balance(self) -> int:
+        """Reclaim until free pages climb back above the high watermark."""
+        system = self.policy.system
+        node = self.node
+        budget = system.config.daemons.scan_budget_pages
+        total = ScanResult()
+        total.merge(self._relieve_promote_list(budget))
+        demote_dest = self.policy.demotion_destination(node)
+        for is_anon in (True, False):
+            if not node.watermarks.below_high(node.free_pages):
+                break
+            total.merge(
+                deactivate_excess_active(
+                    system,
+                    node,
+                    is_anon,
+                    budget,
+                    on_second_reference=getattr(self.policy, "second_reference_hook", None),
+                    ratio_cap=system.config.active_inactive_ratio_cap,
+                    force=True,
+                )
+            )
+            target = node.watermarks.reclaim_target(node.free_pages)
+            if target <= 0:
+                break
+            total.merge(
+                shrink_inactive_list(
+                    system, node, is_anon, target, budget, demote_dest
+                )
+            )
+        system.stats.inc("kswapd.runs")
+        system.stats.inc("kswapd.pages_scanned", total.scanned)
+        return total.system_ns
+
+    def _relieve_promote_list(self, budget: int) -> ScanResult:
+        """Step 1: promote-list pages leave first when under pressure.
+
+        "Any page in the promote list is first attempted to be migrated to
+        a higher-performing tier, and if that is not possible ... it is
+        moved to the active list."
+        """
+        result = ScanResult()
+        system = self.policy.system
+        can_go_up = self.node.tier.next_higher() is not None
+        for is_anon in (True, False):
+            promote = self.node.lruvec.list_for(ListKind.PROMOTE, is_anon)
+            for page in promote.iter_from_tail():
+                if result.scanned >= budget:
+                    break
+                result.scanned += 1
+                moved_up = can_go_up and not page.test(PageFlags.LOCKED)
+                if moved_up:
+                    moved_up = self.policy.promote_page(page)
+                if not moved_up:
+                    recycle_promote_to_active(self.node, page, keep_referenced=True)
+                    result.deactivated += 1
+        result.system_ns = system.hardware.scan_ns(result.scanned)
+        return result

@@ -1,0 +1,144 @@
+"""The ``kpromoted`` daemon — one kernel thread per NUMA node.
+
+Section III-B: kpromoted "is woken up periodically to scan the lists,
+update them, and migrate any pages from the promote list to a higher tier
+due to recent unsupervised accesses.  Every time kpromoted runs, it first
+selects the candidate pages for promotion and promotes all the pages it
+selected."  The per-node thread design "follows those of PFRA for the
+kswapd eviction daemon ... to avoid lock contention".
+
+A run over its node does, budget-limited per list (the paper sets the
+scan budget to 1024 pages):
+
+1. inactive-list scan — harvest accessed bits, walking pages up the
+   recency ladder (edges 1 and 6 of Figure 4);
+2. active-list scan — re-referenced pages move to the promote list
+   (edges 7/8 and 10);
+3. promote-list drain — pages referenced since joining are migrated to
+   the DRAM tier (edge 13, making room by demand demotion if DRAM is
+   under pressure); stale ones recycle to the active list (edge 11).
+   On a DRAM node there is no higher tier, so the whole promote list
+   recycles to active.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.state import move_to_promote, recycle_promote_to_active
+from repro.mm.flags import PageFlags
+from repro.mm.lruvec import ListKind
+from repro.mm.numa import NumaNode
+from repro.mm.vmscan import ScanResult, shrink_inactive_list
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.multiclock import MultiClockPolicy
+
+__all__ = ["KPromoted"]
+
+
+class KPromoted:
+    """Promotion daemon bound to one node of a MULTI-CLOCK system."""
+
+    def __init__(self, policy: "MultiClockPolicy", node: NumaNode) -> None:
+        self.policy = policy
+        self.node = node
+
+    @property
+    def name(self) -> str:
+        return f"kpromoted/{self.node.node_id}"
+
+    def run(self, now_ns: int) -> int:
+        """One wakeup; returns nanoseconds of system work performed."""
+        system = self.policy.system
+        budget = system.config.daemons.scan_budget_pages
+        total = ScanResult()
+        for is_anon in (True, False):
+            total.merge(self._scan_inactive(is_anon, budget))
+            total.merge(self._scan_active(is_anon, budget))
+            total.merge(self._drain_promote(is_anon, budget))
+        system.stats.inc("kpromoted.runs")
+        system.stats.inc("kpromoted.pages_scanned", total.scanned)
+        # Ladder-activity counters: consumed by the adaptive-interval
+        # controller (Section VII extension) as its workload signal.
+        system.stats.inc("kpromoted.referenced", total.referenced)
+        system.stats.inc("kpromoted.activated", total.activated)
+        system.stats.inc("kpromoted.to_promote_list", total.to_promote_list)
+        return total.system_ns
+
+    def _scan_inactive(self, is_anon: bool, budget: int) -> ScanResult:
+        """Advance referenced inactive pages up the ladder (edges 1, 6)."""
+        result = ScanResult()
+        system = self.policy.system
+        inactive = self.node.lruvec.list_for(ListKind.INACTIVE, is_anon)
+        active = self.node.lruvec.list_for(ListKind.ACTIVE, is_anon)
+        for page in inactive.iter_from_tail():
+            if result.scanned >= budget:
+                break
+            result.scanned += 1
+            self.policy.observe_scan(page)
+            if not page.harvest_accessed():
+                # Advance the CLOCK hand: rotate unaccessed pages so the
+                # next wakeup continues the sweep instead of re-scanning
+                # the same cold tail forever.
+                inactive.rotate_to_head(page)
+                continue
+            if page.test(PageFlags.REFERENCED):
+                inactive.remove(page)
+                page.clear(PageFlags.REFERENCED)
+                page.set(PageFlags.ACTIVE)
+                active.add_head(page)
+                result.activated += 1
+            else:
+                page.set(PageFlags.REFERENCED)
+                inactive.rotate_to_head(page)
+                result.referenced += 1
+        result.system_ns = system.hardware.scan_ns(result.scanned)
+        return result
+
+    def _scan_active(self, is_anon: bool, budget: int) -> ScanResult:
+        """Move twice-referenced active pages to the promote list (edge 10)."""
+        result = ScanResult()
+        system = self.policy.system
+        active = self.node.lruvec.list_for(ListKind.ACTIVE, is_anon)
+        for page in active.iter_from_tail():
+            if result.scanned >= budget:
+                break
+            result.scanned += 1
+            self.policy.observe_scan(page)
+            if not page.harvest_accessed():
+                active.rotate_to_head(page)  # advance the CLOCK hand
+                continue
+            if page.test(PageFlags.REFERENCED):
+                move_to_promote(self.node, page)
+                result.to_promote_list += 1
+            else:
+                page.set(PageFlags.REFERENCED)
+                active.rotate_to_head(page)
+                result.referenced += 1
+        result.system_ns = system.hardware.scan_ns(result.scanned)
+        return result
+
+    def _drain_promote(self, is_anon: bool, budget: int) -> ScanResult:
+        """Promote referenced promote-list pages to DRAM (edges 11-13)."""
+        result = ScanResult()
+        system = self.policy.system
+        promote = self.node.lruvec.list_for(ListKind.PROMOTE, is_anon)
+        top_tier = self.node.tier.next_higher() is not None
+        for page in promote.iter_from_tail():
+            if result.scanned >= budget:
+                break
+            result.scanned += 1
+            accessed = page.harvest_accessed() or page.test_and_clear(PageFlags.REFERENCED)
+            if not top_tier or not accessed:
+                recycle_promote_to_active(self.node, page)
+                result.deactivated += 1
+                continue
+            if self.policy.promote_page(page):
+                result.demoted += 0  # promotions are counted by the engine
+            else:
+                # Could not make room upstairs; keep the page hot locally.
+                recycle_promote_to_active(self.node, page)
+                result.deactivated += 1
+        result.system_ns = system.hardware.scan_ns(result.scanned)
+        return result

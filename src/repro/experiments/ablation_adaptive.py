@@ -1,0 +1,66 @@
+"""Section VII ablation: adaptive vs fixed kpromoted intervals.
+
+The question the paper leaves open: can kpromoted tune its own interval?
+We start both variants from a deliberately mis-tuned base interval (5
+paper-seconds — Fig 10 shows that interval reacting too slowly) and
+compare against the fixed well-tuned interval.  The adaptive controller
+should claw back most of the gap from the bad base, and stay competitive
+from the good one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import render_table
+from repro.experiments.common import run_ycsb_sequence, scale, scaled_config
+from repro.run import RunResult
+
+__all__ = ["AdaptiveAblationCell", "run_ablation_adaptive", "render_ablation_adaptive"]
+
+BASE_INTERVALS = (0.25, 5.0)
+POLICIES = ("multiclock", "multiclock-adaptive")
+
+
+@dataclass(frozen=True)
+class AdaptiveAblationCell:
+    base_interval_s: float
+    policy: str
+    result: RunResult
+
+
+def run_ablation_adaptive(
+    *, n_records: int | None = None, ops: int | None = None
+) -> list[AdaptiveAblationCell]:
+    n_records = n_records if n_records is not None else scale(4000)
+    ops = ops if ops is not None else scale(40_000)
+    cells = []
+    for interval in BASE_INTERVALS:
+        config = scaled_config(dram_pages=640, pm_pages=8192, interval_s=interval)
+        for policy in POLICIES:
+            result = run_ycsb_sequence(
+                policy, config, n_records=n_records, ops_per_phase=ops, phases=("A",)
+            )["A"]
+            cells.append(AdaptiveAblationCell(interval, policy, result))
+    return cells
+
+
+def render_ablation_adaptive(cells: list[AdaptiveAblationCell]) -> str:
+    table = render_table(
+        ["base interval (paper s)", "policy", "ops/s", "promotions", "kpromoted runs"],
+        [
+            [
+                cell.base_interval_s,
+                cell.policy,
+                f"{cell.result.throughput_ops:,.0f}",
+                cell.result.promotions,
+                cell.result.counters.get("kpromoted.runs", 0),
+            ]
+            for cell in cells
+        ],
+    )
+    return "Section VII ablation — adaptive kpromoted interval (YCSB A)\n\n" + table
+
+
+if __name__ == "__main__":
+    print(render_ablation_adaptive(run_ablation_adaptive()))

@@ -1,0 +1,79 @@
+"""Section VII ablation: varying the DRAM:PM capacity ratio.
+
+"it will also be interesting to see the performance of MULTI-CLOCK with
+varying DRAM and PM ratios" — the paper leaves this to future work; we
+run it.  The expectation: the smaller the DRAM share of the footprint,
+the more dynamic tiering matters (static placement strands a larger hot
+fraction in PM), until DRAM is so small even the hot set cannot fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import render_table
+from repro.experiments.common import run_ycsb_sequence, scale, scaled_config
+from repro.workloads.ycsb import YCSBSession
+
+__all__ = ["RatioPoint", "run_ablation_ratio", "render_ablation_ratio"]
+
+DRAM_FRACTIONS = (0.125, 0.25, 0.5, 0.75)
+
+
+@dataclass(frozen=True)
+class RatioPoint:
+    dram_fraction: float
+    static_ops: float
+    multiclock_ops: float
+
+    @property
+    def gain(self) -> float:
+        return self.multiclock_ops / self.static_ops - 1.0
+
+
+def run_ablation_ratio(
+    *,
+    n_records: int | None = None,
+    ops: int | None = None,
+    fractions: tuple[float, ...] = DRAM_FRACTIONS,
+) -> list[RatioPoint]:
+    n_records = n_records if n_records is not None else scale(3000)
+    ops = ops if ops is not None else scale(10_000)
+    footprint = YCSBSession(n_records).footprint_pages()
+    points = []
+    # Workload C (read-only zipfian) isolates the placement effect: reads
+    # pay PM's full latency gap, and no write traffic muddies the signal.
+    phases = ("A", "C")  # A warms the lists; C is measured.
+    for fraction in fractions:
+        dram = max(64, int(footprint * fraction))
+        config = scaled_config(dram_pages=dram, pm_pages=footprint * 3)
+        static = run_ycsb_sequence(
+            "static", config, n_records=n_records, ops_per_phase=ops, phases=phases
+        )["C"]
+        multiclock = run_ycsb_sequence(
+            "multiclock", config, n_records=n_records, ops_per_phase=ops, phases=phases
+        )["C"]
+        points.append(
+            RatioPoint(fraction, static.throughput_ops, multiclock.throughput_ops)
+        )
+    return points
+
+
+def render_ablation_ratio(points: list[RatioPoint]) -> str:
+    table = render_table(
+        ["DRAM fraction of footprint", "static ops/s", "multiclock ops/s", "gain"],
+        [
+            [
+                f"{p.dram_fraction:.3f}",
+                f"{p.static_ops:,.0f}",
+                f"{p.multiclock_ops:,.0f}",
+                f"{100 * p.gain:+.1f}%",
+            ]
+            for p in points
+        ],
+    )
+    return "Section VII ablation — DRAM:PM ratio sweep (YCSB A)\n\n" + table
+
+
+if __name__ == "__main__":
+    print(render_ablation_ratio(run_ablation_ratio()))

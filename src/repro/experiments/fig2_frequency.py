@@ -1,0 +1,40 @@
+"""Figure 2: future access frequency of single- vs multi-access pages."""
+
+from __future__ import annotations
+
+from repro.analysis.windows import WindowAnalysis, analyze_windows
+from repro.experiments.common import scale
+from repro.workloads.motivation import PROFILES, MotivationWorkload
+
+__all__ = ["run_fig2", "render_fig2"]
+
+
+def run_fig2(
+    *, pages: int | None = None, segments: int = 24, ops_per_segment: int | None = None
+) -> dict[str, WindowAnalysis]:
+    """Window analysis for the four motivation profiles."""
+    pages = pages if pages is not None else scale(1500)
+    ops_per_segment = ops_per_segment if ops_per_segment is not None else scale(6000)
+    analyses = {}
+    for name in PROFILES:
+        workload = MotivationWorkload(
+            name, pages=pages, segments=segments, ops_per_segment=ops_per_segment
+        )
+        analyses[name] = analyze_windows(workload.trace(), workload=name)
+    return analyses
+
+
+def render_fig2(analyses: dict[str, WindowAnalysis]) -> str:
+    lines = ["Fig 2 — future-window access frequency by observation-window class", ""]
+    lines.append(f"{'workload':>12} {'single':>8} {'multi':>8} {'multi/single':>13}")
+    for name, analysis in analyses.items():
+        lines.append(
+            f"{name:>12} {analysis.mean_future('single'):>8.2f} "
+            f"{analysis.mean_future('multi'):>8.2f} "
+            f"{analysis.multi_over_single_ratio:>12.2f}x"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render_fig2(run_fig2()))

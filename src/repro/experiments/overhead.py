@@ -1,0 +1,90 @@
+"""Section V-F: overhead accounting.
+
+"Mainly the overhead of MULTI-CLOCK includes the overhead for promotion
+and demotion of the pages across different tiers. ... for memory-
+intensive workloads, MULTI-CLOCK's benefit will surpass the migration
+overhead."  The virtual clock's app/system split makes that claim
+directly measurable: this experiment reports, per policy, the share of
+run time spent on daemon scans and migrations versus application memory
+accesses — alongside the throughput, so overhead can be weighed against
+benefit exactly as the paper argues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import render_table
+from repro.experiments.common import (
+    EVALUATED_POLICIES,
+    run_ycsb_sequence,
+    scale,
+    scaled_config,
+)
+
+__all__ = ["OverheadRow", "run_overhead", "render_overhead"]
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    policy: str
+    throughput_ops: float
+    system_share: float
+    promotions: int
+    demotions: int
+    hint_faults: int
+
+    @property
+    def system_percent(self) -> float:
+        return 100.0 * self.system_share
+
+
+def run_overhead(
+    *,
+    n_records: int | None = None,
+    ops: int | None = None,
+    policies: tuple[str, ...] = EVALUATED_POLICIES,
+) -> list[OverheadRow]:
+    n_records = n_records if n_records is not None else scale(3000)
+    ops = ops if ops is not None else scale(10_000)
+    config = scaled_config(dram_pages=640, pm_pages=8192)
+    rows = []
+    for policy in policies:
+        results = run_ycsb_sequence(
+            policy, config, n_records=n_records, ops_per_phase=ops, phases=("A",)
+        )
+        result = results["A"]
+        total = result.app_ns + result.system_ns
+        rows.append(
+            OverheadRow(
+                policy=policy,
+                throughput_ops=result.throughput_ops,
+                system_share=result.system_ns / total if total else 0.0,
+                promotions=result.promotions,
+                demotions=result.demotions,
+                hint_faults=result.counters.get("faults.hint", 0),
+            )
+        )
+    return rows
+
+
+def render_overhead(rows: list[OverheadRow]) -> str:
+    table = render_table(
+        ["policy", "ops/s", "system %", "promotions", "demotions", "hint faults"],
+        [
+            [
+                row.policy,
+                f"{row.throughput_ops:,.0f}",
+                f"{row.system_percent:.1f}",
+                row.promotions,
+                row.demotions,
+                row.hint_faults,
+            ]
+            for row in rows
+        ],
+    )
+    return "Section V-F — overhead accounting (YCSB A)\n\n" + table
+
+
+if __name__ == "__main__":
+    print(render_overhead(run_overhead()))

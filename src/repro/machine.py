@@ -1,0 +1,70 @@
+"""The assembled simulated machine: substrate + policy + daemons.
+
+:class:`Machine` is the top-level object users construct: it builds the
+memory system from a :class:`~repro.sim.config.SimulationConfig`, attaches
+a tiering policy by registry name, registers the policy's daemons on the
+virtual-clock scheduler, and exposes the access path workloads drive.
+"""
+
+from __future__ import annotations
+
+from repro.mm.address_space import Process
+from repro.mm.system import MemorySystem
+from repro.policies.base import TieringPolicy, create_policy
+from repro.sim.config import SimulationConfig
+from repro.sim.events import DaemonScheduler
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """One simulated hybrid-memory host running one tiering policy."""
+
+    def __init__(self, config: SimulationConfig, policy: str = "multiclock") -> None:
+        self.system = MemorySystem(config)
+        self.policy: TieringPolicy = create_policy(policy, self.system)
+        self.scheduler = DaemonScheduler(
+            self.system.clock, wakeup_cost_ns=config.latency.daemon_wakeup_ns
+        )
+        for daemon in self.policy.daemons():
+            self.scheduler.register(daemon)
+
+    @property
+    def config(self) -> SimulationConfig:
+        return self.system.config
+
+    @property
+    def clock(self):
+        return self.system.clock
+
+    @property
+    def stats(self):
+        return self.system.stats
+
+    def create_process(self, name: str = "", home_socket: int = 0) -> Process:
+        return self.system.create_process(name, home_socket)
+
+    def touch(
+        self, process: Process, vpage: int, *, is_write: bool = False, lines: int = 1
+    ) -> int:
+        """One memory reference plus any daemon work that came due."""
+        charged = self.system.touch(process, vpage, is_write=is_write, lines=lines)
+        self.scheduler.run_due()
+        return charged
+
+    def drain_daemons(self) -> int:
+        """Explicitly fire any overdue daemons (useful between phases)."""
+        return self.scheduler.run_due()
+
+    def memory_report(self) -> dict[str, dict[str, int]]:
+        """Per-node usage and list occupancy snapshot."""
+        report: dict[str, dict[str, int]] = {}
+        for node in self.system.nodes.values():
+            entry = {
+                "capacity": node.capacity_pages,
+                "used": node.used_pages,
+                "free": node.free_pages,
+            }
+            entry.update(node.lruvec.counts())
+            report[f"node{node.node_id}/{node.tier.name}"] = entry
+        return report

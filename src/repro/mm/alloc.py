@@ -1,0 +1,85 @@
+"""First-touch page allocation with tier fallback.
+
+In every tiering system the paper evaluates, pages are "born in" the DRAM
+tier and allocation falls back to PM once DRAM runs low (Section II-A).
+:class:`PageAllocator` implements that gfp-style fallback walk and tells
+the caller when a node dropped below its low watermark so the appropriate
+daemon (kswapd / demotion) can be woken.
+"""
+
+from __future__ import annotations
+
+from repro.mm.hardware import MemoryTier
+from repro.mm.numa import NumaNode
+from repro.mm.page import Page
+from repro.mm.watermarks import PressureLevel
+
+__all__ = ["AllocationResult", "PageAllocator"]
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of one allocation: the page plus pressure signals."""
+
+    page: Page
+    node: NumaNode
+    fell_back: bool
+    pressured_nodes: tuple[int, ...]
+
+
+class PageAllocator:
+    """Walks the node fallback order: DRAM tier first, then PM.
+
+    A node is *preferred* while its free count stays above the min
+    watermark; once every preferred node is exhausted the walk continues
+    into lower tiers, and as a last resort takes any node with a free
+    frame (eating into the reserve below ``min``, like atomic allocations
+    do in Linux).
+    """
+
+    def __init__(self, nodes: list[NumaNode]) -> None:
+        if not nodes:
+            raise ValueError("allocator needs at least one node")
+        self._nodes = sorted(nodes, key=lambda n: (n.tier, n.node_id))
+
+    @property
+    def fallback_order(self) -> list[NumaNode]:
+        return list(self._nodes)
+
+    def allocate(
+        self, *, is_anon: bool, born_ns: int = 0, home_socket: int = 0
+    ) -> AllocationResult:
+        """Allocate one page, or raise MemoryError if all nodes are full.
+
+        Within each tier, nodes on the caller's home socket are preferred
+        (first-touch locality, as Linux's default mempolicy does).
+        """
+        walk = sorted(
+            self._nodes, key=lambda n: (n.tier, n.socket != home_socket, n.node_id)
+        )
+        pressured: list[int] = []
+        chosen: NumaNode | None = None
+        fell_back = False
+        for node in walk:
+            if node.pressure() is not PressureLevel.NONE:
+                pressured.append(node.node_id)
+            if chosen is None and node.can_allocate():
+                headroom_ok = node.free_pages > node.watermarks.min_pages
+                if headroom_ok:
+                    chosen = node
+                    fell_back = node.tier is not MemoryTier.DRAM
+        if chosen is None:
+            # Reserve walk: any frame at all, highest tier first.
+            for node in walk:
+                if node.can_allocate():
+                    chosen = node
+                    fell_back = node.tier is not MemoryTier.DRAM
+                    break
+        if chosen is None:
+            raise MemoryError("all memory nodes are full")
+        page = chosen.allocate_page(is_anon=is_anon, born_ns=born_ns)
+        if chosen.pressure() is not PressureLevel.NONE and chosen.node_id not in pressured:
+            pressured.append(chosen.node_id)
+        return AllocationResult(page, chosen, fell_back, tuple(pressured))

@@ -1,0 +1,81 @@
+"""Hardware model: memory tiers and their access costs.
+
+Tiers are ordered exactly as in the paper's Section II — from *higher*
+(high performance, low capacity: DRAM) to *lower* (low performance, high
+capacity: persistent memory).  The model charges per-access latencies
+from :class:`~repro.sim.config.LatencyConfig`; Optane's read/write
+asymmetry (reads slower than writes at the DIMM interface, because writes
+land in the controller buffer) is preserved because the paper's
+Discussion section calls it out as relevant to placement decisions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.sim.config import LatencyConfig
+
+__all__ = ["MemoryTier", "HardwareModel"]
+
+
+class MemoryTier(enum.IntEnum):
+    """Memory tiers ordered from highest- to lowest-performing.
+
+    Lower numeric value = higher tier, so comparisons read naturally:
+    ``page.tier > MemoryTier.DRAM`` means "below DRAM".
+    """
+
+    DRAM = 0
+    PM = 1
+
+    @property
+    def is_top(self) -> bool:
+        return self is MemoryTier.DRAM
+
+    @property
+    def is_bottom(self) -> bool:
+        return self is MemoryTier.PM
+
+    def next_lower(self) -> "MemoryTier | None":
+        """The tier pages demote to, or None at the bottom."""
+        return MemoryTier.PM if self is MemoryTier.DRAM else None
+
+    def next_higher(self) -> "MemoryTier | None":
+        """The tier pages promote to, or None at the top."""
+        return MemoryTier.DRAM if self is MemoryTier.PM else None
+
+
+class HardwareModel:
+    """Latency oracle for the simulated machine."""
+
+    def __init__(self, latency: LatencyConfig) -> None:
+        self._latency = latency.validated()
+        self._read_ns = {
+            MemoryTier.DRAM: latency.dram_read_ns,
+            MemoryTier.PM: latency.pm_read_ns,
+        }
+        self._write_ns = {
+            MemoryTier.DRAM: latency.dram_write_ns,
+            MemoryTier.PM: latency.pm_write_ns,
+        }
+
+    @property
+    def latency(self) -> LatencyConfig:
+        return self._latency
+
+    def access_ns(self, tier: MemoryTier, is_write: bool) -> int:
+        """Latency of one application access to a page in ``tier``."""
+        table = self._write_ns if is_write else self._read_ns
+        return table[tier]
+
+    def migrate_ns(self, pages: int = 1) -> int:
+        """System cost of migrating ``pages`` pages between tiers."""
+        return self._latency.page_copy_ns * pages
+
+    def scan_ns(self, pages: int) -> int:
+        """System cost of a CLOCK scan step over ``pages`` pages."""
+        return self._latency.scan_page_ns * pages
+
+    def hint_fault_ns(self) -> int:
+        """Cost of one software hint page fault (AutoTiering/AutoNUMA)."""
+        return self._latency.hint_fault_ns

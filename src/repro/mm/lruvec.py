@@ -1,0 +1,192 @@
+"""Per-node LRU lists, including the paper's new *promote* lists.
+
+Linux keeps five LRU lists per node (anon/file x inactive/active, plus
+unevictable).  MULTI-CLOCK "added two lists: anonymous promote and file
+promote" (Section IV).  :class:`LruVec` materialises all seven as
+intrusive doubly-linked lists so that activation, rotation and removal
+are O(1), like the kernel's ``list_head`` juggling.
+
+Conventions: the *head* of a list is where newly (re)added pages go; scans
+and eviction work from the *tail*.  A page is on at most one list at a
+time — the ``Page.lru`` back-pointer enforces this.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+from repro.mm.flags import PageFlags
+from repro.mm.page import Page
+
+__all__ = ["ListKind", "LruList", "LruVec"]
+
+
+class ListKind(enum.Enum):
+    """Which logical list a page sits on (see Figure 4 of the paper)."""
+
+    INACTIVE = "inactive"
+    ACTIVE = "active"
+    PROMOTE = "promote"
+    UNEVICTABLE = "unevictable"
+
+
+class LruList:
+    """An intrusive doubly-linked list of pages."""
+
+    def __init__(self, kind: ListKind, is_anon: bool | None) -> None:
+        self.kind = kind
+        self.is_anon = is_anon
+        self._head: Page | None = None
+        self._tail: Page | None = None
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    @property
+    def name(self) -> str:
+        if self.is_anon is None:
+            return self.kind.value
+        family = "anon" if self.is_anon else "file"
+        return f"{family}_{self.kind.value}"
+
+    @property
+    def head(self) -> Page | None:
+        return self._head
+
+    @property
+    def tail(self) -> Page | None:
+        return self._tail
+
+    def add_head(self, page: Page) -> None:
+        """Insert at the MRU end."""
+        self._check_free(page)
+        page.lru_prev = None
+        page.lru_next = self._head
+        if self._head is not None:
+            self._head.lru_prev = page
+        self._head = page
+        if self._tail is None:
+            self._tail = page
+        page.lru = self
+        page.set(PageFlags.LRU)
+        self._count += 1
+
+    def add_tail(self, page: Page) -> None:
+        """Insert at the LRU end (next in line for a scan)."""
+        self._check_free(page)
+        page.lru_next = None
+        page.lru_prev = self._tail
+        if self._tail is not None:
+            self._tail.lru_next = page
+        self._tail = page
+        if self._head is None:
+            self._head = page
+        page.lru = self
+        page.set(PageFlags.LRU)
+        self._count += 1
+
+    def remove(self, page: Page) -> None:
+        """Unlink ``page`` from this list in O(1)."""
+        if page.lru is not self:
+            raise ValueError(f"{page!r} is not on list {self.name}")
+        prev, nxt = page.lru_prev, page.lru_next
+        if prev is not None:
+            prev.lru_next = nxt
+        else:
+            self._head = nxt
+        if nxt is not None:
+            nxt.lru_prev = prev
+        else:
+            self._tail = prev
+        page.lru_prev = page.lru_next = None
+        page.lru = None
+        page.clear(PageFlags.LRU)
+        self._count -= 1
+
+    def pop_tail(self) -> Page | None:
+        """Remove and return the LRU-end page, or None if empty."""
+        victim = self._tail
+        if victim is not None:
+            self.remove(victim)
+        return victim
+
+    def rotate_to_head(self, page: Page) -> None:
+        """Move ``page`` to the MRU end — the CLOCK second chance."""
+        self.remove(page)
+        self.add_head(page)
+
+    def iter_from_tail(self) -> Iterator[Page]:
+        """Iterate LRU→MRU.  Safe against removing the *yielded* page."""
+        cursor = self._tail
+        while cursor is not None:
+            nxt = cursor.lru_prev
+            yield cursor
+            cursor = nxt
+
+    def __iter__(self) -> Iterator[Page]:
+        cursor = self._head
+        while cursor is not None:
+            nxt = cursor.lru_next
+            yield cursor
+            cursor = nxt
+
+    @staticmethod
+    def _check_free(page: Page) -> None:
+        if page.lru is not None:
+            raise ValueError(f"{page!r} is already on list {page.lru.name}")
+
+
+class LruVec:
+    """The full set of per-node LRU lists.
+
+    Mirrors Linux's ``lruvec`` plus the paper's two promote lists:
+    anon/file x inactive/active/promote, and one unevictable list.
+    """
+
+    def __init__(self) -> None:
+        self._lists: dict[tuple[ListKind, bool | None], LruList] = {}
+        for kind in (ListKind.INACTIVE, ListKind.ACTIVE, ListKind.PROMOTE):
+            for is_anon in (True, False):
+                self._lists[(kind, is_anon)] = LruList(kind, is_anon)
+        self._lists[(ListKind.UNEVICTABLE, None)] = LruList(ListKind.UNEVICTABLE, None)
+
+    def list_for(self, kind: ListKind, is_anon: bool | None = None) -> LruList:
+        """Look up a list; unevictable ignores the anon/file split."""
+        key = (kind, None if kind is ListKind.UNEVICTABLE else is_anon)
+        return self._lists[key]
+
+    def list_of(self, page: Page, kind: ListKind) -> LruList:
+        """The list of ``kind`` matching the page's anon/file family."""
+        return self.list_for(kind, page.is_anon)
+
+    def all_lists(self) -> list[LruList]:
+        return list(self._lists.values())
+
+    def evictable_pages(self) -> int:
+        """Total pages across every list except unevictable."""
+        return sum(
+            len(lst)
+            for (kind, __), lst in self._lists.items()
+            if kind is not ListKind.UNEVICTABLE
+        )
+
+    def counts(self) -> dict[str, int]:
+        """Per-list page counts keyed by list name (for /proc-style stats)."""
+        return {lst.name: len(lst) for lst in self._lists.values()}
+
+    def active_inactive_ratio(self, is_anon: bool) -> float:
+        """active:inactive size ratio for one page family.
+
+        Section III-C rebalances when this exceeds a tunable threshold
+        (typically sqrt(10*n):1 for n GiB of tier memory).
+        """
+        active = len(self.list_for(ListKind.ACTIVE, is_anon))
+        inactive = len(self.list_for(ListKind.INACTIVE, is_anon))
+        if inactive == 0:
+            return float("inf") if active else 0.0
+        return active / inactive

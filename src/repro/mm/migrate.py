@@ -1,0 +1,102 @@
+"""Page migration between tiers — the simulator's ``migrate_pages()``.
+
+Linux's mechanism allocates a destination frame, copies the contents and
+fixes every mapping that refers to the page.  Here the page object *is*
+the content, so migration re-homes it to the destination node, but the
+engine still charges the full copy+fixup latency and refuses the cases
+the kernel refuses (locked pages, unevictable pages, no destination
+frame), because those refusals drive the paper's promote-list fallback
+("if that is not possible — for instance, the page is locked — then it is
+moved to the active list").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.mm.flags import PageFlags
+from repro.mm.hardware import HardwareModel
+from repro.mm.numa import NumaNode
+from repro.mm.page import Page
+from repro.sim.stats import StatsBook
+from repro.sim.vclock import VirtualClock
+
+__all__ = ["MigrationEngine", "MigrationOutcome"]
+
+
+class MigrationOutcome(enum.Enum):
+    """Why a migration attempt succeeded or failed."""
+
+    MIGRATED = "migrated"
+    PAGE_LOCKED = "page_locked"
+    PAGE_UNEVICTABLE = "page_unevictable"
+    DEST_FULL = "dest_full"
+    SAME_NODE = "same_node"
+
+    @property
+    def ok(self) -> bool:
+        return self is MigrationOutcome.MIGRATED
+
+
+class MigrationEngine:
+    """Moves pages between NUMA nodes, charging copy costs to the clock."""
+
+    def __init__(
+        self,
+        nodes: dict[int, NumaNode],
+        hardware: HardwareModel,
+        clock: VirtualClock,
+        stats: StatsBook,
+    ) -> None:
+        self._nodes = nodes
+        self._hardware = hardware
+        self._clock = clock
+        self._stats = stats
+        self.on_promote: "Callable[[Page], None] | None" = None
+
+    def node_of(self, page: Page) -> NumaNode:
+        return self._nodes[page.node_id]
+
+    def migrate(self, page: Page, dest: NumaNode) -> MigrationOutcome:
+        """Attempt to move ``page`` onto ``dest``.
+
+        On success the page is detached from any LRU list and accounted to
+        the destination node; the caller must re-link it onto the list the
+        policy wants.  On failure the page is left exactly where it was.
+        """
+        source = self._nodes[page.node_id]
+        if dest.node_id == source.node_id:
+            return MigrationOutcome.SAME_NODE
+        if page.test(PageFlags.LOCKED):
+            self._stats.inc("migrate.failed_locked")
+            return MigrationOutcome.PAGE_LOCKED
+        if page.test(PageFlags.UNEVICTABLE):
+            self._stats.inc("migrate.failed_unevictable")
+            return MigrationOutcome.PAGE_UNEVICTABLE
+        if not dest.can_allocate():
+            self._stats.inc("migrate.failed_dest_full")
+            return MigrationOutcome.DEST_FULL
+
+        if page.lru is not None:
+            page.lru.remove(page)
+        source.release_frame(page)
+        dest.adopt_page(page)
+        self._clock.advance_system(self._hardware.migrate_ns())
+        self._account_direction(source, dest, page)
+        return MigrationOutcome.MIGRATED
+
+    def _account_direction(self, source: NumaNode, dest: NumaNode, page: Page) -> None:
+        if dest.tier < source.tier:
+            self._stats.inc("migrate.promotions")
+            page.last_promoted_ns = self._clock.now_ns
+            if "promotions_window" in self._stats.series:
+                self._stats.record("promotions_window", self._clock.now_ns)
+            if self.on_promote is not None:
+                self.on_promote(page)
+        elif dest.tier > source.tier:
+            self._stats.inc("migrate.demotions")
+            if "demotions_window" in self._stats.series:
+                self._stats.record("demotions_window", self._clock.now_ns)
+        else:
+            self._stats.inc("migrate.lateral")

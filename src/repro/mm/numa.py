@@ -1,0 +1,113 @@
+"""NUMA nodes — the simulator's ``pglist_data``.
+
+The paper's prototype tags DAX-KMEM hot-plugged persistent memory nodes
+with a new flag in ``pglist_data`` so MULTI-CLOCK can tell the DRAM tier
+("all the DRAM nodes") from the PM tier ("all the PM nodes").  Here the
+tag is the node's :class:`~repro.mm.hardware.MemoryTier`.
+"""
+
+from __future__ import annotations
+
+from repro.mm.hardware import MemoryTier
+from repro.mm.lruvec import LruVec
+from repro.mm.page import Page
+from repro.mm.watermarks import PressureLevel, Watermarks, compute_watermarks
+
+__all__ = ["NumaNode"]
+
+
+class NumaNode:
+    """One bank of physical memory plus its reclaim state."""
+
+    def __init__(
+        self,
+        node_id: int,
+        tier: MemoryTier,
+        capacity_pages: int,
+        watermarks: Watermarks,
+        socket: int = 0,
+    ) -> None:
+        if capacity_pages <= 0:
+            raise ValueError(f"node {node_id} needs positive capacity")
+        self.node_id = node_id
+        self.tier = tier
+        self.socket = socket
+        self.capacity_pages = capacity_pages
+        self.watermarks = watermarks
+        self.lruvec = LruVec()
+        self._used_pages = 0
+
+    @classmethod
+    def create(
+        cls,
+        node_id: int,
+        tier: MemoryTier,
+        capacity_pages: int,
+        total_pages: int,
+        socket: int = 0,
+    ) -> "NumaNode":
+        """Build a node with watermarks derived from machine-wide capacity."""
+        marks = compute_watermarks(capacity_pages, total_pages)
+        return cls(node_id, tier, capacity_pages, marks, socket)
+
+    @property
+    def is_pm(self) -> bool:
+        """The DAX-KMEM "this node is persistent memory" tag."""
+        return self.tier is MemoryTier.PM
+
+    @property
+    def used_pages(self) -> int:
+        return self._used_pages
+
+    @property
+    def free_pages(self) -> int:
+        return self.capacity_pages - self._used_pages
+
+    def pressure(self) -> PressureLevel:
+        return self.watermarks.pressure(self.free_pages)
+
+    def can_allocate(self, pages: int = 1) -> bool:
+        return self.free_pages >= pages
+
+    def allocate_page(self, *, is_anon: bool, born_ns: int = 0) -> Page:
+        """Take one frame from this node and wrap it in a fresh page.
+
+        The caller is responsible for putting the page on an LRU list;
+        raises MemoryError if the node is full (callers should check
+        :meth:`can_allocate` and fall back to another node first).
+        """
+        if not self.can_allocate():
+            raise MemoryError(f"node {self.node_id} has no free frames")
+        self._used_pages += 1
+        return Page(self.node_id, is_anon=is_anon, born_ns=born_ns)
+
+    def adopt_page(self, page: Page) -> None:
+        """Account an existing page migrating *into* this node.
+
+        The page must already be off any LRU list; the migration engine
+        re-links it on the destination node's lists afterwards.
+        """
+        if not self.can_allocate():
+            raise MemoryError(f"node {self.node_id} has no free frames")
+        if page.lru is not None:
+            raise ValueError("page must leave its LRU list before moving nodes")
+        self._used_pages += 1
+        page.node_id = self.node_id
+
+    def release_frame(self, page: Page) -> None:
+        """Give a page's frame back (free or migrate-away path)."""
+        if page.node_id != self.node_id:
+            raise ValueError(
+                f"page lives on node {page.node_id}, not node {self.node_id}"
+            )
+        if page.lru is not None:
+            raise ValueError("page must leave its LRU list before freeing")
+        if self._used_pages == 0:
+            raise RuntimeError(f"node {self.node_id} frame accounting underflow")
+        self._used_pages -= 1
+
+    def __repr__(self) -> str:
+        return (
+            f"NumaNode(id={self.node_id}, tier={self.tier.name}, "
+            f"used={self._used_pages}/{self.capacity_pages})"
+        )

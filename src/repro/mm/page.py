@@ -1,0 +1,128 @@
+"""``struct page`` — the unit every policy in this repo reasons about.
+
+A :class:`Page` is the logical memory page.  Migration moves a page
+between NUMA nodes (tiers); the page object itself persists, exactly as
+the *content* of a Linux page survives ``migrate_pages()`` while its
+physical frame changes.  The intrusive ``lru_prev``/``lru_next`` pointers
+re-create the kernel trick the paper leans on for zero space overhead:
+"we reused the list pointer on the struct page to index the pages in the
+promote lists".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any
+
+from repro.mm.flags import PageFlags
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.mm.lruvec import LruList
+    from repro.mm.page_table import PageTableEntry
+
+__all__ = ["Page"]
+
+_page_ids = itertools.count()
+
+
+class Page:
+    """One 4 KiB page of memory.
+
+    Attributes:
+        pfn: unique page id (analogue of the page frame number).
+        node_id: NUMA node currently backing the page.
+        flags: PFRA flag word (referenced / active / promote / ...).
+        is_anon: anonymous vs file-backed, selecting the LRU list family.
+        rmap: reverse mapping — every PTE that maps this page.  Scans walk
+            it to harvest hardware accessed bits (unsupervised accesses).
+        lru: the intrusive list this page currently sits on, or None.
+        policy_data: scratch slot for per-policy metadata (e.g.
+            AutoTiering-OPM's n-bit access history).  Policies own it.
+    """
+
+    __slots__ = (
+        "pfn",
+        "node_id",
+        "flags",
+        "is_anon",
+        "rmap",
+        "lru",
+        "lru_prev",
+        "lru_next",
+        "policy_data",
+        "born_ns",
+        "last_promoted_ns",
+    )
+
+    def __init__(self, node_id: int, *, is_anon: bool = True, born_ns: int = 0) -> None:
+        self.pfn = next(_page_ids)
+        self.node_id = node_id
+        self.flags = PageFlags.NONE
+        self.is_anon = is_anon
+        self.rmap: list[PageTableEntry] = []
+        self.lru: LruList | None = None
+        self.lru_prev: Page | None = None
+        self.lru_next: Page | None = None
+        self.policy_data: Any = None
+        self.born_ns = born_ns
+        self.last_promoted_ns = -1
+
+    # -- flag helpers (named after their page-flags.h counterparts) -------
+
+    def test(self, flag: PageFlags) -> bool:
+        return bool(self.flags & flag)
+
+    def set(self, flag: PageFlags) -> None:
+        self.flags |= flag
+
+    def clear(self, flag: PageFlags) -> None:
+        self.flags &= ~flag
+
+    def test_and_clear(self, flag: PageFlags) -> bool:
+        """Atomically read and clear — how scans consume REFERENCED."""
+        was_set = bool(self.flags & flag)
+        self.flags &= ~flag
+        return was_set
+
+    # -- reverse map -------------------------------------------------------
+
+    def harvest_accessed(self) -> bool:
+        """Test-and-clear the accessed bit across every mapping PTE.
+
+        This is the unsupervised-access path of Section III-A: "MULTI-CLOCK
+        checks within every process' page table that maps it for a set
+        referenced bit".  Returns True if any mapping was accessed.
+        """
+        accessed = False
+        for pte in self.rmap:
+            if pte.accessed:
+                pte.accessed = False
+                accessed = True
+        return accessed
+
+    def any_accessed(self) -> bool:
+        """Peek at the accessed bits without clearing them."""
+        return any(pte.accessed for pte in self.rmap)
+
+    def harvest_dirty(self) -> bool:
+        """Test-and-clear the PTE dirty bits across every mapping.
+
+        The dirtiness analogue of :meth:`harvest_accessed`: "was this
+        page *written* since the last harvest" — the fresh signal the
+        Section VII weighted-placement extension consumes.  The page's
+        own DIRTY flag (writeback state) is left untouched.
+        """
+        written = False
+        for pte in self.rmap:
+            if pte.dirty:
+                pte.dirty = False
+                written = True
+        return written
+
+    @property
+    def mapped(self) -> bool:
+        return bool(self.rmap)
+
+    def __repr__(self) -> str:
+        kind = "anon" if self.is_anon else "file"
+        return f"Page(pfn={self.pfn}, node={self.node_id}, {kind}, flags={self.flags!r})"

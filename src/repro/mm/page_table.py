@@ -1,0 +1,80 @@
+"""Process page tables and reverse mappings.
+
+The unsupervised-access path of Section III-A rests on the hardware
+accessed bit: the CPU sets it in the PTE on every touch, and scans
+test-and-clear it.  :class:`PageTableEntry` carries that bit (plus the
+dirty bit the Discussion section proposes weighting by, and a *poisoned*
+bit used by the hint-page-fault baselines, which unmap pages to force a
+software fault on next access).
+"""
+
+from __future__ import annotations
+
+from repro.mm.page import Page
+
+__all__ = ["PageTableEntry", "PageTable"]
+
+
+class PageTableEntry:
+    """One virtual-to-physical translation."""
+
+    __slots__ = ("process_id", "vpage", "page", "accessed", "dirty", "poisoned")
+
+    def __init__(self, process_id: int, vpage: int, page: Page) -> None:
+        self.process_id = process_id
+        self.vpage = vpage
+        self.page = page
+        self.accessed = False
+        self.dirty = False
+        self.poisoned = False
+
+    def touch(self, is_write: bool) -> None:
+        """What the MMU does on an ordinary access."""
+        self.accessed = True
+        if is_write:
+            self.dirty = True
+
+    def __repr__(self) -> str:
+        bits = "".join(
+            bit
+            for bit, on in (("A", self.accessed), ("D", self.dirty), ("P", self.poisoned))
+            if on
+        )
+        return f"PTE(pid={self.process_id}, vpage={self.vpage}, pfn={self.page.pfn}, {bits or '-'})"
+
+
+class PageTable:
+    """Virtual page → PTE map for one process."""
+
+    def __init__(self, process_id: int) -> None:
+        self.process_id = process_id
+        self._entries: dict[int, PageTableEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpage: int) -> bool:
+        return vpage in self._entries
+
+    def lookup(self, vpage: int) -> PageTableEntry | None:
+        return self._entries.get(vpage)
+
+    def map(self, vpage: int, page: Page) -> PageTableEntry:
+        """Install a translation and register it in the page's rmap."""
+        if vpage in self._entries:
+            raise ValueError(f"vpage {vpage} is already mapped in pid {self.process_id}")
+        pte = PageTableEntry(self.process_id, vpage, page)
+        self._entries[vpage] = pte
+        page.rmap.append(pte)
+        return pte
+
+    def unmap(self, vpage: int) -> PageTableEntry:
+        """Remove a translation and detach it from the page's rmap."""
+        pte = self._entries.pop(vpage, None)
+        if pte is None:
+            raise KeyError(f"vpage {vpage} is not mapped in pid {self.process_id}")
+        pte.page.rmap.remove(pte)
+        return pte
+
+    def entries(self) -> list[PageTableEntry]:
+        return list(self._entries.values())

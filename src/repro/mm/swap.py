@@ -1,0 +1,67 @@
+"""Block-storage backing: the tier below the lowest memory tier.
+
+Section III-C's last resort before the OOM killer: pages evicted from the
+lowest memory tier "are written back to block storage (i.e., file-backed
+pages to file system and anonymous pages to the swap area)".  We track
+residency only — no contents — because the simulator needs to know *that*
+a later access must pay a major-fault cost, not *what* the bytes were.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BackingStore"]
+
+
+class BackingStore:
+    """Swap area (anonymous pages) plus the filesystem (file pages)."""
+
+    def __init__(self, swap_capacity_pages: int) -> None:
+        if swap_capacity_pages <= 0:
+            raise ValueError("swap capacity must be positive")
+        self.swap_capacity_pages = swap_capacity_pages
+        self._swapped: set[tuple[int, int]] = set()
+        self.swap_outs = 0
+        self.swap_ins = 0
+        self.file_writebacks = 0
+        self.file_refaults = 0
+
+    @property
+    def swapped_pages(self) -> int:
+        return len(self._swapped)
+
+    @property
+    def swap_full(self) -> bool:
+        return len(self._swapped) >= self.swap_capacity_pages
+
+    def swap_out(self, process_id: int, vpage: int) -> None:
+        """Write one anonymous page out; raises MemoryError if swap is full.
+
+        A full swap is the condition under which the paper's demotion path
+        "trigger[s] the out-of-memory (OOM) killer as the last option".
+        """
+        if self.swap_full:
+            raise MemoryError("swap space exhausted")
+        key = (process_id, vpage)
+        if key in self._swapped:
+            raise ValueError(f"page {key} is already swapped out")
+        self._swapped.add(key)
+        self.swap_outs += 1
+
+    def is_swapped(self, process_id: int, vpage: int) -> bool:
+        return (process_id, vpage) in self._swapped
+
+    def swap_in(self, process_id: int, vpage: int) -> None:
+        """Consume the swap slot on a major fault."""
+        key = (process_id, vpage)
+        if key not in self._swapped:
+            raise KeyError(f"page {key} is not in swap")
+        self._swapped.remove(key)
+        self.swap_ins += 1
+
+    def writeback_file(self) -> None:
+        """Account a file page dropped (clean) or written back (dirty)."""
+        self.file_writebacks += 1
+
+    def refault_file(self) -> None:
+        """Account a file page re-read from the filesystem."""
+        self.file_refaults += 1

@@ -1,0 +1,291 @@
+"""The assembled memory-management substrate handed to tiering policies.
+
+:class:`MemorySystem` plays the role of the kernel MM layer: it owns the
+NUMA nodes, the allocator, the migration engine, the backing store and
+the processes, and it implements the access path every simulated memory
+reference takes (fault handling, accessed-bit updates, latency charging).
+Tiering *policy* — which lists pages move between and when they migrate —
+is delegated to a :class:`~repro.policies.base.TieringPolicy` attached by
+the machine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mm.address_space import MemoryRegion, Process
+from repro.mm.alloc import PageAllocator
+from repro.mm.flags import PageFlags
+from repro.mm.hardware import HardwareModel, MemoryTier
+from repro.mm.migrate import MigrationEngine
+from repro.mm.numa import NumaNode
+from repro.mm.page import Page
+from repro.mm.page_table import PageTableEntry
+from repro.mm.swap import BackingStore
+from repro.sim.config import SimulationConfig
+from repro.sim.stats import StatsBook
+from repro.sim.vclock import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.policies.base import TieringPolicy
+
+__all__ = ["MemorySystem", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when reclaim cannot free a frame — the OOM killer fired."""
+
+
+class MemorySystem:
+    """Kernel-side state of one simulated hybrid-memory machine."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config.validated()
+        self.clock = VirtualClock()
+        self.stats = StatsBook()
+        self.hardware = HardwareModel(config.latency)
+        self.nodes: dict[int, NumaNode] = {}
+        total = config.total_pages
+        node_id = 0
+        for i, pages in enumerate(config.dram_pages):
+            self.nodes[node_id] = NumaNode.create(
+                node_id, MemoryTier.DRAM, pages, total, socket=i % config.sockets
+            )
+            node_id += 1
+        for i, pages in enumerate(config.pm_pages):
+            self.nodes[node_id] = NumaNode.create(
+                node_id, MemoryTier.PM, pages, total, socket=i % config.sockets
+            )
+            node_id += 1
+        self.allocator = PageAllocator(list(self.nodes.values()))
+        self.migrator = MigrationEngine(self.nodes, self.hardware, self.clock, self.stats)
+        self.backing = BackingStore(config.swap_pages)
+        self.processes: dict[int, Process] = {}
+        self._policy: TieringPolicy | None = None
+        # Fig 8/9 instrumentation: promotions per window and whether each
+        # promoted page gets re-accessed from DRAM afterwards.
+        self.stats.make_series("promotions_window", config.stats_window_s)
+        self.stats.make_series("demotions_window", config.stats_window_s)
+        self.stats.make_series("promoted_total_window", config.stats_window_s)
+        self.stats.make_series("promoted_reaccessed_window", config.stats_window_s)
+        self._awaiting_reaccess: dict[int, int] = {}
+        # Fig 9 counts a promotion as "re-accessed" only when the access
+        # lands within one scan interval of the promotion: the paper's
+        # metric is "pages that have been promoted in the last scan, get
+        # re-referenced again from the DRAM" — promptly, not eventually.
+        self._reaccess_horizon_ns = int(config.daemons.kpromoted_interval_s * 1e9)
+        self.migrator.on_promote = self._note_promotion
+
+    # -- wiring -------------------------------------------------------------
+
+    @property
+    def policy(self) -> "TieringPolicy":
+        if self._policy is None:
+            raise RuntimeError("no tiering policy attached yet")
+        return self._policy
+
+    def attach_policy(self, policy: "TieringPolicy") -> None:
+        if self._policy is not None:
+            raise RuntimeError("a policy is already attached")
+        self._policy = policy
+
+    def create_process(self, name: str = "", home_socket: int = 0) -> Process:
+        if home_socket >= self.config.sockets:
+            raise ValueError(
+                f"home_socket {home_socket} but machine has {self.config.sockets} sockets"
+            )
+        process = Process(name, home_socket)
+        self.processes[process.pid] = process
+        return process
+
+    # -- node queries ---------------------------------------------------------
+
+    def nodes_in_tier(self, tier: MemoryTier) -> list[NumaNode]:
+        return [node for node in self.nodes.values() if node.tier is tier]
+
+    def dram_nodes(self) -> list[NumaNode]:
+        return self.nodes_in_tier(MemoryTier.DRAM)
+
+    def pm_nodes(self) -> list[NumaNode]:
+        return self.nodes_in_tier(MemoryTier.PM)
+
+    def tier_of(self, page: Page) -> MemoryTier:
+        return self.nodes[page.node_id].tier
+
+    def used_pages(self) -> int:
+        return sum(node.used_pages for node in self.nodes.values())
+
+    # -- the access path ------------------------------------------------------
+
+    def touch(
+        self, process: Process, vpage: int, *, is_write: bool = False, lines: int = 1
+    ) -> int:
+        """Simulate one memory reference; returns nanoseconds charged.
+
+        Handles, in order: page faults (first touch or refault from the
+        backing store), hint page faults on poisoned PTEs, the hardware
+        accessed/dirty bit update, the tier-dependent access latency
+        (scaled by ``lines``, the cache lines the operation touches in
+        this page), and — for supervised regions — the inline
+        ``mark_page_accessed()`` call of Section III-A.
+        """
+        region = process.region_for(vpage)
+        pte = process.page_table.lookup(vpage)
+        charged = 0
+        if pte is None:
+            pte, fault_ns = self._page_fault(process, region, vpage)
+            charged += fault_ns
+        if pte.poisoned:
+            pte.poisoned = False
+            self.clock.advance_app(self.hardware.hint_fault_ns())
+            charged += self.hardware.hint_fault_ns()
+            self.stats.inc("faults.hint")
+            self.policy.on_hint_fault(pte)
+        pte.touch(is_write)
+        page = pte.page
+        if is_write:
+            page.set(PageFlags.DIRTY)
+        access_ns = self.policy.charge_access(page, is_write, lines)
+        if self.nodes[page.node_id].socket != process.home_socket:
+            access_ns = int(access_ns * self.config.latency.remote_socket_multiplier)
+            self.stats.inc("accesses.remote")
+        self.clock.advance_app(access_ns)
+        charged += access_ns
+        self.stats.inc("accesses.total")
+        if self.tier_of(page) is MemoryTier.DRAM:
+            self.stats.inc("accesses.dram")
+        else:
+            self.stats.inc("accesses.pm")
+        if region.supervised:
+            self.policy.mark_page_accessed(page)
+        self._note_reaccess(page)
+        self.policy.on_access(pte, is_write)
+        return charged
+
+    def _note_promotion(self, page: Page) -> None:
+        """Record a promotion and start watching for its first re-access."""
+        self.stats.record("promoted_total_window", self.clock.now_ns)
+        self._awaiting_reaccess[page.pfn] = self.clock.now_ns
+
+    def _note_reaccess(self, page: Page) -> None:
+        """First access after a promotion counts toward Fig 9's numerator,
+        but only if it arrives within the re-access horizon."""
+        promoted_at = self._awaiting_reaccess.pop(page.pfn, None)
+        if promoted_at is None:
+            return
+        if self.clock.now_ns - promoted_at <= self._reaccess_horizon_ns:
+            self.stats.inc("promoted.reaccessed")
+            self.stats.record("promoted_reaccessed_window", promoted_at)
+
+    def _page_fault(
+        self, process: Process, region: MemoryRegion, vpage: int
+    ) -> tuple[PageTableEntry, int]:
+        """Populate a missing translation: first touch or major refault."""
+        latency = self.hardware.latency
+        charged = 0
+        swapped = region.is_anon and self.backing.is_swapped(process.pid, vpage)
+        if swapped:
+            self.backing.swap_in(process.pid, vpage)
+            self.clock.advance_app(latency.swap_in_ns)
+            charged += latency.swap_in_ns
+            self.stats.inc("faults.major")
+        else:
+            self.clock.advance_app(latency.minor_fault_ns)
+            charged += latency.minor_fault_ns
+            self.stats.inc("faults.minor")
+        page = self._allocate_page(region, process.home_socket)
+        pte = process.page_table.map(vpage, page)
+        if region.mlocked:
+            page.set(PageFlags.UNEVICTABLE)
+        self.policy.on_page_allocated(page)
+        return pte, charged
+
+    def _allocate_page(self, region: MemoryRegion, home_socket: int = 0) -> Page:
+        """Allocate with fallback; direct-reclaim through the policy on failure."""
+        try:
+            result = self.allocator.allocate(
+                is_anon=region.is_anon, born_ns=self.clock.now_ns,
+                home_socket=home_socket,
+            )
+        except MemoryError:
+            self.stats.inc("alloc.direct_reclaim")
+            freed = self.policy.direct_reclaim()
+            if freed <= 0:
+                self.stats.inc("oom.kills")
+                raise OutOfMemoryError(
+                    "allocation failed and reclaim freed nothing"
+                ) from None
+            result = self.allocator.allocate(
+                is_anon=region.is_anon, born_ns=self.clock.now_ns,
+                home_socket=home_socket,
+            )
+        if result.fell_back:
+            self.stats.inc("alloc.fallback_pm")
+        if result.pressured_nodes:
+            self.policy.on_memory_pressure(result.pressured_nodes)
+        self.stats.inc("alloc.pages")
+        return result.page
+
+    def discard_region(self, process: Process, region: MemoryRegion) -> int:
+        """Free every resident page of a region (munmap / MADV_FREE).
+
+        Anonymous pages are dropped without touching swap — their
+        contents die with the mapping, as when an application frees a
+        buffer.  Returns the number of pages freed.
+        """
+        freed = 0
+        for vpage in range(region.start_vpage, region.end_vpage):
+            pte = process.page_table.lookup(vpage)
+            if pte is None:
+                if region.is_anon and self.backing.is_swapped(process.pid, vpage):
+                    self.backing.swap_in(process.pid, vpage)  # slot released
+                continue
+            page = pte.page
+            process.page_table.unmap(vpage)
+            if page.mapped:
+                continue  # shared file page still mapped elsewhere
+            if page.lru is not None:
+                page.lru.remove(page)
+            page.clear(PageFlags.UNEVICTABLE)
+            self.nodes[page.node_id].release_frame(page)
+            freed += 1
+        self.stats.inc("mm.region_discards")
+        self.stats.inc("mm.pages_discarded", freed)
+        return freed
+
+    # -- eviction to the backing store ---------------------------------------
+
+    def unmap_and_evict(self, page: Page) -> int:
+        """Push a lowest-tier page out to block storage; returns ns charged.
+
+        Anonymous mappings go to swap; file pages are written back (if
+        dirty) or dropped.  All PTEs are removed so the next access
+        refaults.  Raises MemoryError if the swap area is full (the OOM
+        precondition).
+        """
+        if page.test(PageFlags.UNEVICTABLE):
+            raise ValueError("unevictable pages cannot be evicted")
+        latency = self.hardware.latency
+        charged = 0
+        if page.is_anon:
+            # Reserve swap space up front so a full swap fails the whole
+            # eviction atomically — never leaving a half-unmapped page
+            # whose contents would be silently dropped.
+            needed = len(page.rmap)
+            if self.backing.swapped_pages + needed > self.backing.swap_capacity_pages:
+                raise MemoryError("swap space exhausted")
+        for pte in list(page.rmap):
+            process = self.processes[pte.process_id]
+            process.page_table.unmap(pte.vpage)
+            if page.is_anon:
+                self.backing.swap_out(pte.process_id, pte.vpage)
+        if page.is_anon or page.test(PageFlags.DIRTY):
+            self.clock.advance_system(latency.swap_out_ns)
+            charged += latency.swap_out_ns
+        if not page.is_anon:
+            self.backing.writeback_file()
+        if page.lru is not None:
+            page.lru.remove(page)
+        self.nodes[page.node_id].release_frame(page)
+        self.stats.inc("reclaim.evictions")
+        return charged

@@ -1,0 +1,224 @@
+"""Generic CLOCK scan machinery — the simulator's ``mm/vmscan.c``.
+
+MULTI-CLOCK "determines the relative importance of pages within and
+across tiers by running a modified version of Linux's Page Frame
+Reclamation Algorithm (PFRA) ... to each memory tier separately"
+(Section III).  This module implements the *unmodified* PFRA pieces that
+both MULTI-CLOCK and the baselines share:
+
+* ``mark_page_accessed`` — the supervised-access inline state update;
+* ``shrink_active_list``-style deactivation with the √(10·n):1
+  active:inactive ratio cap;
+* ``shrink_inactive_list``-style reclaim scanning, with demotion to a
+  lower tier or eviction to the backing store.
+
+The one MULTI-CLOCK-specific transition (active-referenced page accessed
+again → promote list, edge 10 of Figure 4) is injected as the
+``on_second_reference`` hook so this code stays policy-neutral.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.mm.flags import PageFlags
+from repro.mm.lruvec import ListKind
+from repro.mm.numa import NumaNode
+from repro.mm.page import Page
+from repro.mm.system import MemorySystem
+from repro.sim.config import PAGE_SIZE
+
+__all__ = [
+    "active_ratio_threshold",
+    "mark_page_accessed",
+    "deactivate_excess_active",
+    "shrink_inactive_list",
+    "ScanResult",
+]
+
+from dataclasses import dataclass
+
+SecondReferenceHook = Callable[[NumaNode, Page], None]
+
+_GIB = 1 << 30
+
+
+def active_ratio_threshold(node: NumaNode, cap: float | None = None) -> float:
+    """The PFRA active:inactive ratio limit for one node.
+
+    Section III-C: "typically sqrt(10*n):1, where n is the amount of
+    memory in GB available in the tier".  Clamped to at least 1 so tiny
+    simulated tiers still keep an inactive list.
+    """
+    if cap is not None:
+        return cap
+    gib = node.capacity_pages * PAGE_SIZE / _GIB
+    return max(1.0, math.sqrt(10.0 * gib))
+
+
+@dataclass
+class ScanResult:
+    """What one list scan did, for cost accounting and stats."""
+
+    scanned: int = 0
+    activated: int = 0
+    deactivated: int = 0
+    referenced: int = 0
+    to_promote_list: int = 0
+    demoted: int = 0
+    evicted: int = 0
+    system_ns: int = 0
+
+    def merge(self, other: "ScanResult") -> "ScanResult":
+        for field_name in self.__dataclass_fields__:
+            setattr(self, field_name, getattr(self, field_name) + getattr(other, field_name))
+        return self
+
+
+def mark_page_accessed(
+    system: MemorySystem,
+    page: Page,
+    on_second_reference: SecondReferenceHook | None = None,
+) -> None:
+    """Supervised-access state update (Linux ``mark_page_accessed()``).
+
+    Walks the Figure-4 edges that fire inline on a system-call access:
+    inactive-unreferenced → inactive-referenced (2), inactive-referenced →
+    active (6), active-unreferenced → active-referenced (7/8), and — when
+    the MULTI-CLOCK hook is supplied — active-referenced → promote (10).
+    Pages already on a promote list stay there (12).
+    """
+    lst = page.lru
+    if lst is None or page.test(PageFlags.UNEVICTABLE):
+        return
+    node = system.nodes[page.node_id]
+    if lst.kind is ListKind.PROMOTE:
+        page.set(PageFlags.REFERENCED)
+        return
+    if lst.kind is ListKind.INACTIVE:
+        if page.test(PageFlags.REFERENCED):
+            _activate(node, page)
+        else:
+            page.set(PageFlags.REFERENCED)
+        return
+    if lst.kind is ListKind.ACTIVE:
+        if page.test(PageFlags.REFERENCED) and on_second_reference is not None:
+            on_second_reference(node, page)
+        else:
+            page.set(PageFlags.REFERENCED)
+
+
+def deactivate_excess_active(
+    system: MemorySystem,
+    node: NumaNode,
+    is_anon: bool,
+    budget: int,
+    on_second_reference: SecondReferenceHook | None = None,
+    ratio_cap: float | None = None,
+    force: bool = False,
+) -> ScanResult:
+    """Rebalance one active list (the ``shrink_active_list`` analogue).
+
+    Runs only while the active:inactive ratio exceeds the PFRA threshold
+    (or unconditionally with ``force=True``, the under-pressure case).
+    Scanning from the tail: unreferenced pages are deactivated (edge 9);
+    referenced-once pages get their flag and a second chance; pages
+    referenced *again* go to the promote list via the hook (edge 10) or,
+    without a hook, rotate to the head (vanilla CLOCK).
+    """
+    result = ScanResult()
+    lruvec = node.lruvec
+    active = lruvec.list_for(ListKind.ACTIVE, is_anon)
+    threshold = active_ratio_threshold(node, ratio_cap)
+    for page in active.iter_from_tail():
+        if result.scanned >= budget:
+            break
+        if not force and lruvec.active_inactive_ratio(is_anon) <= threshold:
+            break
+        result.scanned += 1
+        accessed = page.harvest_accessed()
+        if accessed and page.test(PageFlags.REFERENCED):
+            if on_second_reference is not None:
+                on_second_reference(node, page)
+                result.to_promote_list += 1
+            else:
+                active.rotate_to_head(page)
+                result.referenced += 1
+        elif accessed:
+            page.set(PageFlags.REFERENCED)
+            active.rotate_to_head(page)
+            result.referenced += 1
+        elif page.test(PageFlags.REFERENCED):
+            # CLOCK second chance: found idle once, drop the flag and let
+            # the hand come around again before deactivating (edge 9 is
+            # "not accessed for a long time", i.e. idle on two scans).
+            page.clear(PageFlags.REFERENCED)
+            active.rotate_to_head(page)
+        else:
+            page.clear(PageFlags.ACTIVE)
+            active.remove(page)
+            lruvec.list_for(ListKind.INACTIVE, is_anon).add_head(page)
+            result.deactivated += 1
+    result.system_ns = system.hardware.scan_ns(result.scanned)
+    return result
+
+
+def shrink_inactive_list(
+    system: MemorySystem,
+    node: NumaNode,
+    is_anon: bool,
+    target_free: int,
+    budget: int,
+    demote_dest: NumaNode | None,
+) -> ScanResult:
+    """Reclaim from one inactive list (the ``shrink_inactive_list`` analogue).
+
+    Unreferenced tail pages are demoted to ``demote_dest`` when given
+    (edge 3), or evicted to the backing store at the lowest tier (edge 4).
+    Referenced pages climb the recency ladder instead (edges 1 and 6).
+    Stops after freeing ``target_free`` pages or scanning ``budget``.
+    """
+    result = ScanResult()
+    lruvec = node.lruvec
+    inactive = lruvec.list_for(ListKind.INACTIVE, is_anon)
+    for page in inactive.iter_from_tail():
+        if result.scanned >= budget or (result.demoted + result.evicted) >= target_free:
+            break
+        result.scanned += 1
+        if page.test(PageFlags.LOCKED) or page.test(PageFlags.UNEVICTABLE):
+            continue
+        accessed = page.harvest_accessed()
+        if accessed and page.test(PageFlags.REFERENCED):
+            _activate(node, page)
+            result.activated += 1
+            continue
+        if accessed:
+            page.set(PageFlags.REFERENCED)
+            inactive.rotate_to_head(page)
+            result.referenced += 1
+            continue
+        if demote_dest is not None and demote_dest.can_allocate():
+            outcome = system.migrator.migrate(page, demote_dest)
+            if outcome.ok:
+                page.clear(PageFlags.REFERENCED)
+                demote_dest.lruvec.list_for(ListKind.INACTIVE, is_anon).add_head(page)
+                result.demoted += 1
+                continue
+        if node.tier.next_lower() is None or demote_dest is None:
+            try:
+                result.system_ns += system.unmap_and_evict(page)
+            except MemoryError:
+                break  # swap full: give up, OOM is the caller's problem
+            result.evicted += 1
+    result.system_ns += system.hardware.scan_ns(result.scanned)
+    return result
+
+
+def _activate(node: NumaNode, page: Page) -> None:
+    """Move a page to its active list head (edge 6)."""
+    if page.lru is not None:
+        page.lru.remove(page)
+    page.clear(PageFlags.REFERENCED)
+    page.set(PageFlags.ACTIVE)
+    node.lruvec.list_for(ListKind.ACTIVE, page.is_anon).add_head(page)

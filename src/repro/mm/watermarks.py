@@ -1,0 +1,80 @@
+"""Per-tier watermark levels.
+
+Section III-C: "a tier is marked under memory pressure proactively when it
+reaches specific watermark levels.  These levels are calculated by the
+system according to the amount of memory in the tier vs. the total amount
+of memory in the system."  We follow the kernel's min/low/high ladder:
+
+* free < ``min``  — direct-reclaim territory: allocations must reclaim.
+* free < ``low``  — kswapd (and demotion) wake up.
+* free > ``high`` — pressure is over, kswapd goes back to sleep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Watermarks", "PressureLevel", "compute_watermarks"]
+
+import enum
+
+
+class PressureLevel(enum.IntEnum):
+    """How much memory pressure a node is under, ordered by severity."""
+
+    NONE = 0
+    LOW = 1
+    MIN = 2
+
+
+@dataclass(frozen=True)
+class Watermarks:
+    """The min/low/high free-page thresholds for one node."""
+
+    min_pages: int
+    low_pages: int
+    high_pages: int
+
+    def __post_init__(self) -> None:
+        if not (0 < self.min_pages <= self.low_pages <= self.high_pages):
+            raise ValueError(
+                f"watermarks must satisfy 0 < min <= low <= high, got "
+                f"{self.min_pages}/{self.low_pages}/{self.high_pages}"
+            )
+
+    def pressure(self, free_pages: int) -> PressureLevel:
+        """Classify the current free-page count."""
+        if free_pages < self.min_pages:
+            return PressureLevel.MIN
+        if free_pages < self.low_pages:
+            return PressureLevel.LOW
+        return PressureLevel.NONE
+
+    def below_high(self, free_pages: int) -> bool:
+        """True while kswapd should keep reclaiming."""
+        return free_pages < self.high_pages
+
+    def reclaim_target(self, free_pages: int) -> int:
+        """Pages to free to climb back above the high watermark."""
+        return max(0, self.high_pages - free_pages)
+
+
+def compute_watermarks(node_pages: int, total_pages: int) -> Watermarks:
+    """Derive watermarks from node size relative to the whole machine.
+
+    The ladder scales with the node's share of total memory so that small
+    DRAM tiers in front of large PM tiers keep proportionally more
+    headroom — that headroom is what promotions land in.
+    """
+    if node_pages <= 0 or total_pages <= 0:
+        raise ValueError("node and total page counts must be positive")
+    share = node_pages / total_pages
+    # Base fraction ~1.5%, boosted up to ~2x for minority (small) nodes.
+    # The floor is kept tiny so small simulated nodes are not forced to
+    # hold a disproportionate free reserve (on real machines the reserve
+    # is a rounding error relative to node size).
+    fraction = 0.015 * (2.0 - min(1.0, share * 2))
+    min_pages = max(2, int(node_pages * fraction))
+    low_pages = min_pages + max(1, min_pages // 2)
+    high_pages = min_pages * 2
+    return Watermarks(min_pages, low_pages, max(high_pages, low_pages))

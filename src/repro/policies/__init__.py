@@ -1,0 +1,35 @@
+"""Tiering policies: MULTI-CLOCK's comparison baselines.
+
+Importing this package registers every baseline in the policy registry;
+the MULTI-CLOCK policy itself lives in :mod:`repro.core` and registers on
+import as well.
+"""
+
+from repro.policies.base import (
+    PolicyFeatures,
+    TieringPolicy,
+    create_policy,
+    policy_names,
+    register_policy,
+)
+
+__all__ = [
+    "PolicyFeatures",
+    "TieringPolicy",
+    "create_policy",
+    "policy_names",
+    "register_policy",
+]
+
+
+def _register_builtin_policies() -> None:
+    """Import modules for their registration side effect."""
+    from repro import core as _core  # noqa: F401
+    from repro.policies import autonuma as _autonuma  # noqa: F401
+    from repro.policies import autotiering as _autotiering  # noqa: F401
+    from repro.policies import memory_mode as _memory_mode  # noqa: F401
+    from repro.policies import nimble as _nimble  # noqa: F401
+    from repro.policies import static as _static  # noqa: F401
+
+
+_register_builtin_policies()

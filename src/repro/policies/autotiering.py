@@ -1,0 +1,241 @@
+"""AutoTiering-CPM and AutoTiering-OPM baselines.
+
+AutoTiering builds on AutoNUMA's *hint page fault* tracking: a scanner
+periodically poisons page-table entries so the next access traps into the
+kernel, which records the access and considers migrating the page
+(Section II-D).  The paper evaluates two variants:
+
+* **CPM** (conservative promotion-migration): on a hint fault against a
+  PM-resident page, migrate it to the best (DRAM) node *only if that node
+  has free space* — no demotion, so once DRAM fills the workload keeps
+  paying fault costs with no placement benefit.
+* **OPM** (opportunistic promotion-migration): additionally "maintains an
+  n-bit vector for each page to determine the page coldness" and demotes
+  all-cold DRAM pages, both proactively under pressure and on demand to
+  make room for promotions.
+
+Both charge the hint-fault latency on every tripped access — the "costly
+software page fault-based page access tracking" the paper blames for
+AutoTiering's losses — plus scanner time for poisoning PTEs.
+"""
+
+from __future__ import annotations
+
+from repro.mm.flags import PageFlags
+from repro.mm.hardware import MemoryTier
+from repro.mm.lruvec import ListKind
+from repro.mm.numa import NumaNode
+from repro.mm.page import Page
+from repro.mm.page_table import PageTableEntry
+from repro.mm.system import MemorySystem
+from repro.mm.watermarks import PressureLevel
+from repro.policies import movement
+from repro.policies.base import PolicyFeatures, TieringPolicy, register_policy
+from repro.sim.events import Daemon
+
+__all__ = ["HintFaultScanner", "AutoTieringCPM", "AutoTieringOPM", "HISTORY_BITS"]
+
+HISTORY_BITS = 4
+"""Width of OPM's per-page access-history vector."""
+
+_HISTORY_MASK = (1 << HISTORY_BITS) - 1
+
+
+class HintFaultScanner:
+    """Round-robin PTE poisoner shared by the hint-fault policies.
+
+    Each pass walks the resident pages of every process in vpage order,
+    poisoning up to the configured budget of PTEs per wakeup.  When OPM's
+    history tracking is enabled, poisoning a page also shifts its n-bit
+    history vector (a zero shifts in; the hint fault handler ORs in a 1).
+    """
+
+    def __init__(self, system: MemorySystem, *, track_history: bool) -> None:
+        self.system = system
+        self.track_history = track_history
+        self._cursors: dict[int, int] = {}
+        self._snapshots: dict[int, list[int]] = {}
+
+    def run(self, now_ns: int) -> int:
+        budget = self.system.config.daemons.hint_scan_budget_pages
+        poisoned = 0
+        for process in self.system.processes.values():
+            if poisoned >= budget:
+                break
+            poisoned += self._scan_process(process.pid, budget - poisoned)
+        self.system.stats.inc("hint.poisoned", poisoned)
+        # Poisoning a live PTE costs a TLB shootdown per page.
+        return poisoned * self.system.hardware.latency.poison_page_ns
+
+    def _scan_process(self, pid: int, budget: int) -> int:
+        process = self.system.processes[pid]
+        snapshot = self._snapshots.get(pid)
+        cursor = self._cursors.get(pid, 0)
+        if snapshot is None or cursor >= len(snapshot):
+            snapshot = sorted(vpage for vpage in self._resident_vpages(pid))
+            self._snapshots[pid] = snapshot
+            cursor = 0
+        poisoned = 0
+        while cursor < len(snapshot) and poisoned < budget:
+            pte = process.page_table.lookup(snapshot[cursor])
+            cursor += 1
+            if pte is None:
+                continue
+            pte.poisoned = True
+            if self.track_history:
+                self._shift_history(pte.page)
+            poisoned += 1
+        self._cursors[pid] = cursor
+        return poisoned
+
+    def _resident_vpages(self, pid: int) -> list[int]:
+        return [pte.vpage for pte in self.system.processes[pid].page_table.entries()]
+
+    @staticmethod
+    def _shift_history(page: Page) -> None:
+        history = page.policy_data or 0
+        page.policy_data = (history << 1) & _HISTORY_MASK
+
+
+class _HintFaultPolicy(TieringPolicy):
+    """Common mechanics of the hint-fault family."""
+
+    make_room_on_promote = False
+    track_history = False
+
+    def __init__(self, system: MemorySystem) -> None:
+        super().__init__(system)
+        self._scanner = HintFaultScanner(system, track_history=self.track_history)
+
+    def daemons(self) -> list[Daemon]:
+        cfg = self.system.config.daemons
+        return [Daemon("hint-scanner", cfg.hint_scan_interval_s, self._scanner.run)]
+
+    def on_hint_fault(self, pte: PageTableEntry) -> None:
+        """Recency signal: the poisoned page was just accessed."""
+        page = pte.page
+        if self.track_history:
+            page.policy_data = (page.policy_data or 0) | 1
+        self.system.stats.inc("hint.faults")
+        if self.system.tier_of(page) is MemoryTier.PM:
+            if self._try_promote(page):
+                self.system.stats.inc("hint.promotions")
+
+    def _try_promote(self, page: Page) -> bool:
+        return movement.promote_page(
+            self.system, page, make_room=self.make_room_on_promote
+        )
+
+
+@register_policy("autotiering-cpm")
+class AutoTieringCPM(_HintFaultPolicy):
+    """Conservative: promote on fault only into free DRAM space."""
+
+    features = PolicyFeatures(
+        tiering="AutoTiering (CPM)",
+        page_access_tracking="Software Page Fault",
+        selection_promotion="Recency",
+        selection_demotion="N/A",
+        numa_aware="Yes",
+        space_overhead="Yes",
+        generality="All",
+        evaluation="PM",
+        usability_limitation="Config. NUMA Paths",
+        key_insight="Migrate pages to the best NUMA node",
+    )
+
+    make_room_on_promote = False
+    track_history = False
+
+
+@register_policy("autotiering-opm")
+class AutoTieringOPM(_HintFaultPolicy):
+    """Opportunistic: n-bit history demotion keeps room for promotions."""
+
+    features = PolicyFeatures(
+        tiering="AutoTiering (OPM)",
+        page_access_tracking="Software Page Fault",
+        selection_promotion="Recency",
+        selection_demotion="Frequency",
+        numa_aware="Yes",
+        space_overhead="Yes",
+        generality="All",
+        evaluation="PM",
+        usability_limitation="Config. NUMA Paths",
+        key_insight="Maintain N-bit history for demotion",
+    )
+
+    make_room_on_promote = False
+    track_history = True
+
+    def daemons(self) -> list[Daemon]:
+        cfg = self.system.config.daemons
+        demoters = [
+            Daemon(
+                f"opm-demote/{node.node_id}",
+                cfg.kswapd_interval_s,
+                self._make_demoter(node),
+            )
+            for node in self.system.dram_nodes()
+        ]
+        return super().daemons() + demoters
+
+    _DEMAND_SCAN_BUDGET = 32
+    """Pages examined when a single fault needs room; kept small because
+    this cost lands synchronously on the faulting access."""
+
+    def _try_promote(self, page: Page) -> bool:
+        if movement.promote_page(self.system, page, make_room=False):
+            return True
+        dest = movement.promotion_destination(self.system, page)
+        if dest is None:
+            return False
+        demoted, scanned = self._demote_cold(dest, target=1, budget=self._DEMAND_SCAN_BUDGET)
+        if scanned:
+            self.system.clock.advance_system(self.system.hardware.scan_ns(scanned))
+        if demoted == 0:
+            return False
+        return movement.promote_page(self.system, page, make_room=False)
+
+    def _make_demoter(self, node: NumaNode):
+        def run(now_ns: int) -> int:
+            if node.pressure() is PressureLevel.NONE:
+                return 0
+            target = node.watermarks.reclaim_target(node.free_pages)
+            budget = self.system.config.daemons.scan_budget_pages
+            __, scanned = self._demote_cold(node, target, budget=budget)
+            return self.system.hardware.scan_ns(scanned)
+
+        return run
+
+    def _demote_cold(self, node: NumaNode, target: int, budget: int) -> tuple[int, int]:
+        """Demote DRAM pages whose n-bit history is all zeros.
+
+        Returns ``(demoted, scanned)``; the caller charges the scan time,
+        keeping demand-path and daemon-path accounting separate.
+        """
+        dest = movement.demotion_destination(self.system, node)
+        if dest is None:
+            return 0, 0
+        demoted = 0
+        scanned = 0
+        for kind in (ListKind.INACTIVE, ListKind.ACTIVE):
+            for is_anon in (True, False):
+                lst = node.lruvec.list_for(kind, is_anon)
+                for page in lst.iter_from_tail():
+                    if demoted >= target or scanned >= budget:
+                        break
+                    scanned += 1
+                    if (page.policy_data or 0) != 0:
+                        continue
+                    if page.test(PageFlags.LOCKED) or page.test(PageFlags.UNEVICTABLE):
+                        continue
+                    if not dest.can_allocate():
+                        break
+                    if self.system.migrator.migrate(page, dest).ok:
+                        page.clear(PageFlags.REFERENCED)
+                        page.clear(PageFlags.ACTIVE)
+                        dest.lruvec.list_of(page, ListKind.INACTIVE).add_head(page)
+                        demoted += 1
+        self.system.stats.inc("opm.cold_demotions", demoted)
+        return demoted, scanned

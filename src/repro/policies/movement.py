@@ -1,0 +1,149 @@
+"""Shared tier-movement helpers used by MULTI-CLOCK and the baselines.
+
+Every dynamic policy in the evaluation ultimately promotes pages into the
+roomiest DRAM node and, when DRAM is full, must decide whether to make
+room by demand-demoting cold DRAM pages first.  These helpers implement
+that mechanism once; the *selection* of which pages deserve to move is
+what differentiates the policies.
+"""
+
+from __future__ import annotations
+
+from repro.mm.flags import PageFlags
+from repro.mm.hardware import MemoryTier
+from repro.mm.lruvec import ListKind
+from repro.mm.numa import NumaNode
+from repro.mm.page import Page
+from repro.mm.system import MemorySystem
+from repro.mm.vmscan import shrink_inactive_list
+
+__all__ = [
+    "roomiest",
+    "promotion_destination",
+    "demotion_destination",
+    "promote_page",
+    "demand_demote",
+]
+
+
+def roomiest(nodes: list[NumaNode]) -> NumaNode | None:
+    """The node with the most free frames, or None for an empty list."""
+    return max(nodes, key=lambda n: n.free_pages, default=None)
+
+
+def owner_socket(system: MemorySystem, page: Page) -> int | None:
+    """The home socket of the process mapping ``page`` (first mapping)."""
+    for pte in page.rmap:
+        process = system.processes.get(pte.process_id)
+        if process is not None:
+            return process.home_socket
+    return None
+
+
+def promotion_destination(
+    system: MemorySystem, page: Page | None = None
+) -> NumaNode | None:
+    """Where promotions land: a DRAM node, preferring the owner's socket.
+
+    NUMA awareness (Table I): promoting a page across the interconnect
+    would trade PM latency for remote-DRAM latency, so the owner's local
+    DRAM node wins whenever it exists; among equals, most free frames.
+    """
+    candidates = system.dram_nodes()
+    if not candidates:
+        return None
+    socket = owner_socket(system, page) if page is not None else None
+    if socket is not None:
+        local = [node for node in candidates if node.socket == socket]
+        remote = [node for node in candidates if node.socket != socket]
+        with_room = [node for node in local if node.can_allocate()]
+        if with_room:
+            return roomiest(with_room)
+        if local:
+            # Local exists but is full: demand demotion happens there
+            # rather than spilling the hot page to a remote socket.
+            return roomiest(local)
+        candidates = remote
+    return roomiest(candidates)
+
+
+def demotion_destination(system: MemorySystem, node: NumaNode) -> NumaNode | None:
+    """Where ``node`` demotes to: one tier down, same socket first."""
+    lower = node.tier.next_lower()
+    if lower is None:
+        return None
+    candidates = system.nodes_in_tier(lower)
+    local = [n for n in candidates if n.socket == node.socket and n.can_allocate()]
+    if local:
+        return roomiest(local)
+    return roomiest(candidates)
+
+
+def promote_page(
+    system: MemorySystem,
+    page: Page,
+    *,
+    make_room: bool = True,
+    place: ListKind = ListKind.ACTIVE,
+) -> bool:
+    """Migrate ``page`` up to DRAM, optionally demand-demoting for room.
+
+    ``make_room=False`` is the *conservative* mode (AutoTiering-CPM,
+    which "migrate[s] pages to the best NUMA node" only when space
+    exists); ``make_room=True`` reproduces Section III-C's "promotions
+    from the lower tier result in immediate page demotions".
+    """
+    if system.tier_of(page) is MemoryTier.DRAM:
+        return False
+    dest = promotion_destination(system, page)
+    if dest is None:
+        return False
+    if not dest.can_allocate():
+        if not make_room or not demand_demote(system, dest, pages=1):
+            return False
+    outcome = system.migrator.migrate(page, dest)
+    if not outcome.ok:
+        return False
+    page.clear(PageFlags.PROMOTE)
+    page.clear(PageFlags.REFERENCED)
+    if place is ListKind.ACTIVE:
+        page.set(PageFlags.ACTIVE)
+    else:
+        page.clear(PageFlags.ACTIVE)
+    dest.lruvec.list_of(page, place).add_head(page)
+    return True
+
+
+def demand_demote(system: MemorySystem, dram_node: NumaNode, pages: int) -> bool:
+    """Free ``pages`` frames on ``dram_node`` by demoting cold pages down.
+
+    First asks the PFRA scan for unreferenced inactive-tail pages; if the
+    scan finds none (everything recently touched), forces the inactive
+    tail out anyway so promotions cannot deadlock against a full tier.
+    """
+    dest = demotion_destination(system, dram_node)
+    if dest is None or not dest.can_allocate():
+        return False
+    freed = 0
+    for is_anon in (True, False):
+        if freed >= pages:
+            break
+        result = shrink_inactive_list(
+            system, dram_node, is_anon,
+            target_free=pages - freed, budget=64, demote_dest=dest,
+        )
+        freed += result.demoted + result.evicted
+    if freed >= pages:
+        return True
+    for is_anon in (True, False):
+        inactive = dram_node.lruvec.list_for(ListKind.INACTIVE, is_anon)
+        for page in inactive.iter_from_tail():
+            if freed >= pages:
+                return True
+            if page.test(PageFlags.LOCKED) or page.test(PageFlags.UNEVICTABLE):
+                continue
+            if system.migrator.migrate(page, dest).ok:
+                page.clear(PageFlags.REFERENCED)
+                dest.lruvec.list_of(page, ListKind.INACTIVE).add_head(page)
+                freed += 1
+    return freed >= pages

@@ -1,0 +1,32 @@
+"""Static tiering — the paper's normalization baseline.
+
+"A memory page, once mapped to a tier, may not get reassigned to a
+different tier during its lifetime" (Section II-D).  Pages are born in
+DRAM while it lasts, fall back to PM afterwards, and never migrate.  The
+only reclaim is the ordinary swap path when *all* memory is exhausted,
+inherited from the base class.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import PolicyFeatures, TieringPolicy, register_policy
+
+__all__ = ["StaticTieringPolicy"]
+
+
+@register_policy("static")
+class StaticTieringPolicy(TieringPolicy):
+    """No page movement between tiers, ever."""
+
+    features = PolicyFeatures(
+        tiering="Static-Tiering",
+        page_access_tracking="N/A",
+        selection_promotion="N/A",
+        selection_demotion="N/A",
+        numa_aware="Yes",
+        space_overhead="N/A",
+        generality="All",
+        evaluation="PM",
+        usability_limitation="None",
+        key_insight="Straight forward",
+    )

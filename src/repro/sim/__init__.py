@@ -1,0 +1,35 @@
+"""Discrete virtual-time simulation substrate.
+
+Provides the clock, daemon scheduler, deterministic RNG streams,
+statistics sinks and the configuration object shared by every other
+subsystem of the reproduction.
+"""
+
+from repro.sim.config import PAGE_SIZE, DaemonConfig, LatencyConfig, SimulationConfig
+from repro.sim.events import Daemon, DaemonScheduler
+from repro.sim.rng import derive_seed, make_rng
+from repro.sim.stats import StatsBook, WindowedSeries, WindowPoint
+from repro.sim.vclock import (
+    NANOS_PER_MICRO,
+    NANOS_PER_MILLI,
+    NANOS_PER_SECOND,
+    VirtualClock,
+)
+
+__all__ = [
+    "PAGE_SIZE",
+    "DaemonConfig",
+    "LatencyConfig",
+    "SimulationConfig",
+    "Daemon",
+    "DaemonScheduler",
+    "derive_seed",
+    "make_rng",
+    "StatsBook",
+    "WindowedSeries",
+    "WindowPoint",
+    "VirtualClock",
+    "NANOS_PER_MICRO",
+    "NANOS_PER_MILLI",
+    "NANOS_PER_SECOND",
+]

@@ -1,0 +1,108 @@
+"""Counters and windowed time series.
+
+The paper's per-window figures (Fig. 8: pages promoted per 20-second
+window; Fig. 9: re-access percentage of recently promoted pages per
+window) need event streams bucketed by virtual time.  :class:`StatsBook`
+is the single sink the simulator writes into: plain monotonic counters
+for totals plus :class:`WindowedSeries` for anything reported over time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.sim.vclock import NANOS_PER_SECOND
+
+__all__ = ["StatsBook", "WindowedSeries", "WindowPoint"]
+
+
+@dataclass(frozen=True)
+class WindowPoint:
+    """One bucket of a windowed series."""
+
+    window_id: int
+    value: float
+
+    @property
+    def start_seconds(self) -> float:
+        """Window start is meaningful only relative to the series width."""
+        return float(self.window_id)
+
+
+class WindowedSeries:
+    """Accumulates ``(time, value)`` events into fixed-width windows.
+
+    Windows are indexed by ``time_ns // window_ns``; empty windows between
+    observed ones are materialised as zero so plots have a continuous axis.
+    """
+
+    def __init__(self, window_seconds: float) -> None:
+        if window_seconds <= 0:
+            raise ValueError(f"window width must be positive, got {window_seconds}")
+        self.window_ns = int(window_seconds * NANOS_PER_SECOND)
+        self._sums: dict[int, float] = defaultdict(float)
+        self._counts: dict[int, int] = defaultdict(int)
+
+    def record(self, time_ns: int, value: float = 1.0) -> None:
+        """Add ``value`` to the window containing ``time_ns``."""
+        window_id = time_ns // self.window_ns
+        self._sums[window_id] += value
+        self._counts[window_id] += 1
+
+    def totals(self) -> list[WindowPoint]:
+        """Sum of values per window, dense from window 0 to the last."""
+        return self._dense(self._sums)
+
+    def means(self) -> list[WindowPoint]:
+        """Mean value per window (zero for empty windows)."""
+        means = {
+            wid: self._sums[wid] / self._counts[wid]
+            for wid in self._sums
+            if self._counts[wid]
+        }
+        return self._dense(means)
+
+    def _dense(self, sparse: dict[int, float]) -> list[WindowPoint]:
+        if not sparse:
+            return []
+        last = max(sparse)
+        return [WindowPoint(wid, sparse.get(wid, 0.0)) for wid in range(last + 1)]
+
+    def __len__(self) -> int:
+        return len(self._sums)
+
+
+class StatsBook:
+    """Central statistics sink for a simulation run.
+
+    Counters are created lazily on first increment, so callers never need
+    to pre-register names.  Windowed series must be created explicitly
+    because they need a window width.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = defaultdict(int)
+        self.series: dict[str, WindowedSeries] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] += amount
+
+    def get(self, name: str) -> int:
+        """Read counter ``name`` (zero if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def make_series(self, name: str, window_seconds: float) -> WindowedSeries:
+        """Create (or return the existing) windowed series called ``name``."""
+        if name not in self.series:
+            self.series[name] = WindowedSeries(window_seconds)
+        return self.series[name]
+
+    def record(self, name: str, time_ns: int, value: float = 1.0) -> None:
+        """Record into an existing series; raises KeyError if absent."""
+        self.series[name].record(time_ns, value)
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of all counters."""
+        return dict(self.counters)

@@ -1,0 +1,5 @@
+"""Workload substrate: every benchmark driver used in the evaluation."""
+
+from repro.workloads.base import PageAccess, Workload
+
+__all__ = ["PageAccess", "Workload"]

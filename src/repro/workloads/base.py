@@ -1,0 +1,56 @@
+"""Workload interface: anything that drives memory accesses.
+
+A workload declares its processes and regions against a machine in
+:meth:`Workload.setup`, then yields a stream of page references.  The
+runner in :mod:`repro.run` feeds them to the machine, pumps the daemon
+scheduler, and measures virtual time.  Workloads count *operations*
+(requests, graph iterations) separately from raw page touches so
+throughput matches what the paper reports (ops/sec for YCSB, time per
+trial for GAPBS).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.machine import Machine
+from repro.mm.address_space import Process
+
+__all__ = ["PageAccess", "Workload"]
+
+
+@dataclass(frozen=True)
+class PageAccess:
+    """One page reference emitted by a workload.
+
+    ``lines`` is how many cache lines the operation touches within the
+    page (a 1 KiB value read is ~16 lines); the access latency scales
+    with it, which is what makes tier placement dominate operation cost
+    the way it does on the paper's real machines.
+    """
+
+    process: Process
+    vpage: int
+    is_write: bool = False
+    op_boundary: bool = False
+    lines: int = 1
+
+
+class Workload(abc.ABC):
+    """Base class for every benchmark driver."""
+
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def setup(self, machine: Machine) -> None:
+        """Create processes and map regions; called once before the stream."""
+
+    @abc.abstractmethod
+    def accesses(self) -> Iterator[PageAccess]:
+        """The access stream.  ``setup`` has been called already."""
+
+    def footprint_pages(self) -> int:
+        """Approximate resident-set target, for configuring machines."""
+        return 0

@@ -1,0 +1,75 @@
+"""Betweenness Centrality (GAPBS ``bc``).
+
+Brandes' algorithm from a sample of source vertices: a forward BFS
+accumulating shortest-path counts, then a reverse dependency pass.  BC
+touches every property array twice per edge, making it the most
+property-intensive kernel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.sim.rng import make_rng
+from repro.workloads.base import PageAccess
+from repro.workloads.gapbs.base import GraphKernelWorkload
+from repro.workloads.gapbs.graph import Graph
+
+__all__ = ["BetweennessCentralityWorkload"]
+
+
+class BetweennessCentralityWorkload(GraphKernelWorkload):
+    kernel = "bc"
+
+    def __init__(
+        self, graph: Graph, *, trials: int = 1, seed: int = 1, n_sources: int = 2
+    ) -> None:
+        super().__init__(graph, trials=trials, seed=seed)
+        if n_sources <= 0:
+            raise ValueError("n_sources must be positive")
+        self.n_sources = n_sources
+
+    def n_property_arrays(self) -> int:
+        return 4  # depth, sigma, delta, centrality
+
+    def run_trial(self, trial: int) -> Iterator[PageAccess]:
+        graph = self.graph
+        rng = make_rng(self.seed, f"bc-src-{trial}")
+        for source in rng.integers(0, graph.n, size=self.n_sources).tolist():
+            yield from self._brandes(int(source))
+
+    def _brandes(self, source: int) -> Iterator[PageAccess]:
+        graph = self.graph
+        depth = {source: 0}
+        sigma = {source: 1.0}
+        order: list[int] = []
+        queue = deque([source])
+        yield from self.touch_prop(source, array_id=0, is_write=True)
+        yield from self.touch_prop(source, array_id=1, is_write=True)
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            yield from self.touch_offsets(u)
+            yield from self.touch_neighbors(u)
+            for v in graph.neigh(u).tolist():
+                yield from self.touch_prop(v, array_id=0)
+                if v not in depth:
+                    depth[v] = depth[u] + 1
+                    sigma[v] = 0.0
+                    queue.append(v)
+                    yield from self.touch_prop(v, array_id=0, is_write=True)
+                if depth[v] == depth[u] + 1:
+                    sigma[v] += sigma[u]
+                    yield from self.touch_prop(v, array_id=1, is_write=True)
+        delta = {u: 0.0 for u in order}
+        for u in reversed(order):
+            yield from self.touch_offsets(u)
+            yield from self.touch_neighbors(u)
+            for v in graph.neigh(u).tolist():
+                if v in depth and depth[v] == depth[u] + 1 and sigma[v] > 0:
+                    delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v])
+                    yield from self.touch_prop(v, array_id=2)
+            yield from self.touch_prop(u, array_id=2, is_write=True)
+            if u != source:
+                yield from self.touch_prop(u, array_id=3, is_write=True)

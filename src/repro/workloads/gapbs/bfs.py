@@ -1,0 +1,42 @@
+"""Breadth-First Search (GAPBS ``bfs``).
+
+Top-down BFS computing a parent array.  Each trial starts from a
+different sampled source, as the GAPBS harness does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.rng import make_rng
+from repro.workloads.base import PageAccess
+from repro.workloads.gapbs.base import GraphKernelWorkload
+
+__all__ = ["BFSWorkload"]
+
+
+class BFSWorkload(GraphKernelWorkload):
+    kernel = "bfs"
+
+    def n_property_arrays(self) -> int:
+        return 1  # parent
+
+    def run_trial(self, trial: int) -> Iterator[PageAccess]:
+        graph = self.graph
+        rng = make_rng(self.seed, f"bfs-src-{trial}")
+        source = int(rng.integers(0, graph.n))
+        parent = {source: source}
+        yield from self.touch_prop(source, is_write=True)
+        frontier = [source]
+        while frontier:
+            next_frontier = []
+            for u in frontier:
+                yield from self.touch_offsets(u)
+                yield from self.touch_neighbors(u)
+                for v in graph.neigh(u).tolist():
+                    yield from self.touch_prop(v)
+                    if v not in parent:
+                        parent[v] = u
+                        yield from self.touch_prop(v, is_write=True)
+                        next_frontier.append(v)
+            frontier = next_frontier

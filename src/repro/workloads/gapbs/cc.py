@@ -1,0 +1,54 @@
+"""Connected Components (GAPBS ``cc``).
+
+Label propagation: every vertex repeatedly adopts the smallest component
+id among its neighbors until a fixed point.  The per-round full-graph
+sweep is the most sequential access pattern of the six kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.base import PageAccess
+from repro.workloads.gapbs.base import GraphKernelWorkload
+from repro.workloads.gapbs.graph import Graph
+
+__all__ = ["ConnectedComponentsWorkload"]
+
+
+class ConnectedComponentsWorkload(GraphKernelWorkload):
+    kernel = "cc"
+
+    def __init__(
+        self, graph: Graph, *, trials: int = 1, seed: int = 1, max_rounds: int = 12
+    ) -> None:
+        super().__init__(graph, trials=trials, seed=seed)
+        if max_rounds <= 0:
+            raise ValueError("max_rounds must be positive")
+        self.max_rounds = max_rounds
+        self.final_components: list[int] | None = None
+
+    def n_property_arrays(self) -> int:
+        return 1  # component id
+
+    def run_trial(self, trial: int) -> Iterator[PageAccess]:
+        graph = self.graph
+        comp = list(range(graph.n))
+        for __round in range(self.max_rounds):
+            changed = False
+            for u in range(graph.n):
+                yield from self.touch_offsets(u)
+                yield from self.touch_prop(u)
+                best = comp[u]
+                yield from self.touch_neighbors(u)
+                for v in graph.neigh(u).tolist():
+                    yield from self.touch_prop(v)
+                    if comp[v] < best:
+                        best = comp[v]
+                if best < comp[u]:
+                    comp[u] = best
+                    yield from self.touch_prop(u, is_write=True)
+                    changed = True
+            if not changed:
+                break
+        self.final_components = comp

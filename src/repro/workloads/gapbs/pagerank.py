@@ -1,0 +1,56 @@
+"""PageRank (GAPBS ``pr``).
+
+Push-style power iteration: each vertex streams its neighbor range and
+scatters contributions into the next-rank array.  The sequential
+offset/neighbor scans plus the scattered property writes give PR its
+characteristic mixed locality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.base import PageAccess
+from repro.workloads.gapbs.base import GraphKernelWorkload
+from repro.workloads.gapbs.graph import Graph
+
+__all__ = ["PageRankWorkload"]
+
+DAMPING = 0.85
+
+
+class PageRankWorkload(GraphKernelWorkload):
+    kernel = "pr"
+
+    def __init__(
+        self, graph: Graph, *, trials: int = 1, seed: int = 1, iterations: int = 3
+    ) -> None:
+        super().__init__(graph, trials=trials, seed=seed)
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        self.iterations = iterations
+        self.final_ranks: list[float] | None = None
+
+    def n_property_arrays(self) -> int:
+        return 2  # rank, next_rank
+
+    def run_trial(self, trial: int) -> Iterator[PageAccess]:
+        graph = self.graph
+        n = graph.n
+        rank = [1.0 / n] * n
+        base = (1.0 - DAMPING) / n
+        for __iteration in range(self.iterations):
+            next_rank = [base] * n
+            for u in range(n):
+                yield from self.touch_prop(u, array_id=0)
+                yield from self.touch_offsets(u)
+                degree = graph.degree(u)
+                if degree == 0:
+                    continue
+                share = DAMPING * rank[u] / degree
+                yield from self.touch_neighbors(u)
+                for v in graph.neigh(u).tolist():
+                    next_rank[v] += share
+                    yield from self.touch_prop(v, array_id=1, is_write=True)
+            rank = next_rank
+        self.final_ranks = rank

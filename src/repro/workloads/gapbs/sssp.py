@@ -1,0 +1,61 @@
+"""Single-Source Shortest Paths (GAPBS ``sssp``).
+
+Dijkstra with a binary heap over integer edge weights (GAPBS uses
+delta-stepping for parallelism; the sequential access pattern — scan a
+settled vertex's neighbor and weight ranges, then scattered distance
+relaxations — is the same, which is what the tiering policies see).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+from repro.workloads.base import PageAccess
+from repro.workloads.gapbs.base import GraphKernelWorkload
+from repro.workloads.gapbs.graph import Graph
+
+__all__ = ["SSSPWorkload"]
+
+
+class SSSPWorkload(GraphKernelWorkload):
+    kernel = "sssp"
+
+    def __init__(self, graph: Graph, *, trials: int = 1, seed: int = 1) -> None:
+        super().__init__(graph, trials=trials, seed=seed)
+        rng = make_rng(seed, "sssp-weights")
+        self.weights = rng.integers(1, 256, size=graph.m_directed, dtype=np.int32)
+
+    def n_property_arrays(self) -> int:
+        return 1  # dist
+
+    def uses_weights(self) -> bool:
+        return True
+
+    def run_trial(self, trial: int) -> Iterator[PageAccess]:
+        graph = self.graph
+        rng = make_rng(self.seed, f"sssp-src-{trial}")
+        source = int(rng.integers(0, graph.n))
+        dist = {source: 0}
+        yield from self.touch_prop(source, is_write=True)
+        heap = [(0, source)]
+        settled = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            yield from self.touch_offsets(u)
+            yield from self.touch_neighbors(u)
+            yield from self.touch_weights(u)
+            lo = int(graph.offsets[u])
+            for k, v in enumerate(graph.neigh(u).tolist()):
+                nd = d + int(self.weights[lo + k])
+                yield from self.touch_prop(v)
+                if v not in dist or nd < dist[v]:
+                    dist[v] = nd
+                    yield from self.touch_prop(v, is_write=True)
+                    heapq.heappush(heap, (nd, v))

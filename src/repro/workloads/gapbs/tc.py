@@ -1,0 +1,49 @@
+"""Triangle Counting (GAPBS ``tc``).
+
+Merge-based counting: for every ordered edge (u, v) with u < v, intersect
+the two sorted adjacency lists.  TC re-reads neighbor ranges constantly,
+so its working set is dominated by the CSR edge array.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.workloads.base import PageAccess
+from repro.workloads.gapbs.base import GraphKernelWorkload
+from repro.workloads.gapbs.graph import Graph
+
+__all__ = ["TriangleCountWorkload"]
+
+
+class TriangleCountWorkload(GraphKernelWorkload):
+    kernel = "tc"
+
+    def __init__(self, graph: Graph, *, trials: int = 1, seed: int = 1) -> None:
+        super().__init__(graph, trials=trials, seed=seed)
+        self.triangles: int | None = None
+
+    def n_property_arrays(self) -> int:
+        return 1  # per-vertex counts
+
+    def run_trial(self, trial: int) -> Iterator[PageAccess]:
+        graph = self.graph
+        total = 0
+        for u in range(graph.n):
+            yield from self.touch_offsets(u)
+            neigh_u = graph.neigh(u)
+            higher = neigh_u[neigh_u > u]
+            if len(higher) == 0:
+                continue
+            yield from self.touch_neighbors(u)
+            for v in higher.tolist():
+                yield from self.touch_offsets(v)
+                yield from self.touch_neighbors(v)
+                neigh_v = graph.neigh(v)
+                # Both lists are sorted; count common neighbors above v.
+                common = np.intersect1d(higher, neigh_v[neigh_v > v], assume_unique=False)
+                total += len(common)
+            yield from self.touch_prop(u, is_write=True)
+        self.triangles = total

@@ -1,0 +1,77 @@
+"""Multi-tenant workloads: several applications sharing one machine.
+
+MULTI-CLOCK "is entirely transparent and backward compatible with any
+existing application" (Abstract) — nothing in the design is per-process.
+This combinator interleaves the access streams of several child
+workloads round-robin, each with its own process (optionally pinned to a
+socket on multi-socket machines), so tests and experiments can check
+that tiering decisions hold up under co-located tenants competing for
+the DRAM tier.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.machine import Machine
+from repro.workloads.base import PageAccess, Workload
+
+__all__ = ["MultiTenantWorkload"]
+
+
+class MultiTenantWorkload(Workload):
+    """Round-robin interleaving of several child workloads."""
+
+    def __init__(
+        self,
+        tenants: Sequence[Workload],
+        *,
+        home_sockets: Sequence[int] | None = None,
+        batch: int = 16,
+    ) -> None:
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        if home_sockets is not None and len(home_sockets) != len(tenants):
+            raise ValueError("home_sockets must match tenants one-to-one")
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        self.tenants = list(tenants)
+        self.home_sockets = list(home_sockets) if home_sockets else None
+        self.batch = batch
+        self.name = "multitenant[" + "+".join(t.name for t in tenants) + "]"
+
+    def setup(self, machine: Machine) -> None:
+        for i, tenant in enumerate(self.tenants):
+            tenant.setup(machine)
+            if self.home_sockets is not None:
+                process = getattr(tenant, "process", None)
+                if process is None:
+                    raise ValueError(
+                        f"tenant {tenant.name} exposes no process to pin"
+                    )
+                process.home_socket = self.home_sockets[i]
+
+    def footprint_pages(self) -> int:
+        return sum(tenant.footprint_pages() for tenant in self.tenants)
+
+    def accesses(self) -> Iterator[PageAccess]:
+        """Interleave tenants in batches until every stream is drained.
+
+        Batched round-robin mimics scheduler timeslices: each tenant runs
+        a short burst, so their access patterns interleave at a realistic
+        granularity rather than per-single-access.
+        """
+        streams = [tenant.accesses() for tenant in self.tenants]
+        live = list(range(len(streams)))
+        while live:
+            finished = []
+            for index in live:
+                stream = streams[index]
+                for __ in range(self.batch):
+                    access = next(stream, None)
+                    if access is None:
+                        finished.append(index)
+                        break
+                    yield access
+            for index in finished:
+                live.remove(index)

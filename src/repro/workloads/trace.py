@@ -1,0 +1,143 @@
+"""Access-trace recording and replay.
+
+The reproduction is trace driven at heart, so traces are first-class: any
+workload can be recorded while it runs (:class:`TraceRecorder`) and the
+resulting file replayed later (:class:`TraceReplayWorkload`) against any
+policy or configuration.  This is how one captures an expensive workload
+once (a long GAPBS kernel, a full YCSB sequence) and sweeps policies over
+it cheaply — and how external traces can be brought into the simulator.
+
+File format: a one-line JSON header describing the processes and their
+regions, then one line per access::
+
+    {"version": 1, "processes": [{"name": ..., "home_socket": 0,
+                                  "regions": [[start, n, is_anon, supervised], ...]}]}
+    <process_index> <vpage> <w|r> <lines> <o|->
+
+The format is line oriented and append friendly; gzip-compress large
+traces externally if needed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.machine import Machine
+from repro.mm.address_space import MemoryRegion, Process
+from repro.workloads.base import PageAccess, Workload
+
+__all__ = ["TraceRecorder", "TraceReplayWorkload", "TRACE_VERSION"]
+
+TRACE_VERSION = 1
+
+
+def _region_spec(region: MemoryRegion) -> list:
+    return [region.start_vpage, region.n_pages, region.is_anon, region.supervised]
+
+
+class TraceRecorder(Workload):
+    """Tees an inner workload's access stream into a trace file."""
+
+    def __init__(self, inner: Workload, path: str | Path) -> None:
+        self.inner = inner
+        self.path = Path(path)
+        self.name = f"record[{inner.name}]"
+        self._processes: list[Process] = []
+        self._machine: Machine | None = None
+
+    def setup(self, machine: Machine) -> None:
+        before = set(machine.system.processes)
+        self.inner.setup(machine)
+        created = [
+            machine.system.processes[pid]
+            for pid in machine.system.processes
+            if pid not in before
+        ]
+        self._processes = sorted(created, key=lambda p: p.pid)
+        self._machine = machine
+
+    def footprint_pages(self) -> int:
+        return self.inner.footprint_pages()
+
+    def accesses(self) -> Iterator[PageAccess]:
+        index_of = {process.pid: i for i, process in enumerate(self._processes)}
+        header = {
+            "version": TRACE_VERSION,
+            "workload": self.inner.name,
+            "processes": [
+                {
+                    "name": process.name,
+                    "home_socket": process.home_socket,
+                    "regions": [_region_spec(r) for r in process.regions],
+                }
+                for process in self._processes
+            ],
+        }
+        with self.path.open("w") as fh:
+            fh.write(json.dumps(header) + "\n")
+            for access in self.inner.accesses():
+                index = index_of.get(access.process.pid)
+                if index is None:
+                    raise RuntimeError(
+                        f"access to unregistered process pid={access.process.pid}"
+                    )
+                fh.write(
+                    f"{index} {access.vpage} {'w' if access.is_write else 'r'} "
+                    f"{access.lines} {'o' if access.op_boundary else '-'}\n"
+                )
+                yield access
+
+
+class TraceReplayWorkload(Workload):
+    """Replays a recorded trace file as a workload."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        with self.path.open() as fh:
+            self.header = json.loads(fh.readline())
+        if self.header.get("version") != TRACE_VERSION:
+            raise ValueError(
+                f"unsupported trace version {self.header.get('version')!r}"
+            )
+        self.name = f"replay[{self.header.get('workload', self.path.name)}]"
+        self._processes: list[Process] = []
+
+    def setup(self, machine: Machine) -> None:
+        self._processes = []
+        for spec in self.header["processes"]:
+            process = machine.create_process(
+                spec["name"], home_socket=spec.get("home_socket", 0)
+            )
+            for start, n_pages, is_anon, supervised in spec["regions"]:
+                process.mmap(
+                    MemoryRegion(start, n_pages, is_anon=is_anon, supervised=supervised)
+                )
+            self._processes.append(process)
+
+    def footprint_pages(self) -> int:
+        return sum(
+            n_pages
+            for spec in self.header["processes"]
+            for __, n_pages, __a, __s in spec["regions"]
+        )
+
+    def accesses(self) -> Iterator[PageAccess]:
+        with self.path.open() as fh:
+            fh.readline()  # header
+            for line_no, line in enumerate(fh, start=2):
+                yield self._parse(line, line_no)
+
+    def _parse(self, line: str, line_no: int) -> PageAccess:
+        try:
+            index, vpage, rw, lines, boundary = line.split()
+            return PageAccess(
+                self._processes[int(index)],
+                int(vpage),
+                is_write=(rw == "w"),
+                lines=int(lines),
+                op_boundary=(boundary == "o"),
+            )
+        except (ValueError, IndexError) as exc:
+            raise ValueError(f"{self.path}:{line_no}: malformed trace line") from exc

@@ -1,0 +1,69 @@
+"""Unit tests for CSV export."""
+
+import csv
+
+import pytest
+
+from repro.analysis.compare import PolicyComparison
+from repro.analysis.export import write_comparisons_csv, write_rows_csv, write_series_csv
+from repro.sim.stats import WindowPoint
+
+
+def comparison(workload="A"):
+    return PolicyComparison(
+        workload, "throughput", "static", {"static": 1.0, "multiclock": 1.5}
+    )
+
+
+def read(path):
+    with open(path, newline="") as fh:
+        return list(csv.reader(fh))
+
+
+def test_comparisons_csv_layout(tmp_path):
+    path = write_comparisons_csv({"A": comparison("A"), "B": comparison("B")},
+                                 tmp_path / "fig5.csv")
+    rows = read(path)
+    assert rows[0] == ["workload", "metric", "baseline", "multiclock", "static"]
+    assert rows[1][0] == "A"
+    assert float(rows[1][3]) == pytest.approx(1.5)
+    assert len(rows) == 3
+
+
+def test_comparisons_csv_empty_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        write_comparisons_csv({}, tmp_path / "x.csv")
+
+
+def test_series_csv_pads_ragged_series(tmp_path):
+    series = {
+        "multiclock": [WindowPoint(0, 1.0), WindowPoint(1, 2.0)],
+        "nimble": [WindowPoint(0, 3.0)],
+    }
+    path = write_series_csv(series, tmp_path / "fig8.csv")
+    rows = read(path)
+    assert rows[0] == ["window", "multiclock", "nimble"]
+    assert rows[1] == ["0", "1.000000", "3.000000"]
+    assert rows[2] == ["1", "2.000000", ""]
+
+
+def test_rows_csv_roundtrip(tmp_path):
+    path = write_rows_csv(["a", "b"], [[1, 2], [3, 4]], tmp_path / "t.csv")
+    assert read(path) == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+def test_rows_csv_width_mismatch_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        write_rows_csv(["a"], [[1, 2]], tmp_path / "t.csv")
+
+
+def test_export_real_experiment_output(tmp_path):
+    from repro.experiments.fig5_ycsb import run_fig5
+
+    comparisons = run_fig5(
+        n_records=300, ops_per_phase=300,
+        policies=("static", "multiclock"), phases=("A",),
+    )
+    path = write_comparisons_csv(comparisons, tmp_path / "fig5.csv")
+    rows = read(path)
+    assert rows[1][0] == "A"

@@ -1,0 +1,60 @@
+"""Unit tests for the Fig 1 heatmap analysis."""
+
+import numpy as np
+
+from repro.analysis.heatmap import Heatmap, build_heatmap
+from repro.workloads.motivation import MotivationWorkload
+
+
+def make_workload(profile="rubis"):
+    return MotivationWorkload(profile, pages=400, segments=8, ops_per_segment=3000)
+
+
+def test_build_heatmap_shape():
+    heatmap = build_heatmap(make_workload(), n_sampled=30)
+    assert heatmap.counts.shape == (30, 8)
+    assert len(heatmap.sampled_pages) == 30
+    assert (np.diff(heatmap.sampled_pages) > 0).all()  # ascending ids
+
+
+def test_sampling_capped_at_population():
+    workload = MotivationWorkload("rubis", pages=20, segments=2, ops_per_segment=100)
+    heatmap = build_heatmap(workload, n_sampled=50)
+    assert len(heatmap.sampled_pages) == 20
+
+
+def test_all_three_classes_observed():
+    """The paper's core observation: DRAM-friendly, Tier-friendly and
+    rare pages all appear among the sampled rows."""
+    heatmap = build_heatmap(make_workload(), n_sampled=50)
+    counts = heatmap.class_counts()
+    assert counts["dram_friendly"] > 0
+    assert counts["tier_friendly"] > 0
+    assert counts["rare"] > 0
+
+
+def test_row_class_pure_cases():
+    counts = np.array(
+        [
+            [10, 11, 9, 10],  # steady hot
+            [0, 25, 0, 0],  # bursty
+            [0, 1, 0, 0],  # rare
+        ]
+    )
+    heatmap = Heatmap("synthetic", np.array([1, 2, 3]), counts)
+    assert heatmap.row_class(0) == "dram_friendly"
+    assert heatmap.row_class(1) == "tier_friendly"
+    assert heatmap.row_class(2) == "rare"
+
+
+def test_render_contains_every_row():
+    heatmap = build_heatmap(make_workload(), n_sampled=10)
+    text = heatmap.render()
+    assert text.count("|") == 20  # two delimiters per row
+    assert "rubis" in text
+
+
+def test_deterministic():
+    a = build_heatmap(make_workload(), n_sampled=25)
+    b = build_heatmap(make_workload(), n_sampled=25)
+    assert np.array_equal(a.counts, b.counts)

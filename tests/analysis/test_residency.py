@@ -1,0 +1,82 @@
+"""Unit tests for the tier-residency probe."""
+
+import pytest
+
+from repro.analysis.residency import ResidencyProbe
+from repro.machine import Machine
+from repro.sim.config import DaemonConfig, SimulationConfig
+
+CONFIG = SimulationConfig(
+    dram_pages=(64,),
+    pm_pages=(256,),
+    daemons=DaemonConfig(kpromoted_interval_s=0.001, kswapd_interval_s=0.001),
+)
+
+
+def run_with_probe(policy="multiclock", footprint=200, rounds=30):
+    machine = Machine(CONFIG, policy)
+    process = machine.create_process()
+    process.mmap_anon(0, 512)
+    probe = ResidencyProbe(machine, process, interval_s=0.0005)
+    for __ in range(rounds):
+        for vpage in range(footprint):
+            machine.touch(process, vpage, lines=8)
+    return machine, process, probe
+
+
+def test_probe_collects_samples():
+    __, __p, probe = run_with_probe()
+    assert len(probe.samples) > 3
+    assert probe.final() is not None
+
+
+def test_samples_account_for_all_resident_pages():
+    machine, process, probe = run_with_probe()
+    sample = probe.final()
+    assert sample.resident == len(process.page_table)
+    assert sample.dram_pages <= machine.system.nodes[0].capacity_pages
+
+
+def test_dram_fraction_bounded():
+    __, __p, probe = run_with_probe()
+    for sample in probe.samples:
+        assert 0.0 <= sample.dram_fraction <= 1.0
+    assert probe.peak_dram_fraction() <= 1.0
+
+
+def test_probe_sees_swap_under_thrash():
+    __, __p, probe = run_with_probe(footprint=400, rounds=4)
+    assert any(s.swapped_pages > 0 for s in probe.samples) or probe.final().swapped_pages >= 0
+
+
+def test_probe_does_not_perturb_timing():
+    """Two identical runs, one probed, must agree on virtual time."""
+    def run(probed):
+        machine = Machine(CONFIG, "multiclock")
+        process = machine.create_process()
+        process.mmap_anon(0, 512)
+        if probed:
+            ResidencyProbe(machine, process, interval_s=0.0005)
+        for __ in range(10):
+            for vpage in range(100):
+                machine.touch(process, vpage)
+        return machine.clock.now_ns
+
+    assert run(True) == run(False)
+
+
+def test_render_mentions_process():
+    __, process, probe = run_with_probe()
+    text = probe.render()
+    assert process.name in text
+    assert "dram=" in text
+
+
+def test_empty_probe_render():
+    machine = Machine(CONFIG, "static")
+    process = machine.create_process()
+    process.mmap_anon(0, 8)
+    probe = ResidencyProbe(machine, process)
+    assert probe.render() == "(no samples)"
+    assert probe.final() is None
+    assert probe.peak_dram_fraction() == 0.0

@@ -1,0 +1,45 @@
+"""Shared fixtures for the MULTI-CLOCK reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import Machine
+from repro.mm.system import MemorySystem
+from repro.sim.config import DaemonConfig, SimulationConfig
+
+
+@pytest.fixture
+def small_config() -> SimulationConfig:
+    """A small two-node machine with fast daemons for quick tests."""
+    return SimulationConfig(
+        dram_pages=(256,),
+        pm_pages=(1024,),
+        daemons=DaemonConfig(
+            kpromoted_interval_s=0.001,
+            kswapd_interval_s=0.001,
+            hint_scan_interval_s=0.001,
+        ),
+    )
+
+
+@pytest.fixture
+def tiny_config() -> SimulationConfig:
+    """The smallest machine used for fine-grained list assertions."""
+    return SimulationConfig(dram_pages=(64,), pm_pages=(256,))
+
+
+def make_machine(config: SimulationConfig, policy: str = "multiclock") -> Machine:
+    return Machine(config, policy)
+
+
+@pytest.fixture
+def machine(small_config: SimulationConfig) -> Machine:
+    return make_machine(small_config)
+
+
+@pytest.fixture
+def bare_system(tiny_config: SimulationConfig) -> MemorySystem:
+    """A memory system with a static policy attached (no daemons)."""
+    machine = Machine(tiny_config, "static")
+    return machine.system

@@ -1,0 +1,128 @@
+"""Unit tests for the adaptive kpromoted interval controller."""
+
+import pytest
+
+from repro.core.adaptive import (
+    BACKOFF,
+    IDLE_WAKEUPS_BEFORE_BACKOFF,
+    SPEEDUP,
+    WARMUP_WAKEUPS,
+)
+from repro.machine import Machine
+from repro.sim.config import DaemonConfig, SimulationConfig
+from repro.sim.vclock import NANOS_PER_SECOND
+
+BASE_S = 0.01
+
+
+@pytest.fixture
+def machine():
+    config = SimulationConfig(
+        dram_pages=(64,),
+        pm_pages=(512,),
+        daemons=DaemonConfig(kpromoted_interval_s=BASE_S, kswapd_interval_s=BASE_S),
+    )
+    return Machine(config, "multiclock-adaptive")
+
+
+def kpromoted_daemon(machine, node_id):
+    return machine.policy._kpromoted_daemons[f"kpromoted/{node_id}"]
+
+
+def retune(machine, node_id, **signals):
+    defaults = dict(yield_=0, pm_delta=0, total_delta=0, promos_delta=0, reacc_delta=0)
+    defaults.update(signals)
+    daemon = kpromoted_daemon(machine, node_id)
+    machine.policy._retune(daemon, node_id, **defaults)
+    return daemon
+
+
+def skip_warmup(machine, node_id):
+    machine.policy._wakeups_seen[node_id] = WARMUP_WAKEUPS
+
+
+def test_registered_and_wires_daemons(machine):
+    names = {d.name for d in machine.scheduler.daemons}
+    assert "kpromoted/0" in names and "kpromoted/1" in names
+    assert machine.policy.current_intervals_s()["kpromoted/1"] == pytest.approx(BASE_S)
+
+
+def test_warmup_wakeups_do_not_retune(machine):
+    daemon = kpromoted_daemon(machine, 1)
+    before = daemon.interval_ns
+    for __ in range(WARMUP_WAKEUPS):
+        retune(machine, 1, pm_delta=90, total_delta=100, yield_=50)
+    assert daemon.interval_ns == before
+
+
+def test_pm_pressure_with_yield_speeds_up(machine):
+    skip_warmup(machine, 1)
+    daemon = retune(machine, 1, pm_delta=60, total_delta=100, yield_=10)
+    assert daemon.interval_ns == int(BASE_S * NANOS_PER_SECOND * SPEEDUP)
+    assert machine.stats.get("adaptive.speedups") == 1
+
+
+def test_pm_pressure_without_yield_holds(machine):
+    """Scan-resistant traffic: accelerating would only burn CPU."""
+    skip_warmup(machine, 1)
+    daemon = retune(machine, 1, pm_delta=60, total_delta=100, yield_=0)
+    # pm_share is high so this is not "quiet" either: hold.
+    assert daemon.interval_ns == int(BASE_S * NANOS_PER_SECOND)
+
+
+def test_idle_machine_backs_off_after_streak(machine):
+    skip_warmup(machine, 1)
+    daemon = kpromoted_daemon(machine, 1)
+    for __ in range(IDLE_WAKEUPS_BEFORE_BACKOFF):
+        retune(machine, 1, total_delta=0)
+    assert daemon.interval_ns == int(BASE_S * NANOS_PER_SECOND * BACKOFF)
+    assert machine.stats.get("adaptive.backoffs") == 1
+
+
+def test_poor_promotion_quality_forces_backoff(machine):
+    """Low re-access rate means the interval undercut the workload's
+    recurrence time: the filter degraded into one-touch selection."""
+    skip_warmup(machine, 1)
+    daemon = retune(
+        machine, 1,
+        pm_delta=60, total_delta=100, yield_=40, promos_delta=20, reacc_delta=1,
+    )
+    assert daemon.interval_ns == int(BASE_S * NANOS_PER_SECOND * BACKOFF)
+    assert machine.stats.get("adaptive.quality_backoffs") == 1
+
+
+def test_good_quality_allows_speedup(machine):
+    skip_warmup(machine, 1)
+    daemon = retune(
+        machine, 1,
+        pm_delta=60, total_delta=100, yield_=40, promos_delta=20, reacc_delta=15,
+    )
+    assert daemon.interval_ns < int(BASE_S * NANOS_PER_SECOND)
+
+
+def test_interval_respects_bounds(machine):
+    skip_warmup(machine, 1)
+    daemon = kpromoted_daemon(machine, 1)
+    for __ in range(20):
+        retune(machine, 1, pm_delta=90, total_delta=100, yield_=50)
+    assert daemon.interval_ns >= machine.policy._min_interval_ns
+    for __ in range(60):
+        retune(machine, 1, total_delta=0)
+    assert daemon.interval_ns <= machine.policy._max_interval_ns
+
+
+def test_end_to_end_run_adapts(machine):
+    process = machine.create_process()
+    process.mmap_anon(0, 1024)
+    # A hot working set that fits memory but not DRAM: PM traffic is
+    # heavy and promotable, so the controller must react.
+    for round_ in range(150):
+        for vpage in range(400):
+            machine.touch(process, vpage, lines=8)
+    adjustments = (
+        machine.stats.get("adaptive.speedups")
+        + machine.stats.get("adaptive.backoffs")
+        + machine.stats.get("adaptive.quality_backoffs")
+    )
+    assert adjustments > 0
+    assert machine.stats.get("kpromoted.runs") > 0

@@ -1,0 +1,86 @@
+"""Unit tests for processes, VMAs and region lookup."""
+
+import pytest
+
+from repro.mm.address_space import MemoryRegion, Process
+
+
+def test_region_validation():
+    with pytest.raises(ValueError):
+        MemoryRegion(start_vpage=0, n_pages=0)
+    with pytest.raises(ValueError):
+        MemoryRegion(start_vpage=-1, n_pages=5)
+
+
+def test_region_contains():
+    region = MemoryRegion(10, 5)
+    assert region.contains(10)
+    assert region.contains(14)
+    assert not region.contains(15)
+    assert not region.contains(9)
+    assert region.end_vpage == 15
+
+
+def test_processes_get_unique_pids():
+    assert Process().pid != Process().pid
+
+
+def test_region_lookup():
+    process = Process()
+    anon = process.mmap_anon(0, 10)
+    file_region = process.mmap_file(100, 10)
+    assert process.region_for(5) is anon
+    assert process.region_for(105) is file_region
+
+
+def test_unmapped_access_raises():
+    process = Process()
+    process.mmap_anon(0, 10)
+    with pytest.raises(LookupError):
+        process.region_for(50)
+
+
+def test_overlap_rejected():
+    process = Process()
+    process.mmap_anon(0, 10)
+    with pytest.raises(ValueError):
+        process.mmap_anon(5, 10)
+    with pytest.raises(ValueError):
+        process.mmap_anon(0, 1)
+    # Touching at the boundary is fine (half-open ranges).
+    process.mmap_anon(10, 5)
+
+
+def test_overlap_rejected_before_existing():
+    process = Process()
+    process.mmap_anon(10, 10)
+    with pytest.raises(ValueError):
+        process.mmap_anon(5, 6)
+    process.mmap_anon(5, 5)  # exactly adjacent is fine
+
+
+def test_region_kinds():
+    process = Process()
+    assert process.mmap_anon(0, 5).is_anon
+    assert not process.mmap_file(10, 5).is_anon
+
+
+def test_supervised_flag():
+    process = Process()
+    region = process.mmap(MemoryRegion(0, 5, supervised=True))
+    assert region.supervised
+
+
+def test_footprint_counts_all_regions():
+    process = Process()
+    process.mmap_anon(0, 5)
+    process.mmap_file(10, 7)
+    assert process.footprint_pages() == 12
+    assert process.mapped_vpages() == 0  # nothing resident yet
+
+
+def test_many_regions_lookup():
+    process = Process()
+    regions = [process.mmap_anon(i * 100, 10) for i in range(20)]
+    for i, region in enumerate(regions):
+        assert process.region_for(i * 100 + 9) is region

@@ -1,0 +1,94 @@
+"""Unit tests for first-touch allocation with tier fallback."""
+
+import pytest
+
+from repro.mm.alloc import PageAllocator
+from repro.mm.hardware import MemoryTier
+from repro.mm.numa import NumaNode
+
+
+def make_nodes(dram=16, pm=64):
+    total = dram + pm
+    return [
+        NumaNode.create(0, MemoryTier.DRAM, dram, total),
+        NumaNode.create(1, MemoryTier.PM, pm, total),
+    ]
+
+
+def test_allocator_needs_nodes():
+    with pytest.raises(ValueError):
+        PageAllocator([])
+
+
+def test_fallback_order_dram_first():
+    nodes = make_nodes()
+    allocator = PageAllocator([nodes[1], nodes[0]])  # shuffled input
+    order = allocator.fallback_order
+    assert order[0].tier is MemoryTier.DRAM
+    assert order[1].tier is MemoryTier.PM
+
+
+def test_pages_born_in_dram():
+    allocator = PageAllocator(make_nodes())
+    result = allocator.allocate(is_anon=True)
+    assert result.node.tier is MemoryTier.DRAM
+    assert not result.fell_back
+
+
+def test_fallback_to_pm_when_dram_exhausted():
+    nodes = make_nodes(dram=16, pm=64)
+    allocator = PageAllocator(nodes)
+    results = [allocator.allocate(is_anon=True) for __ in range(30)]
+    tiers = [r.node.tier for r in results]
+    assert MemoryTier.DRAM in tiers
+    assert MemoryTier.PM in tiers
+    # Once fallen back, the fell_back flag is reported.
+    assert any(r.fell_back for r in results)
+
+
+def test_fallback_respects_min_watermark_headroom():
+    """DRAM stops taking ordinary allocations at the min watermark."""
+    nodes = make_nodes(dram=100, pm=400)
+    allocator = PageAllocator(nodes)
+    while True:
+        result = allocator.allocate(is_anon=True)
+        if result.fell_back:
+            break
+    dram = nodes[0]
+    assert dram.free_pages <= dram.watermarks.min_pages
+
+
+def test_pressure_signal_reported():
+    nodes = make_nodes(dram=100, pm=400)
+    allocator = PageAllocator(nodes)
+    seen_pressure = False
+    for __ in range(150):
+        result = allocator.allocate(is_anon=True)
+        if 0 in result.pressured_nodes:
+            seen_pressure = True
+            break
+    assert seen_pressure
+
+
+def test_all_full_raises_memory_error():
+    nodes = make_nodes(dram=4, pm=4)
+    allocator = PageAllocator(nodes)
+    for __ in range(8):
+        allocator.allocate(is_anon=True)
+    with pytest.raises(MemoryError):
+        allocator.allocate(is_anon=True)
+
+
+def test_reserve_walk_uses_pages_below_min():
+    """When every node is into its reserve, allocation still succeeds
+    until frames are truly gone (atomic-allocation behaviour)."""
+    nodes = make_nodes(dram=4, pm=4)
+    allocator = PageAllocator(nodes)
+    got = sum(1 for __ in range(8) if allocator.allocate(is_anon=True))
+    assert got == 8
+
+
+def test_anon_flag_propagates():
+    allocator = PageAllocator(make_nodes())
+    assert allocator.allocate(is_anon=True).page.is_anon
+    assert not allocator.allocate(is_anon=False).page.is_anon

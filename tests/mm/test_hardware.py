@@ -1,0 +1,43 @@
+"""Unit tests for the tier/latency hardware model."""
+
+from repro.mm.hardware import HardwareModel, MemoryTier
+from repro.sim.config import LatencyConfig
+
+
+def test_tier_ordering():
+    assert MemoryTier.DRAM < MemoryTier.PM
+    assert MemoryTier.DRAM.is_top
+    assert MemoryTier.PM.is_bottom
+
+
+def test_tier_neighbours():
+    assert MemoryTier.DRAM.next_lower() is MemoryTier.PM
+    assert MemoryTier.PM.next_lower() is None
+    assert MemoryTier.PM.next_higher() is MemoryTier.DRAM
+    assert MemoryTier.DRAM.next_higher() is None
+
+
+def test_access_latencies_match_config():
+    latency = LatencyConfig(dram_read_ns=10, dram_write_ns=11, pm_read_ns=30, pm_write_ns=12)
+    model = HardwareModel(latency)
+    assert model.access_ns(MemoryTier.DRAM, is_write=False) == 10
+    assert model.access_ns(MemoryTier.DRAM, is_write=True) == 11
+    assert model.access_ns(MemoryTier.PM, is_write=False) == 30
+    assert model.access_ns(MemoryTier.PM, is_write=True) == 12
+
+
+def test_migrate_cost_scales_with_pages():
+    model = HardwareModel(LatencyConfig(page_copy_ns=100))
+    assert model.migrate_ns() == 100
+    assert model.migrate_ns(pages=5) == 500
+
+
+def test_scan_cost_scales_with_pages():
+    model = HardwareModel(LatencyConfig(scan_page_ns=7))
+    assert model.scan_ns(10) == 70
+    assert model.scan_ns(0) == 0
+
+
+def test_hint_fault_cost():
+    model = HardwareModel(LatencyConfig(hint_fault_ns=999))
+    assert model.hint_fault_ns() == 999

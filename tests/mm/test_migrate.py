@@ -1,0 +1,108 @@
+"""Unit tests for the page migration engine."""
+
+from repro.mm.flags import PageFlags
+from repro.mm.hardware import HardwareModel, MemoryTier
+from repro.mm.lruvec import ListKind
+from repro.mm.migrate import MigrationEngine, MigrationOutcome
+from repro.mm.numa import NumaNode
+from repro.sim.config import LatencyConfig
+from repro.sim.stats import StatsBook
+from repro.sim.vclock import VirtualClock
+
+
+def make_engine(dram=8, pm=32):
+    total = dram + pm
+    nodes = {
+        0: NumaNode.create(0, MemoryTier.DRAM, dram, total),
+        1: NumaNode.create(1, MemoryTier.PM, pm, total),
+    }
+    clock = VirtualClock()
+    stats = StatsBook()
+    engine = MigrationEngine(nodes, HardwareModel(LatencyConfig()), clock, stats)
+    return engine, nodes, clock, stats
+
+
+def test_promotion_success():
+    engine, nodes, clock, stats = make_engine()
+    page = nodes[1].allocate_page(is_anon=True)
+    outcome = engine.migrate(page, nodes[0])
+    assert outcome is MigrationOutcome.MIGRATED
+    assert outcome.ok
+    assert page.node_id == 0
+    assert nodes[0].used_pages == 1
+    assert nodes[1].used_pages == 0
+    assert stats.get("migrate.promotions") == 1
+
+
+def test_demotion_counted_separately():
+    engine, nodes, __, stats = make_engine()
+    page = nodes[0].allocate_page(is_anon=True)
+    assert engine.migrate(page, nodes[1]).ok
+    assert stats.get("migrate.demotions") == 1
+    assert stats.get("migrate.promotions") == 0
+
+
+def test_migration_charges_copy_cost():
+    engine, nodes, clock, __ = make_engine()
+    page = nodes[1].allocate_page(is_anon=True)
+    engine.migrate(page, nodes[0])
+    assert clock.system_ns == LatencyConfig().page_copy_ns
+
+
+def test_locked_page_refused():
+    engine, nodes, clock, __ = make_engine()
+    page = nodes[1].allocate_page(is_anon=True)
+    page.set(PageFlags.LOCKED)
+    assert engine.migrate(page, nodes[0]) is MigrationOutcome.PAGE_LOCKED
+    assert page.node_id == 1
+    assert clock.system_ns == 0
+
+
+def test_unevictable_page_refused():
+    engine, nodes, __, __stats = make_engine()
+    page = nodes[1].allocate_page(is_anon=True)
+    page.set(PageFlags.UNEVICTABLE)
+    assert engine.migrate(page, nodes[0]) is MigrationOutcome.PAGE_UNEVICTABLE
+
+
+def test_full_destination_refused():
+    engine, nodes, __, __stats = make_engine(dram=1)
+    nodes[0].allocate_page(is_anon=True)
+    page = nodes[1].allocate_page(is_anon=True)
+    assert engine.migrate(page, nodes[0]) is MigrationOutcome.DEST_FULL
+    assert page.node_id == 1
+
+
+def test_same_node_is_noop():
+    engine, nodes, __, __stats = make_engine()
+    page = nodes[1].allocate_page(is_anon=True)
+    assert engine.migrate(page, nodes[1]) is MigrationOutcome.SAME_NODE
+
+
+def test_migration_detaches_from_lru():
+    engine, nodes, __, __stats = make_engine()
+    page = nodes[1].allocate_page(is_anon=True)
+    nodes[1].lruvec.list_of(page, ListKind.INACTIVE).add_head(page)
+    assert engine.migrate(page, nodes[0]).ok
+    assert page.lru is None
+
+
+def test_promotion_records_timestamp_and_callback():
+    engine, nodes, clock, __ = make_engine()
+    clock.advance_app(12345)
+    promoted = []
+    engine.on_promote = promoted.append
+    page = nodes[1].allocate_page(is_anon=True)
+    engine.migrate(page, nodes[0])
+    assert page.last_promoted_ns >= 12345
+    assert promoted == [page]
+
+
+def test_failed_migration_leaves_page_on_list():
+    engine, nodes, __, __stats = make_engine(dram=1)
+    nodes[0].allocate_page(is_anon=True)
+    page = nodes[1].allocate_page(is_anon=True)
+    lst = nodes[1].lruvec.list_of(page, ListKind.INACTIVE)
+    lst.add_head(page)
+    engine.migrate(page, nodes[0])
+    assert page.lru is lst

@@ -1,0 +1,75 @@
+"""Unit tests for Page flags and reverse-map harvesting."""
+
+from repro.mm.flags import PageFlags
+from repro.mm.page import Page
+from repro.mm.page_table import PageTable
+
+
+def test_pages_get_unique_pfns():
+    assert Page(0).pfn != Page(0).pfn
+
+
+def test_flag_set_clear_test():
+    page = Page(0)
+    assert not page.test(PageFlags.ACTIVE)
+    page.set(PageFlags.ACTIVE)
+    assert page.test(PageFlags.ACTIVE)
+    page.clear(PageFlags.ACTIVE)
+    assert not page.test(PageFlags.ACTIVE)
+
+
+def test_test_and_clear():
+    page = Page(0)
+    page.set(PageFlags.REFERENCED)
+    assert page.test_and_clear(PageFlags.REFERENCED) is True
+    assert page.test_and_clear(PageFlags.REFERENCED) is False
+
+
+def test_flags_are_independent():
+    page = Page(0)
+    page.set(PageFlags.ACTIVE)
+    page.set(PageFlags.DIRTY)
+    page.clear(PageFlags.ACTIVE)
+    assert page.test(PageFlags.DIRTY)
+
+
+def test_harvest_accessed_clears_all_mappings():
+    page = Page(0)
+    pt1 = PageTable(1)
+    pt2 = PageTable(2)
+    pte1 = pt1.map(10, page)
+    pte2 = pt2.map(20, page)
+    pte1.accessed = True
+    pte2.accessed = True
+    assert page.harvest_accessed() is True
+    assert not pte1.accessed and not pte2.accessed
+    assert page.harvest_accessed() is False
+
+
+def test_harvest_accessed_any_mapping_counts():
+    page = Page(0)
+    pt1 = PageTable(1)
+    pt2 = PageTable(2)
+    pt1.map(10, page)
+    pte2 = pt2.map(20, page)
+    pte2.accessed = True
+    assert page.harvest_accessed() is True
+
+
+def test_any_accessed_does_not_clear():
+    page = Page(0)
+    pte = PageTable(1).map(0, page)
+    pte.accessed = True
+    assert page.any_accessed() is True
+    assert pte.accessed is True
+
+
+def test_unmapped_page_is_never_accessed():
+    page = Page(0)
+    assert not page.mapped
+    assert page.harvest_accessed() is False
+
+
+def test_anon_vs_file():
+    assert Page(0, is_anon=True).is_anon
+    assert not Page(0, is_anon=False).is_anon

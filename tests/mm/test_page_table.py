@@ -1,0 +1,78 @@
+"""Unit tests for page tables, PTEs and reverse mappings."""
+
+import pytest
+
+from repro.mm.page import Page
+from repro.mm.page_table import PageTable
+
+
+def test_map_and_lookup():
+    table = PageTable(1)
+    page = Page(0)
+    pte = table.map(5, page)
+    assert table.lookup(5) is pte
+    assert 5 in table
+    assert len(table) == 1
+
+
+def test_lookup_missing_returns_none():
+    table = PageTable(1)
+    assert table.lookup(99) is None
+    assert 99 not in table
+
+
+def test_map_registers_rmap():
+    table = PageTable(1)
+    page = Page(0)
+    pte = table.map(5, page)
+    assert pte in page.rmap
+    assert page.mapped
+
+
+def test_double_map_rejected():
+    table = PageTable(1)
+    table.map(5, Page(0))
+    with pytest.raises(ValueError):
+        table.map(5, Page(0))
+
+
+def test_unmap_detaches_rmap():
+    table = PageTable(1)
+    page = Page(0)
+    table.map(5, page)
+    pte = table.unmap(5)
+    assert pte.page is page
+    assert pte not in page.rmap
+    assert not page.mapped
+    assert table.lookup(5) is None
+
+
+def test_unmap_missing_raises():
+    table = PageTable(1)
+    with pytest.raises(KeyError):
+        table.unmap(5)
+
+
+def test_touch_sets_accessed_and_dirty():
+    pte = PageTable(1).map(0, Page(0))
+    pte.touch(is_write=False)
+    assert pte.accessed and not pte.dirty
+    pte.touch(is_write=True)
+    assert pte.dirty
+
+
+def test_shared_page_multiple_tables():
+    page = Page(0, is_anon=False)
+    t1, t2 = PageTable(1), PageTable(2)
+    t1.map(0, page)
+    t2.map(7, page)
+    assert len(page.rmap) == 2
+    t1.unmap(0)
+    assert len(page.rmap) == 1
+
+
+def test_entries_listing():
+    table = PageTable(1)
+    table.map(1, Page(0))
+    table.map(2, Page(0))
+    assert {pte.vpage for pte in table.entries()} == {1, 2}

@@ -1,0 +1,57 @@
+"""Unit tests for the backing store."""
+
+import pytest
+
+from repro.mm.swap import BackingStore
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        BackingStore(0)
+
+
+def test_swap_out_and_in_roundtrip():
+    store = BackingStore(10)
+    store.swap_out(1, 100)
+    assert store.is_swapped(1, 100)
+    assert store.swapped_pages == 1
+    store.swap_in(1, 100)
+    assert not store.is_swapped(1, 100)
+    assert store.swap_outs == 1
+    assert store.swap_ins == 1
+
+
+def test_double_swap_out_rejected():
+    store = BackingStore(10)
+    store.swap_out(1, 100)
+    with pytest.raises(ValueError):
+        store.swap_out(1, 100)
+
+
+def test_swap_in_missing_rejected():
+    store = BackingStore(10)
+    with pytest.raises(KeyError):
+        store.swap_in(1, 100)
+
+
+def test_swap_full_raises():
+    store = BackingStore(2)
+    store.swap_out(1, 0)
+    store.swap_out(1, 1)
+    assert store.swap_full
+    with pytest.raises(MemoryError):
+        store.swap_out(1, 2)
+
+
+def test_keys_are_per_process():
+    store = BackingStore(10)
+    store.swap_out(1, 100)
+    assert not store.is_swapped(2, 100)
+
+
+def test_file_accounting():
+    store = BackingStore(10)
+    store.writeback_file()
+    store.refault_file()
+    assert store.file_writebacks == 1
+    assert store.file_refaults == 1

@@ -1,0 +1,214 @@
+"""Unit tests for the generic PFRA scan machinery."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.mm.flags import PageFlags
+from repro.mm.lruvec import ListKind
+from repro.mm.vmscan import (
+    active_ratio_threshold,
+    deactivate_excess_active,
+    mark_page_accessed,
+    shrink_inactive_list,
+)
+from repro.sim.config import SimulationConfig
+
+
+@pytest.fixture
+def system():
+    return Machine(SimulationConfig(dram_pages=(64,), pm_pages=(256,)), "static").system
+
+
+def resident_page(system, node, process, vpage, *, kind=ListKind.INACTIVE):
+    """Allocate a page on ``node``, map it, and put it on a list."""
+    page = node.allocate_page(is_anon=True)
+    process.page_table.map(vpage, page)
+    node.lruvec.list_of(page, kind).add_head(page)
+    if kind is ListKind.ACTIVE:
+        page.set(PageFlags.ACTIVE)
+    return page
+
+
+def test_active_ratio_threshold_at_least_one(system):
+    node = system.nodes[0]
+    assert active_ratio_threshold(node) >= 1.0
+
+
+def test_active_ratio_threshold_cap_override(system):
+    node = system.nodes[0]
+    assert active_ratio_threshold(node, cap=3.5) == 3.5
+
+
+def test_mark_accessed_inactive_ladder(system):
+    """Edges 2 then 6: unreferenced -> referenced -> active."""
+    node = system.nodes[0]
+    process = system.create_process()
+    process.mmap_anon(0, 8)
+    page = resident_page(system, node, process, 0)
+    mark_page_accessed(system, page)
+    assert page.test(PageFlags.REFERENCED)
+    assert page.lru.kind is ListKind.INACTIVE
+    mark_page_accessed(system, page)
+    assert page.lru.kind is ListKind.ACTIVE
+    assert page.test(PageFlags.ACTIVE)
+    assert not page.test(PageFlags.REFERENCED)
+
+
+def test_mark_accessed_active_ladder(system):
+    """Edges 7/8: active unreferenced -> active referenced."""
+    node = system.nodes[0]
+    process = system.create_process()
+    process.mmap_anon(0, 8)
+    page = resident_page(system, node, process, 0, kind=ListKind.ACTIVE)
+    mark_page_accessed(system, page)
+    assert page.test(PageFlags.REFERENCED)
+    assert page.lru.kind is ListKind.ACTIVE
+
+
+def test_mark_accessed_second_reference_hook(system):
+    """Edge 10 fires only through the supplied hook."""
+    node = system.nodes[0]
+    process = system.create_process()
+    process.mmap_anon(0, 8)
+    page = resident_page(system, node, process, 0, kind=ListKind.ACTIVE)
+    page.set(PageFlags.REFERENCED)
+    calls = []
+    mark_page_accessed(system, page, on_second_reference=lambda n, p: calls.append((n, p)))
+    assert calls == [(node, page)]
+
+
+def test_mark_accessed_without_hook_keeps_page_active(system):
+    node = system.nodes[0]
+    process = system.create_process()
+    process.mmap_anon(0, 8)
+    page = resident_page(system, node, process, 0, kind=ListKind.ACTIVE)
+    page.set(PageFlags.REFERENCED)
+    mark_page_accessed(system, page)
+    assert page.lru.kind is ListKind.ACTIVE
+
+
+def test_mark_accessed_promote_list_self_loop(system):
+    """Edge 12: promote-list pages stay put on further access."""
+    node = system.nodes[0]
+    process = system.create_process()
+    process.mmap_anon(0, 8)
+    page = resident_page(system, node, process, 0, kind=ListKind.PROMOTE)
+    mark_page_accessed(system, page)
+    assert page.lru.kind is ListKind.PROMOTE
+    assert page.test(PageFlags.REFERENCED)
+
+
+def test_mark_accessed_off_lru_is_noop(system):
+    node = system.nodes[0]
+    page = node.allocate_page(is_anon=True)
+    mark_page_accessed(system, page)  # must not raise
+    assert page.lru is None
+
+
+def test_deactivate_moves_unreferenced_to_inactive(system):
+    node = system.nodes[0]
+    process = system.create_process()
+    process.mmap_anon(0, 16)
+    pages = [resident_page(system, node, process, i, kind=ListKind.ACTIVE) for i in range(4)]
+    result = deactivate_excess_active(system, node, True, budget=16, force=True)
+    assert result.deactivated == 4
+    for page in pages:
+        assert page.lru.kind is ListKind.INACTIVE
+        assert not page.test(PageFlags.ACTIVE)
+
+
+def test_deactivate_gives_accessed_pages_second_chance(system):
+    node = system.nodes[0]
+    process = system.create_process()
+    process.mmap_anon(0, 16)
+    page = resident_page(system, node, process, 0, kind=ListKind.ACTIVE)
+    process.page_table.lookup(0).accessed = True
+    result = deactivate_excess_active(system, node, True, budget=16, force=True)
+    assert result.referenced == 1
+    assert page.lru.kind is ListKind.ACTIVE
+    assert page.test(PageFlags.REFERENCED)
+
+
+def test_deactivate_respects_ratio_without_force(system):
+    node = system.nodes[0]
+    process = system.create_process()
+    process.mmap_anon(0, 64)
+    # 1 active : 10 inactive is far below any threshold -> no work.
+    resident_page(system, node, process, 0, kind=ListKind.ACTIVE)
+    for i in range(1, 11):
+        resident_page(system, node, process, i)
+    result = deactivate_excess_active(system, node, True, budget=64)
+    assert result.scanned == 0
+
+
+def test_deactivate_budget_respected(system):
+    node = system.nodes[0]
+    process = system.create_process()
+    process.mmap_anon(0, 64)
+    for i in range(10):
+        resident_page(system, node, process, i, kind=ListKind.ACTIVE)
+    result = deactivate_excess_active(system, node, True, budget=3, force=True)
+    assert result.scanned == 3
+
+
+def test_shrink_inactive_evicts_at_lowest_tier(system):
+    pm = system.nodes[1]
+    process = system.create_process()
+    process.mmap_anon(0, 16)
+    pages = [resident_page(system, pm, process, i) for i in range(4)]
+    result = shrink_inactive_list(system, pm, True, target_free=2, budget=16, demote_dest=None)
+    assert result.evicted == 2
+    assert system.backing.swapped_pages == 2
+    # Evicted pages are unmapped; survivors remain.
+    resident = sum(1 for page in pages if page.mapped)
+    assert resident == 2
+
+
+def test_shrink_inactive_demotes_when_dest_given(system):
+    dram, pm = system.nodes[0], system.nodes[1]
+    process = system.create_process()
+    process.mmap_anon(0, 16)
+    page = resident_page(system, dram, process, 0)
+    result = shrink_inactive_list(system, dram, True, target_free=1, budget=16, demote_dest=pm)
+    assert result.demoted == 1
+    assert page.node_id == pm.node_id
+    assert page.lru.kind is ListKind.INACTIVE
+    assert page.mapped  # demotion keeps the mapping
+
+
+def test_shrink_inactive_referenced_pages_climb(system):
+    """Edges 1 and 6 fire during reclaim scans too."""
+    pm = system.nodes[1]
+    process = system.create_process()
+    process.mmap_anon(0, 16)
+    page = resident_page(system, pm, process, 0)
+    process.page_table.lookup(0).accessed = True
+    result = shrink_inactive_list(system, pm, True, target_free=1, budget=1, demote_dest=None)
+    assert result.referenced == 1
+    assert page.test(PageFlags.REFERENCED)
+    # Second round with the flag already set: activation.
+    process.page_table.lookup(0).accessed = True
+    result = shrink_inactive_list(system, pm, True, target_free=1, budget=1, demote_dest=None)
+    assert result.activated == 1
+    assert page.lru.kind is ListKind.ACTIVE
+
+
+def test_shrink_inactive_skips_locked(system):
+    pm = system.nodes[1]
+    process = system.create_process()
+    process.mmap_anon(0, 16)
+    page = resident_page(system, pm, process, 0)
+    page.set(PageFlags.LOCKED)
+    result = shrink_inactive_list(system, pm, True, target_free=1, budget=16, demote_dest=None)
+    assert result.evicted == 0
+    assert page.mapped
+
+
+def test_shrink_inactive_stops_at_target(system):
+    pm = system.nodes[1]
+    process = system.create_process()
+    process.mmap_anon(0, 16)
+    for i in range(8):
+        resident_page(system, pm, process, i)
+    result = shrink_inactive_list(system, pm, True, target_free=3, budget=16, demote_dest=None)
+    assert result.evicted == 3

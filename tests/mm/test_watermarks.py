@@ -1,0 +1,56 @@
+"""Unit tests for watermark levels and pressure classification."""
+
+import pytest
+
+from repro.mm.watermarks import PressureLevel, Watermarks, compute_watermarks
+
+
+def test_watermark_ordering_enforced():
+    with pytest.raises(ValueError):
+        Watermarks(min_pages=10, low_pages=5, high_pages=20)
+    with pytest.raises(ValueError):
+        Watermarks(min_pages=0, low_pages=5, high_pages=20)
+
+
+def test_pressure_classification():
+    marks = Watermarks(min_pages=10, low_pages=20, high_pages=30)
+    assert marks.pressure(5) is PressureLevel.MIN
+    assert marks.pressure(10) is PressureLevel.LOW
+    assert marks.pressure(19) is PressureLevel.LOW
+    assert marks.pressure(20) is PressureLevel.NONE
+    assert marks.pressure(100) is PressureLevel.NONE
+
+
+def test_below_high_and_reclaim_target():
+    marks = Watermarks(min_pages=10, low_pages=20, high_pages=30)
+    assert marks.below_high(29)
+    assert not marks.below_high(30)
+    assert marks.reclaim_target(25) == 5
+    assert marks.reclaim_target(35) == 0
+
+
+def test_compute_watermarks_valid_for_any_size():
+    for pages in (16, 100, 4096, 1 << 20):
+        marks = compute_watermarks(pages, pages * 4)
+        assert 0 < marks.min_pages <= marks.low_pages <= marks.high_pages
+        assert marks.high_pages < pages
+
+
+def test_compute_watermarks_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        compute_watermarks(0, 100)
+    with pytest.raises(ValueError):
+        compute_watermarks(100, 0)
+
+
+def test_small_tier_gets_proportionally_more_headroom():
+    """A minority (DRAM) node keeps a larger free fraction than a node
+    holding most of the machine's memory — that headroom receives
+    promotions."""
+    small = compute_watermarks(1000, 10_000)
+    large = compute_watermarks(9000, 10_000)
+    assert small.high_pages / 1000 > large.high_pages / 9000
+
+
+def test_pressure_levels_ordered():
+    assert PressureLevel.NONE < PressureLevel.LOW < PressureLevel.MIN

@@ -1,0 +1,65 @@
+"""Unit tests for the policy registry and shared defaults."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.policies.base import create_policy, policy_names
+from repro.sim.config import SimulationConfig
+
+
+def test_all_evaluated_policies_registered():
+    names = policy_names()
+    for expected in (
+        "multiclock",
+        "static",
+        "nimble",
+        "autotiering-cpm",
+        "autotiering-opm",
+        "autonuma",
+        "memory-mode",
+    ):
+        assert expected in names
+
+
+def test_unknown_policy_raises_with_candidates():
+    machine = Machine(SimulationConfig(dram_pages=(32,), pm_pages=(64,)), "static")
+    with pytest.raises(KeyError) as excinfo:
+        create_policy("no-such-policy", machine.system)
+    assert "multiclock" in str(excinfo.value)
+
+
+def test_every_policy_has_table1_features():
+    from repro.policies.base import _REGISTRY
+
+    for name, cls in _REGISTRY.items():
+        assert cls.features is not None, f"{name} is missing Table I metadata"
+        assert cls.features.tiering
+
+
+def test_policy_name_attribute_matches_registration():
+    machine = Machine(SimulationConfig(dram_pages=(32,), pm_pages=(64,)), "nimble")
+    assert machine.policy.name == "nimble"
+
+
+def test_default_direct_reclaim_frees_pages():
+    config = SimulationConfig(dram_pages=(16,), pm_pages=(16,))
+    machine = Machine(config, "static")
+    process = machine.create_process()
+    process.mmap_anon(0, 64)
+    for vpage in range(40):
+        machine.touch(process, vpage)
+    assert machine.stats.get("oom.kills") == 0
+    assert machine.system.backing.swapped_pages > 0
+
+
+def test_direct_reclaim_escalates_past_referenced_pages():
+    """Even when every page is recently referenced, reclaim makes progress
+    (rising scan priority) instead of OOM-ing with swap space free."""
+    config = SimulationConfig(dram_pages=(8,), pm_pages=(8,))
+    machine = Machine(config, "static")
+    process = machine.create_process()
+    process.mmap_anon(0, 64)
+    for round_ in range(3):
+        for vpage in range(30):
+            machine.touch(process, vpage)
+    assert machine.stats.get("oom.kills") == 0

@@ -1,0 +1,96 @@
+"""Property-based tests for the intrusive LRU lists."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mm.flags import PageFlags
+from repro.mm.lruvec import ListKind, LruList, LruVec
+from repro.mm.page import Page
+
+# An operation is (op_code, page_index).
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["add_head", "add_tail", "remove", "rotate"]),
+              st.integers(min_value=0, max_value=19)),
+    max_size=200,
+)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=200)
+def test_list_count_matches_iteration(ops):
+    """After any op sequence, len() equals both iteration directions and
+    membership bookkeeping is exact."""
+    lst = LruList(ListKind.INACTIVE, True)
+    pages = [Page(0) for __ in range(20)]
+    members = set()
+    for op, idx in ops:
+        page = pages[idx]
+        if op in ("add_head", "add_tail") and idx not in members:
+            getattr(lst, op)(page)
+            members.add(idx)
+        elif op == "remove" and idx in members:
+            lst.remove(page)
+            members.discard(idx)
+        elif op == "rotate" and idx in members:
+            lst.rotate_to_head(page)
+    forward = list(lst)
+    backward = list(lst.iter_from_tail())
+    assert len(forward) == len(lst) == len(members)
+    assert forward == list(reversed(backward))
+    assert {pages.index(p) for p in forward} == members
+    for page in forward:
+        assert page.lru is lst
+        assert page.test(PageFlags.LRU)
+    for idx in set(range(20)) - members:
+        assert pages[idx].lru is None
+        assert not pages[idx].test(PageFlags.LRU)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=100)
+def test_head_and_tail_consistency(ops):
+    lst = LruList(ListKind.ACTIVE, False)
+    pages = [Page(0, is_anon=False) for __ in range(20)]
+    members = set()
+    for op, idx in ops:
+        page = pages[idx]
+        if op in ("add_head", "add_tail") and idx not in members:
+            getattr(lst, op)(page)
+            members.add(idx)
+        elif op == "remove" and idx in members:
+            lst.remove(page)
+            members.discard(idx)
+        elif op == "rotate" and idx in members:
+            lst.rotate_to_head(page)
+        forward = list(lst)
+        if forward:
+            assert lst.head is forward[0]
+            assert lst.tail is forward[-1]
+            assert lst.head.lru_prev is None
+            assert lst.tail.lru_next is None
+        else:
+            assert lst.head is None and lst.tail is None
+
+
+@given(
+    moves=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),
+            st.sampled_from([ListKind.INACTIVE, ListKind.ACTIVE, ListKind.PROMOTE]),
+        ),
+        max_size=100,
+    )
+)
+@settings(max_examples=100)
+def test_page_is_on_at_most_one_list(moves):
+    """Moving pages between a vec's lists never duplicates membership."""
+    vec = LruVec()
+    pages = [Page(0) for __ in range(10)]
+    for idx, kind in moves:
+        page = pages[idx]
+        if page.lru is not None:
+            page.lru.remove(page)
+        vec.list_of(page, kind).add_head(page)
+    total = sum(len(lst) for lst in vec.all_lists())
+    on_lists = sum(1 for page in pages if page.lru is not None)
+    assert total == on_lists

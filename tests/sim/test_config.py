@@ -1,0 +1,65 @@
+"""Unit tests for SimulationConfig validation."""
+
+import pytest
+
+from repro.sim.config import DaemonConfig, LatencyConfig, SimulationConfig
+
+
+def test_default_config_validates():
+    assert SimulationConfig().validated() is not None
+
+
+def test_total_page_properties():
+    config = SimulationConfig(dram_pages=(100, 200), pm_pages=(1000,))
+    assert config.total_dram_pages == 300
+    assert config.total_pm_pages == 1000
+    assert config.total_pages == 1300
+
+
+def test_empty_tier_rejected():
+    with pytest.raises(ValueError):
+        SimulationConfig(dram_pages=(), pm_pages=(100,)).validated()
+    with pytest.raises(ValueError):
+        SimulationConfig(dram_pages=(100,), pm_pages=()).validated()
+
+
+def test_nonpositive_capacity_rejected():
+    with pytest.raises(ValueError):
+        SimulationConfig(dram_pages=(0,), pm_pages=(100,)).validated()
+
+
+def test_latency_must_be_positive():
+    with pytest.raises(ValueError):
+        LatencyConfig(dram_read_ns=0).validated()
+    with pytest.raises(ValueError):
+        LatencyConfig(pm_write_ns=-5).validated()
+
+
+def test_daemon_intervals_must_be_positive():
+    with pytest.raises(ValueError):
+        DaemonConfig(kpromoted_interval_s=0).validated()
+    with pytest.raises(ValueError):
+        DaemonConfig(scan_budget_pages=0).validated()
+
+
+def test_with_overrides_replaces_and_revalidates():
+    config = SimulationConfig().with_overrides(dram_pages=(123,))
+    assert config.dram_pages == (123,)
+    with pytest.raises(ValueError):
+        SimulationConfig().with_overrides(dram_pages=())
+
+
+def test_defaults_reflect_paper_settings():
+    """Section V: one-second scan interval, 1024-page scan budget."""
+    daemons = DaemonConfig()
+    assert daemons.kpromoted_interval_s == 1.0
+    assert daemons.scan_budget_pages == 1024
+
+
+def test_pm_latency_asymmetry_preserved():
+    """PM reads and writes cost differently (Section VII), and both cost
+    more than DRAM (the premise of tiering)."""
+    latency = LatencyConfig()
+    assert latency.pm_read_ns != latency.pm_write_ns
+    assert latency.pm_read_ns > latency.dram_read_ns
+    assert latency.pm_write_ns > latency.dram_write_ns

@@ -1,0 +1,103 @@
+"""Unit tests for the daemon scheduler."""
+
+import pytest
+
+from repro.sim.events import Daemon, DaemonScheduler
+from repro.sim.vclock import NANOS_PER_SECOND, VirtualClock
+
+
+def make_sched():
+    clock = VirtualClock()
+    return clock, DaemonScheduler(clock)
+
+
+def test_daemon_requires_positive_interval():
+    with pytest.raises(ValueError):
+        Daemon("bad", 0.0, lambda now: 0)
+
+
+def test_daemon_does_not_fire_before_deadline():
+    clock, sched = make_sched()
+    fired = []
+    sched.register(Daemon("d", 1.0, lambda now: fired.append(now) or 0))
+    clock.advance_app(NANOS_PER_SECOND - 1)
+    sched.run_due()
+    assert fired == []
+
+
+def test_daemon_fires_at_deadline():
+    clock, sched = make_sched()
+    fired = []
+    sched.register(Daemon("d", 1.0, lambda now: fired.append(now) or 0))
+    clock.advance_app(NANOS_PER_SECOND)
+    sched.run_due()
+    assert len(fired) == 1
+
+
+def test_daemon_reschedules_after_firing():
+    clock, sched = make_sched()
+    daemon = sched.register(Daemon("d", 1.0, lambda now: 0))
+    for __ in range(3):
+        clock.advance_app(NANOS_PER_SECOND)
+        sched.run_due()
+    assert daemon.wakeups == 3
+
+
+def test_overdue_daemon_fires_once_not_replayed():
+    """A daemon that oversleeps does not replay missed wakeups."""
+    clock, sched = make_sched()
+    daemon = sched.register(Daemon("d", 1.0, lambda now: 0))
+    clock.advance_app(10 * NANOS_PER_SECOND)
+    sched.run_due()
+    assert daemon.wakeups == 1
+
+
+def test_work_is_charged_as_system_time():
+    clock, sched = make_sched()
+    sched.register(Daemon("d", 1.0, lambda now: 1234))
+    clock.advance_app(NANOS_PER_SECOND)
+    charged = sched.run_due()
+    assert charged == 1234
+    assert clock.system_ns == 1234
+
+
+def test_zero_work_charges_nothing():
+    clock, sched = make_sched()
+    sched.register(Daemon("d", 1.0, lambda now: 0))
+    clock.advance_app(NANOS_PER_SECOND)
+    assert sched.run_due() == 0
+    assert clock.system_ns == 0
+
+
+def test_disabled_daemon_does_not_run():
+    clock, sched = make_sched()
+    fired = []
+    daemon = Daemon("d", 1.0, lambda now: fired.append(now) or 0, enabled=False)
+    sched.register(daemon)
+    clock.advance_app(2 * NANOS_PER_SECOND)
+    sched.run_due()
+    assert fired == []
+
+
+def test_duplicate_name_rejected():
+    __, sched = make_sched()
+    sched.register(Daemon("d", 1.0, lambda now: 0))
+    with pytest.raises(ValueError):
+        sched.register(Daemon("d", 2.0, lambda now: 0))
+
+
+def test_same_deadline_fires_in_registration_order():
+    clock, sched = make_sched()
+    order = []
+    sched.register(Daemon("first", 1.0, lambda now: order.append("first") or 0))
+    sched.register(Daemon("second", 1.0, lambda now: order.append("second") or 0))
+    clock.advance_app(NANOS_PER_SECOND)
+    sched.run_due()
+    assert order == ["first", "second"]
+
+
+def test_get_and_daemons_accessors():
+    __, sched = make_sched()
+    daemon = sched.register(Daemon("d", 1.0, lambda now: 0))
+    assert sched.get("d") is daemon
+    assert sched.daemons == [daemon]

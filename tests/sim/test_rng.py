@@ -1,0 +1,33 @@
+"""Unit tests for deterministic RNG derivation."""
+
+from repro.sim.rng import derive_seed, make_rng
+
+
+def test_derive_seed_is_deterministic():
+    assert derive_seed(42, "a") == derive_seed(42, "a")
+
+
+def test_derive_seed_differs_by_name():
+    assert derive_seed(42, "a") != derive_seed(42, "b")
+
+
+def test_derive_seed_differs_by_base():
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_make_rng_streams_are_reproducible():
+    first = make_rng(7, "workload").integers(0, 1 << 30, size=8)
+    second = make_rng(7, "workload").integers(0, 1 << 30, size=8)
+    assert (first == second).all()
+
+
+def test_make_rng_streams_are_independent():
+    a = make_rng(7, "a").integers(0, 1 << 30, size=8)
+    b = make_rng(7, "b").integers(0, 1 << 30, size=8)
+    assert (a != b).any()
+
+
+def test_unnamed_rng_uses_base_seed():
+    a = make_rng(7).integers(0, 1 << 30, size=4)
+    b = make_rng(7).integers(0, 1 << 30, size=4)
+    assert (a == b).all()

@@ -1,0 +1,85 @@
+"""Unit tests for counters and windowed series."""
+
+import pytest
+
+from repro.sim.stats import StatsBook, WindowedSeries
+from repro.sim.vclock import NANOS_PER_SECOND
+
+
+def test_counters_default_to_zero():
+    book = StatsBook()
+    assert book.get("never") == 0
+
+
+def test_counter_increment():
+    book = StatsBook()
+    book.inc("x")
+    book.inc("x", 4)
+    assert book.get("x") == 5
+
+
+def test_snapshot_is_a_copy():
+    book = StatsBook()
+    book.inc("x")
+    snap = book.snapshot()
+    book.inc("x")
+    assert snap["x"] == 1
+    assert book.get("x") == 2
+
+
+def test_series_requires_positive_window():
+    with pytest.raises(ValueError):
+        WindowedSeries(0)
+
+
+def test_series_buckets_by_window():
+    series = WindowedSeries(window_seconds=1.0)
+    series.record(0, 1.0)
+    series.record(NANOS_PER_SECOND // 2, 1.0)
+    series.record(NANOS_PER_SECOND, 5.0)
+    totals = series.totals()
+    assert [p.value for p in totals] == [2.0, 5.0]
+
+
+def test_series_fills_empty_windows_with_zero():
+    series = WindowedSeries(window_seconds=1.0)
+    series.record(0, 1.0)
+    series.record(3 * NANOS_PER_SECOND, 1.0)
+    totals = series.totals()
+    assert [p.value for p in totals] == [1.0, 0.0, 0.0, 1.0]
+    assert [p.window_id for p in totals] == [0, 1, 2, 3]
+
+
+def test_series_means():
+    series = WindowedSeries(window_seconds=1.0)
+    series.record(0, 2.0)
+    series.record(1, 4.0)
+    means = series.means()
+    assert means[0].value == pytest.approx(3.0)
+
+
+def test_empty_series():
+    series = WindowedSeries(window_seconds=1.0)
+    assert series.totals() == []
+    assert series.means() == []
+    assert len(series) == 0
+
+
+def test_make_series_is_idempotent():
+    book = StatsBook()
+    first = book.make_series("s", 1.0)
+    second = book.make_series("s", 2.0)
+    assert first is second
+
+
+def test_record_into_missing_series_raises():
+    book = StatsBook()
+    with pytest.raises(KeyError):
+        book.record("missing", 0)
+
+
+def test_book_record_routes_to_series():
+    book = StatsBook()
+    book.make_series("s", 1.0)
+    book.record("s", 0, 3.0)
+    assert book.series["s"].totals()[0].value == 3.0

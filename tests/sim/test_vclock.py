@@ -1,0 +1,72 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.vclock import NANOS_PER_SECOND, VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    clock = VirtualClock()
+    assert clock.now_ns == 0
+    assert clock.app_ns == 0
+    assert clock.system_ns == 0
+
+
+def test_custom_start():
+    clock = VirtualClock(start_ns=500)
+    assert clock.now_ns == 500
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock(start_ns=-1)
+
+
+def test_advance_app_moves_now_and_app_bucket():
+    clock = VirtualClock()
+    clock.advance_app(100)
+    assert clock.now_ns == 100
+    assert clock.app_ns == 100
+    assert clock.system_ns == 0
+
+
+def test_advance_system_moves_now_and_system_bucket():
+    clock = VirtualClock()
+    clock.advance_system(75)
+    assert clock.now_ns == 75
+    assert clock.system_ns == 75
+    assert clock.app_ns == 0
+
+
+def test_buckets_sum_to_now():
+    clock = VirtualClock()
+    clock.advance_app(40)
+    clock.advance_system(60)
+    clock.advance_app(10)
+    assert clock.app_ns + clock.system_ns == clock.now_ns == 110
+
+
+def test_time_cannot_go_backwards():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance_app(-1)
+    with pytest.raises(ValueError):
+        clock.advance_system(-5)
+
+
+def test_zero_advance_is_allowed():
+    clock = VirtualClock()
+    clock.advance_app(0)
+    assert clock.now_ns == 0
+
+
+def test_now_seconds_conversion():
+    clock = VirtualClock()
+    clock.advance_app(NANOS_PER_SECOND // 2)
+    assert clock.now_seconds == pytest.approx(0.5)
+
+
+def test_returns_new_time():
+    clock = VirtualClock()
+    assert clock.advance_app(5) == 5
+    assert clock.advance_system(7) == 12

@@ -1,0 +1,64 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_policies_lists_everything(capsys):
+    assert main(["policies"]) == 0
+    out = capsys.readouterr().out
+    for name in ("multiclock", "static", "nimble", "memory-mode"):
+        assert name in out
+
+
+def test_run_prints_summary(capsys):
+    code = main([
+        "run", "--workload", "zipf", "--pages", "200", "--ops", "500",
+        "--policy", "static", "--dram-pages", "128", "--pm-pages", "512",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "zipf on static" in out
+    assert "node0/DRAM" in out
+
+
+def test_experiment_names_cover_every_figure():
+    for expected in (
+        "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "fig10", "table1", "table2", "overhead", "ablation-ratio",
+        "ablation-dirty", "ablation-adaptive", "ext-workload-e",
+        "ext-dual-socket",
+    ):
+        assert expected in EXPERIMENTS
+
+
+def test_experiment_table1_runs(capsys):
+    assert main(["experiment", "table1"]) == 0
+    assert "MULTI-CLOCK" in capsys.readouterr().out
+
+
+def test_record_and_replay_roundtrip(tmp_path, capsys):
+    trace = tmp_path / "t.trace"
+    assert main([
+        "record", str(trace), "--workload", "uniform", "--pages", "100",
+        "--ops", "300", "--policy", "static",
+        "--dram-pages", "128", "--pm-pages", "512",
+    ]) == 0
+    assert trace.exists()
+    assert main([
+        "replay", str(trace), "--policy", "multiclock",
+        "--dram-pages", "128", "--pm-pages", "512",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "replay[uniform]" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig99"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

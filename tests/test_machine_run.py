@@ -1,0 +1,62 @@
+"""Tests for the top-level Machine and run_workload API."""
+
+import pytest
+
+from repro import Machine, RunResult, SimulationConfig, run_workload
+from repro.workloads.synthetic import UniformWorkload, ZipfWorkload
+
+CONFIG = SimulationConfig(dram_pages=(128,), pm_pages=(512,))
+
+
+def test_machine_exposes_config_and_stats():
+    machine = Machine(CONFIG, "static")
+    assert machine.config is machine.system.config
+    assert machine.stats is machine.system.stats
+    assert machine.clock is machine.system.clock
+
+
+def test_memory_report_covers_all_nodes():
+    machine = Machine(CONFIG, "multiclock")
+    report = machine.memory_report()
+    assert set(report) == {"node0/DRAM", "node1/PM"}
+    for entry in report.values():
+        assert entry["used"] + entry["free"] == entry["capacity"]
+
+
+def test_run_result_fields():
+    result = run_workload(ZipfWorkload(pages=200, ops=500), CONFIG, policy="static")
+    assert isinstance(result, RunResult)
+    assert result.workload == "zipf"
+    assert result.policy == "static"
+    assert result.operations == 500
+    assert result.elapsed_ns == result.app_ns + result.system_ns
+    assert result.throughput_ops > 0
+    assert 0.0 <= result.dram_access_fraction <= 1.0
+
+
+def test_run_on_prebuilt_machine_counts_deltas():
+    machine = Machine(CONFIG, "static")
+    first = run_workload(UniformWorkload(pages=100, ops=300), CONFIG, machine=machine)
+    second = run_workload(UniformWorkload(pages=100, ops=300, seed=9), CONFIG, machine=machine)
+    # Phase results report per-phase counters, not machine lifetime.
+    assert first.counters["accesses.total"] == 300
+    assert second.counters["accesses.total"] == 300
+    # The second phase faults less: pages are already resident.
+    assert second.counters.get("faults.minor", 0) < first.counters["faults.minor"]
+
+
+def test_unknown_policy_name():
+    with pytest.raises(KeyError):
+        Machine(CONFIG, "bogus")
+
+
+def test_drain_daemons_runs_overdue_work():
+    machine = Machine(CONFIG, "multiclock")
+    machine.system.clock.advance_app(10 ** 10)  # sleep 10 virtual seconds
+    machine.drain_daemons()
+    assert machine.stats.get("kpromoted.runs") > 0
+
+
+def test_summary_is_one_line():
+    result = run_workload(ZipfWorkload(pages=100, ops=200), CONFIG, policy="static")
+    assert "\n" not in result.summary()

@@ -1,0 +1,71 @@
+"""Unit tests for the CSR graph and generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.gapbs.graph import Graph
+
+
+def test_csr_construction():
+    graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    assert graph.n == 4
+    assert graph.m_directed == 6  # undirected: each edge stored twice
+    assert set(graph.neigh(1).tolist()) == {0, 2}
+    assert graph.degree(1) == 2
+
+
+def test_self_loops_dropped():
+    graph = Graph(3, [(0, 0), (0, 1)])
+    assert graph.m_directed == 2
+    assert graph.degree(0) == 1
+
+
+def test_parallel_edges_deduplicated():
+    graph = Graph(3, [(0, 1), (0, 1), (1, 0)])
+    assert graph.m_directed == 2
+
+
+def test_neighbors_sorted():
+    graph = Graph(5, [(0, 3), (0, 1), (0, 4)])
+    assert graph.neigh(0).tolist() == [1, 3, 4]
+
+
+def test_out_of_range_endpoint_rejected():
+    with pytest.raises(ValueError):
+        Graph(3, [(0, 5)])
+
+
+def test_empty_graph():
+    graph = Graph(3, np.empty((0, 2)))
+    assert graph.m_directed == 0
+    assert graph.degree(0) == 0
+
+
+def test_uniform_generator_size_and_determinism():
+    a = Graph.uniform(100, 300, seed=5)
+    b = Graph.uniform(100, 300, seed=5)
+    assert a.m_directed == b.m_directed
+    assert np.array_equal(a.neighbors, b.neighbors)
+    assert 0 < a.m_directed <= 600
+
+
+def test_rmat_generator_properties():
+    graph = Graph.rmat(scale=8, edge_factor=8, seed=2)
+    assert graph.n == 256
+    assert graph.m_directed > 0
+    degrees = np.diff(graph.offsets)
+    # R-MAT produces a skewed degree distribution: the max degree should
+    # dwarf the median.
+    assert degrees.max() >= 4 * max(1, int(np.median(degrees)))
+
+
+def test_rmat_scale_validation():
+    with pytest.raises(ValueError):
+        Graph.rmat(scale=0)
+
+
+def test_offsets_are_consistent():
+    graph = Graph.uniform(50, 200, seed=1)
+    assert graph.offsets[0] == 0
+    assert graph.offsets[-1] == graph.m_directed
+    assert (np.diff(graph.offsets) >= 0).all()

@@ -1,0 +1,97 @@
+"""Unit tests for the slab KV store model."""
+
+import pytest
+
+from repro.sim.config import PAGE_SIZE
+from repro.workloads.kvstore import CACHE_LINE, SlabKVStore
+
+
+def test_value_size_validation():
+    with pytest.raises(ValueError):
+        SlabKVStore(value_size=0)
+    with pytest.raises(ValueError):
+        SlabKVStore(value_size=PAGE_SIZE)  # chunk exceeds a page
+
+
+def test_items_packed_per_page():
+    store = SlabKVStore(value_size=1024)
+    assert store.items_per_page == PAGE_SIZE // (1024 + 56)
+
+
+def test_insert_assigns_sequential_slots():
+    store = SlabKVStore(value_size=1024)
+    for key in range(10):
+        store.insert(key)
+    assert store.n_records == 10
+    assert store.location(0) == 0
+    assert store.location(9) == 9
+
+
+def test_records_share_pages_in_insertion_order():
+    store = SlabKVStore(value_size=1024)
+    per_page = store.items_per_page
+    touches = [store.insert(key)[-1] for key in range(per_page + 1)]
+    first_page = touches[0].vpage
+    assert all(t.vpage == first_page for t in touches[:per_page])
+    assert touches[per_page].vpage == first_page + 1
+
+
+def test_read_touches_hash_then_data():
+    store = SlabKVStore(value_size=1024)
+    store.insert(7)
+    touches = store.read(7)
+    assert len(touches) == 2
+    hash_touch, data_touch = touches
+    assert hash_touch.vpage < store.data_base
+    assert data_touch.vpage >= store.data_base
+    assert not any(t.is_write for t in touches)
+
+
+def test_value_lines_scale_with_value_size():
+    small = SlabKVStore(value_size=128)
+    large = SlabKVStore(value_size=2048)
+    small.insert(0)
+    large.insert(0)
+    assert large.read(0)[-1].lines > small.read(0)[-1].lines
+    assert large.read(0)[-1].lines == (2048 + 56) // CACHE_LINE
+
+
+def test_update_writes_data_page():
+    store = SlabKVStore(value_size=1024)
+    store.insert(3)
+    touches = store.update(3)
+    assert touches[-1].is_write
+    assert not touches[0].is_write  # hash probe is a read
+
+
+def test_read_modify_write_combines():
+    store = SlabKVStore(value_size=1024)
+    store.insert(3)
+    touches = store.read_modify_write(3)
+    assert len(touches) == 4
+    assert touches[1].is_write is False
+    assert touches[3].is_write is True
+
+
+def test_missing_key_raises():
+    store = SlabKVStore(value_size=1024)
+    with pytest.raises(KeyError):
+        store.read(42)
+
+
+def test_reinsert_is_update():
+    store = SlabKVStore(value_size=1024)
+    store.insert(1)
+    slot = store.location(1)
+    store.insert(1)
+    assert store.location(1) == slot
+    assert store.n_records == 1
+
+
+def test_footprint_accounts_hash_and_data():
+    store = SlabKVStore(value_size=1024)
+    n = 1000
+    footprint = store.footprint_pages(n)
+    data_pages = (n - 1) // store.items_per_page + 1
+    assert footprint == data_pages + store.hash_pages(n)
+    assert store.footprint_pages(0) >= 1

@@ -1,0 +1,73 @@
+"""Unit tests for the motivation (Fig 1/2) workloads."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.run import run_workload
+from repro.sim.config import SimulationConfig
+from repro.workloads.motivation import PROFILES, MotivationProfile, MotivationWorkload
+
+CONFIG = SimulationConfig(dram_pages=(512,), pm_pages=(4096,))
+
+
+def test_four_paper_profiles_exist():
+    assert set(PROFILES) == {"rubis", "specpower", "xalan", "lusearch"}
+
+
+def test_profile_fraction_validation():
+    with pytest.raises(ValueError):
+        MotivationProfile("bad", 0.6, 0.5, 1, 1, 0.5)
+
+
+def test_class_partition_covers_all_pages():
+    workload = MotivationWorkload("rubis", pages=500, segments=4, ops_per_segment=100)
+    total = (
+        len(workload.dram_friendly) + len(workload.tier_friendly) + len(workload.rare)
+    )
+    assert total == 500
+
+
+def test_trace_is_deterministic():
+    def collect():
+        workload = MotivationWorkload("xalan", pages=300, segments=4, ops_per_segment=200)
+        return list(workload.trace())
+
+    assert collect() == collect()
+
+
+def test_trace_covers_all_segments():
+    workload = MotivationWorkload("rubis", pages=300, segments=6, ops_per_segment=100)
+    segments = {segment for segment, __ in workload.trace()}
+    assert segments == set(range(6))
+
+
+def test_dram_friendly_pages_hotter_than_rare():
+    workload = MotivationWorkload("specpower", pages=400, segments=8, ops_per_segment=2000)
+    from collections import Counter
+
+    counts = Counter(vpage for __, vpage in workload.trace())
+    hot = [counts.get(int(p), 0) for p in workload.dram_friendly]
+    rare = [counts.get(int(p), 0) for p in workload.rare]
+    assert sum(hot) / len(hot) > 10 * (sum(rare) / len(rare) + 1e-9)
+
+
+def test_tier_friendly_pages_are_bimodal():
+    """A tier-friendly page should have both active and idle segments."""
+    workload = MotivationWorkload("xalan", pages=300, segments=12, ops_per_segment=3000)
+    from collections import defaultdict
+
+    per_segment = defaultdict(lambda: [0] * workload.segments)
+    for segment, vpage in workload.trace():
+        per_segment[vpage][segment] += 1
+    bimodal = 0
+    for vpage in workload.tier_friendly.tolist():
+        counts = per_segment[vpage]
+        if max(counts) >= 5 and min(counts) <= 1:
+            bimodal += 1
+    assert bimodal >= len(workload.tier_friendly) // 3
+
+
+def test_runs_on_a_machine():
+    workload = MotivationWorkload("rubis", pages=300, segments=2, ops_per_segment=500)
+    result = run_workload(workload, CONFIG, policy="static")
+    assert result.operations == 1000

@@ -1,0 +1,75 @@
+"""Unit tests for the multi-tenant workload combinator."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.run import run_workload
+from repro.sim.config import SimulationConfig
+from repro.workloads.multitenant import MultiTenantWorkload
+from repro.workloads.synthetic import UniformWorkload, ZipfWorkload
+
+CONFIG = SimulationConfig(dram_pages=(256,), pm_pages=(2048,))
+DUAL = SimulationConfig(dram_pages=(128, 128), pm_pages=(1024, 1024), sockets=2)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MultiTenantWorkload([])
+    with pytest.raises(ValueError):
+        MultiTenantWorkload([ZipfWorkload(10, 10)], home_sockets=[0, 1])
+    with pytest.raises(ValueError):
+        MultiTenantWorkload([ZipfWorkload(10, 10)], batch=0)
+
+
+def test_all_tenant_ops_delivered():
+    tenants = [ZipfWorkload(100, 400, seed=1), UniformWorkload(100, 700, seed=2)]
+    workload = MultiTenantWorkload(tenants)
+    result = run_workload(workload, CONFIG, policy="static")
+    assert result.operations == 1100
+
+
+def test_tenants_get_separate_processes():
+    tenants = [ZipfWorkload(100, 50, seed=1), ZipfWorkload(100, 50, seed=2)]
+    workload = MultiTenantWorkload(tenants)
+    machine = Machine(CONFIG, "static")
+    run_workload(workload, CONFIG, machine=machine)
+    pids = {tenant.process.pid for tenant in tenants}
+    assert len(pids) == 2
+
+
+def test_streams_interleave_in_batches():
+    tenants = [ZipfWorkload(50, 64, seed=1), ZipfWorkload(50, 64, seed=2)]
+    workload = MultiTenantWorkload(tenants, batch=8)
+    machine = Machine(CONFIG, "static")
+    workload.setup(machine)
+    owners = [access.process.pid for access in workload.accesses()]
+    # The first 8 belong to tenant 1, the next 8 to tenant 2, and so on.
+    assert len(set(owners[:8])) == 1
+    assert len(set(owners[8:16])) == 1
+    assert owners[0] != owners[8]
+
+
+def test_uneven_streams_drain_completely():
+    tenants = [ZipfWorkload(50, 10, seed=1), ZipfWorkload(50, 200, seed=2)]
+    workload = MultiTenantWorkload(tenants, batch=16)
+    result = run_workload(workload, CONFIG, policy="static")
+    assert result.operations == 210
+
+
+def test_home_socket_pinning():
+    tenants = [ZipfWorkload(100, 20, seed=1), ZipfWorkload(100, 20, seed=2)]
+    workload = MultiTenantWorkload(tenants, home_sockets=[0, 1])
+    machine = Machine(DUAL, "static")
+    run_workload(workload, DUAL, machine=machine)
+    assert tenants[0].process.home_socket == 0
+    assert tenants[1].process.home_socket == 1
+
+
+def test_footprint_sums_tenants():
+    tenants = [ZipfWorkload(100, 10), ZipfWorkload(250, 10)]
+    assert MultiTenantWorkload(tenants).footprint_pages() == 350
+
+
+def test_name_mentions_tenants():
+    workload = MultiTenantWorkload([ZipfWorkload(10, 10), UniformWorkload(10, 10)])
+    assert "zipf" in workload.name and "uniform" in workload.name
