@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Run the hot-path microbenchmarks and write BENCH_perf.json.
+
+Thin driver over :mod:`repro.bench` for running straight from a checkout:
+
+    PYTHONPATH=src python benchmarks/perf/run.py [--smoke] [--out PATH]
+
+Equivalent to ``python -m repro bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro import bench  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized workloads")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=bench.DEFAULT_OUT)
+    args = parser.parse_args()
+    results = bench.run_suite(smoke=args.smoke, repeats=args.repeats)
+    bench.write_results(results, args.out)
+    print(bench.render(results))
+    print(f"results written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Smoke test for the benchmark harness (not part of tier-1 pytest).
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/perf -q
+
+Asserts the suite runs end to end, writes well-formed JSON, and that the
+batched driver is both correct (bit-identical to the per-access loop)
+and meaningfully faster.  The speedup floor here is deliberately below
+the full benchmark's >=3x so a noisy CI host doesn't flake; the real
+number is recorded in BENCH_perf.json.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import bench
+
+
+def test_smoke_suite_writes_results(tmp_path):
+    results = bench.run_suite(smoke=True, repeats=1)
+    out = tmp_path / "BENCH_perf.json"
+    bench.write_results(results, str(out))
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk["meta"]["mode"] == "smoke"
+    touch = on_disk["touch"]
+    assert touch["identical"] is True
+    assert touch["per_access_ops_per_sec"] > 0
+    assert touch["batched_ops_per_sec"] > 0
+    assert touch["speedup"] >= 1.5, "batched driver lost its edge"
+    assert on_disk["kpromoted"]["pages_per_sec"] > 0
+    assert on_disk["ycsb_a"]["wall_seconds"] > 0
+    assert on_disk["ycsb_a"]["accesses"] > 0

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests, bench-harness smoke test, then a smoke
+# run of the microbenchmarks themselves (writes BENCH_perf.json to a
+# scratch path so CI never clobbers the committed full-run results).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== bench harness smoke test =="
+python -m pytest benchmarks/perf -q
+
+echo "== repro bench --smoke =="
+python -m repro bench --smoke --repeats 1 --out "$(mktemp -d)/BENCH_perf.json"
+
+echo "CI OK"

@@ -10,6 +10,8 @@ Commands:
   ``ablation-*``, ``ext-*``).
 * ``record`` / ``replay`` — capture a workload's access trace to a file,
   or replay a trace under any policy.
+* ``bench`` — host-wall-clock microbenchmarks of the simulator's hot
+  paths, written to ``BENCH_perf.json`` (``--smoke`` for CI sizes).
 """
 
 from __future__ import annotations
@@ -140,6 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p = sub.add_parser("replay", help="replay a recorded trace")
     rep_p.add_argument("path", help="trace file to replay")
     _add_machine_args(rep_p)
+
+    bench_p = sub.add_parser("bench", help="run the hot-path microbenchmarks")
+    bench_p.add_argument("--smoke", action="store_true",
+                         help="CI-sized workloads (seconds, not minutes)")
+    bench_p.add_argument("--repeats", type=int, default=3,
+                         help="timing repeats per benchmark (best-of)")
+    bench_p.add_argument("--out", default=None,
+                         help="output JSON path (default BENCH_perf.json)")
     return parser
 
 
@@ -186,6 +196,17 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    results = bench.run_suite(smoke=args.smoke, repeats=args.repeats)
+    out = args.out or bench.DEFAULT_OUT
+    bench.write_results(results, out)
+    print(bench.render(results))
+    print(f"results written to {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "policies":
@@ -198,6 +219,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_record(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -37,6 +37,9 @@ class DemotionDaemon:
     def __init__(self, policy: "TieringPolicy", node: NumaNode) -> None:
         self.policy = policy
         self.node = node
+        stats = policy.system.stats
+        self._c_runs = stats.counter("kswapd.runs")
+        self._c_pages_scanned = stats.counter("kswapd.pages_scanned")
 
     @property
     def name(self) -> str:
@@ -78,8 +81,8 @@ class DemotionDaemon:
                     system, node, is_anon, target, budget, demote_dest
                 )
             )
-        system.stats.inc("kswapd.runs")
-        system.stats.inc("kswapd.pages_scanned", total.scanned)
+        self._c_runs.n += 1
+        self._c_pages_scanned.n += total.scanned
         return total.system_ns
 
     def _relieve_promote_list(self, budget: int) -> ScanResult:

@@ -43,6 +43,13 @@ class KPromoted:
     def __init__(self, policy: "MultiClockPolicy", node: NumaNode) -> None:
         self.policy = policy
         self.node = node
+        stats = policy.system.stats
+        self._c_runs = stats.counter("kpromoted.runs")
+        self._c_pages_scanned = stats.counter("kpromoted.pages_scanned")
+        self._c_referenced = stats.counter("kpromoted.referenced")
+        self._c_activated = stats.counter("kpromoted.activated")
+        self._c_to_promote_list = stats.counter("kpromoted.to_promote_list")
+        self._c_promoted = stats.counter("kpromoted.promoted")
 
     @property
     def name(self) -> str:
@@ -57,13 +64,14 @@ class KPromoted:
             total.merge(self._scan_inactive(is_anon, budget))
             total.merge(self._scan_active(is_anon, budget))
             total.merge(self._drain_promote(is_anon, budget))
-        system.stats.inc("kpromoted.runs")
-        system.stats.inc("kpromoted.pages_scanned", total.scanned)
+        self._c_runs.n += 1
+        self._c_pages_scanned.n += total.scanned
         # Ladder-activity counters: consumed by the adaptive-interval
         # controller (Section VII extension) as its workload signal.
-        system.stats.inc("kpromoted.referenced", total.referenced)
-        system.stats.inc("kpromoted.activated", total.activated)
-        system.stats.inc("kpromoted.to_promote_list", total.to_promote_list)
+        self._c_referenced.n += total.referenced
+        self._c_activated.n += total.activated
+        self._c_to_promote_list.n += total.to_promote_list
+        self._c_promoted.n += total.promoted
         return total.system_ns
 
     def _scan_inactive(self, is_anon: bool, budget: int) -> ScanResult:
@@ -135,7 +143,7 @@ class KPromoted:
                 result.deactivated += 1
                 continue
             if self.policy.promote_page(page):
-                result.demoted += 0  # promotions are counted by the engine
+                result.promoted += 1
             else:
                 # Could not make room upstairs; keep the page hot locally.
                 recycle_promote_to_active(self.node, page)

@@ -46,13 +46,14 @@ class MultiClockPolicy(TieringPolicy):
         super().__init__(system)
         self._kpromoted = [KPromoted(self, node) for node in system.nodes.values()]
         self._kswapd = [DemotionDaemon(self, node) for node in system.nodes.values()]
+        self._c_promote_list_adds = system.stats.counter("multiclock.promote_list_adds")
 
     # -- hooks ---------------------------------------------------------------
 
     def second_reference_hook(self, node: NumaNode, page: Page) -> None:
         """Edge 10: re-referenced active page joins the promote list."""
         move_to_promote(node, page)
-        self.system.stats.inc("multiclock.promote_list_adds")
+        self._c_promote_list_adds.n += 1
 
     def mark_page_accessed(self, page: Page) -> None:
         mark_page_accessed(self.system, page, on_second_reference=self.second_reference_hook)

@@ -4,15 +4,29 @@
 memory system from a :class:`~repro.sim.config.SimulationConfig`, attaches
 a tiering policy by registry name, registers the policy's daemons on the
 virtual-clock scheduler, and exposes the access path workloads drive.
+
+Two access paths are offered.  :meth:`Machine.touch` is the simple
+per-reference call; :meth:`Machine.touch_batch` drives a whole access
+stream through an inlined copy of the hot path — same semantics, same
+counters, same virtual times, but an order of magnitude less Python
+call overhead.  ``tests/perf/test_touch_batch_equivalence.py`` holds the
+two paths bit-identical.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable
+
 from repro.mm.address_space import Process
+from repro.mm.flags import PageFlags
+from repro.mm.hardware import MemoryTier
 from repro.mm.system import MemorySystem
 from repro.policies.base import TieringPolicy, create_policy
 from repro.sim.config import SimulationConfig
 from repro.sim.events import DaemonScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.base import PageAccess
 
 __all__ = ["Machine"]
 
@@ -51,6 +65,176 @@ class Machine:
         charged = self.system.touch(process, vpage, is_write=is_write, lines=lines)
         self.scheduler.run_due()
         return charged
+
+    def touch_batch(self, accesses: "Iterable[PageAccess]") -> tuple[int, int]:
+        """Drive a stream of accesses through the inlined hot path.
+
+        Returns ``(accesses, operations)`` where ``operations`` counts
+        the stream's ``op_boundary`` markers.  Equivalent to calling
+        :meth:`touch` once per access — faults, hint faults, daemon
+        wakeups, counters and clock advance identically — but the common
+        case (page resident, PTE clean) runs without entering
+        ``MemorySystem.touch``: the PTE/flag updates, latency charge,
+        counter bumps and scheduler deadline check are all inlined here
+        with every attribute lookup hoisted out of the loop.
+        """
+        system = self.system
+        scheduler = self.scheduler
+        clock = system.clock
+        stats = system.stats
+        nodes = system.nodes
+        policy = system.policy
+        run_due = scheduler.run_due
+        slow_touch = system.touch
+        awaiting = system._awaiting_reaccess
+        reaccess_horizon = system._reaccess_horizon_ns
+        c_reaccessed = system._c_promoted_reaccessed
+        record_reaccess = stats.series["promoted_reaccessed_window"].record
+        mark_accessed = policy.mark_page_accessed
+        on_access = policy.on_access
+        # Policies that keep the base-class defaults get the cheap forms:
+        # the default charge_access is pure latency-table math (inlined
+        # below) and the default on_access is a no-op (skipped).
+        policy_cls = type(policy)
+        inline_charge = policy_cls.charge_access is TieringPolicy.charge_access
+        skip_on_access = policy_cls.on_access is TieringPolicy.on_access
+        charge_access = policy.charge_access
+        read_ns, write_ns = system.hardware.access_tables()
+        remote_mult = system.config.latency.remote_socket_multiplier
+        multi_socket = system.config.sockets > 1
+        # Node ids are assigned densely from 0, and a node's tier and
+        # socket never change, so per-node facts fold into flat vectors
+        # indexed by page.node_id.
+        node_list = [nodes[nid] for nid in range(len(nodes))]
+        node_read_ns = [read_ns[n.tier] for n in node_list]
+        node_write_ns = [write_ns[n.tier] for n in node_list]
+        node_is_dram = [n.tier is MemoryTier.DRAM for n in node_list]
+        node_socket = [n.socket for n in node_list]
+        c_total = stats.counter("accesses.total")
+        c_dram = stats.counter("accesses.dram")
+        c_pm = stats.counter("accesses.pm")
+        c_remote = stats.counter("accesses.remote")
+        dirty_flag = PageFlags.DIRTY
+        n_accesses = 0
+        n_operations = 0
+        # Virtual time and the access counters are accumulated in locals
+        # and flushed to the clock / StatsBook objects only when code
+        # outside this loop might observe them (slow touch, daemon
+        # wakeups, policy callbacks) and once at the end.
+        # mark_page_accessed implementations read neither, so the pure
+        # fast path is a handful of local integer adds per access.
+        now = clock._now_ns
+        app_accum = 0
+        acc_total = acc_dram = acc_pm = acc_remote = 0
+        next_deadline = scheduler.next_deadline_ns
+        # Per-process and per-region state, re-hoisted on change.  Regions
+        # are never unmapped, so a cached [start, end) range stays valid.
+        cur_process: Process | None = None
+        pt_get = None
+        home_socket = -1
+        reg_start = reg_end = 0  # empty range: first access misses the cache
+        reg_supervised = False
+        for access in accesses:
+            process = access.process
+            vpage = access.vpage
+            is_write = access.is_write
+            n_accesses += 1
+            n_operations += access.op_boundary
+            if process is not cur_process:
+                cur_process = process
+                # PageTable.lookup is a trivial wrapper around this dict;
+                # go straight to it to spare a call per access.
+                pt_dict = process.page_table._entries
+                home_socket = process.home_socket
+                reg_start = reg_end = 0
+            try:
+                pte = pt_dict[vpage]
+            except KeyError:
+                pte = None
+            if pte is None or pte.poisoned:
+                # Fault / hint-fault path: rare, delegate to the full
+                # implementation rather than duplicating it here.
+                clock._now_ns = now
+                clock._app_ns += app_accum
+                c_total.n += acc_total
+                c_dram.n += acc_dram
+                c_pm.n += acc_pm
+                c_remote.n += acc_remote
+                app_accum = acc_total = acc_dram = acc_pm = acc_remote = 0
+                slow_touch(process, vpage, is_write=is_write, lines=access.lines)
+                now = clock._now_ns
+                if next_deadline <= now:
+                    run_due()
+                    now = clock._now_ns
+                    next_deadline = scheduler.next_deadline_ns
+                continue
+            if not reg_start <= vpage < reg_end:
+                region = process.region_for(vpage)
+                reg_start = region.start_vpage
+                reg_end = region.end_vpage
+                reg_supervised = region.supervised
+            pte.accessed = True
+            page = pte.page
+            if is_write:
+                pte.dirty = True
+                page.flags |= dirty_flag
+            nid = page.node_id
+            if inline_charge:
+                access_ns = access.lines * (
+                    node_write_ns[nid] if is_write else node_read_ns[nid]
+                )
+            else:
+                clock._now_ns = now
+                clock._app_ns += app_accum
+                app_accum = 0
+                access_ns = charge_access(page, is_write, access.lines)
+                now = clock._now_ns
+            if multi_socket and node_socket[nid] != home_socket:
+                access_ns = int(access_ns * remote_mult)
+                acc_remote += 1
+            now += access_ns
+            app_accum += access_ns
+            acc_total += 1
+            if node_is_dram[nid]:
+                acc_dram += 1
+            else:
+                acc_pm += 1
+            if reg_supervised:
+                mark_accessed(page)
+            if awaiting:
+                # Inlined MemorySystem._note_reaccess against the local time.
+                promoted_at = awaiting.pop(page.pfn, None)
+                if promoted_at is not None and now - promoted_at <= reaccess_horizon:
+                    c_reaccessed.n += 1
+                    record_reaccess(promoted_at)
+            if not skip_on_access:
+                clock._now_ns = now
+                clock._app_ns += app_accum
+                c_total.n += acc_total
+                c_dram.n += acc_dram
+                c_pm.n += acc_pm
+                c_remote.n += acc_remote
+                app_accum = acc_total = acc_dram = acc_pm = acc_remote = 0
+                on_access(pte, is_write)
+                now = clock._now_ns
+            if next_deadline <= now:
+                clock._now_ns = now
+                clock._app_ns += app_accum
+                c_total.n += acc_total
+                c_dram.n += acc_dram
+                c_pm.n += acc_pm
+                c_remote.n += acc_remote
+                app_accum = acc_total = acc_dram = acc_pm = acc_remote = 0
+                run_due()
+                now = clock._now_ns
+                next_deadline = scheduler.next_deadline_ns
+        clock._now_ns = now
+        clock._app_ns += app_accum
+        c_total.n += acc_total
+        c_dram.n += acc_dram
+        c_pm.n += acc_pm
+        c_remote.n += acc_remote
+        return n_accesses, n_operations
 
     def drain_daemons(self) -> int:
         """Explicitly fire any overdue daemons (useful between phases)."""

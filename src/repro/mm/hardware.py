@@ -68,6 +68,15 @@ class HardwareModel:
         table = self._write_ns if is_write else self._read_ns
         return table[tier]
 
+    def access_tables(self) -> tuple[dict[MemoryTier, int], dict[MemoryTier, int]]:
+        """The (read, write) per-tier latency tables.
+
+        Hot loops index these directly instead of calling
+        :meth:`access_ns` per access; the tables are fixed at
+        construction, so handing them out is safe.
+        """
+        return self._read_ns, self._write_ns
+
     def migrate_ns(self, pages: int = 1) -> int:
         """System cost of migrating ``pages`` pages between tiers."""
         return self._latency.page_copy_ns * pages

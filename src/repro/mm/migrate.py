@@ -53,6 +53,12 @@ class MigrationEngine:
         self._hardware = hardware
         self._clock = clock
         self._stats = stats
+        self._c_failed_locked = stats.counter("migrate.failed_locked")
+        self._c_failed_unevictable = stats.counter("migrate.failed_unevictable")
+        self._c_failed_dest_full = stats.counter("migrate.failed_dest_full")
+        self._c_promotions = stats.counter("migrate.promotions")
+        self._c_demotions = stats.counter("migrate.demotions")
+        self._c_lateral = stats.counter("migrate.lateral")
         self.on_promote: "Callable[[Page], None] | None" = None
 
     def node_of(self, page: Page) -> NumaNode:
@@ -69,13 +75,13 @@ class MigrationEngine:
         if dest.node_id == source.node_id:
             return MigrationOutcome.SAME_NODE
         if page.test(PageFlags.LOCKED):
-            self._stats.inc("migrate.failed_locked")
+            self._c_failed_locked.n += 1
             return MigrationOutcome.PAGE_LOCKED
         if page.test(PageFlags.UNEVICTABLE):
-            self._stats.inc("migrate.failed_unevictable")
+            self._c_failed_unevictable.n += 1
             return MigrationOutcome.PAGE_UNEVICTABLE
         if not dest.can_allocate():
-            self._stats.inc("migrate.failed_dest_full")
+            self._c_failed_dest_full.n += 1
             return MigrationOutcome.DEST_FULL
 
         if page.lru is not None:
@@ -88,15 +94,15 @@ class MigrationEngine:
 
     def _account_direction(self, source: NumaNode, dest: NumaNode, page: Page) -> None:
         if dest.tier < source.tier:
-            self._stats.inc("migrate.promotions")
+            self._c_promotions.n += 1
             page.last_promoted_ns = self._clock.now_ns
             if "promotions_window" in self._stats.series:
                 self._stats.record("promotions_window", self._clock.now_ns)
             if self.on_promote is not None:
                 self.on_promote(page)
         elif dest.tier > source.tier:
-            self._stats.inc("migrate.demotions")
+            self._c_demotions.n += 1
             if "demotions_window" in self._stats.series:
                 self._stats.record("demotions_window", self._clock.now_ns)
         else:
-            self._stats.inc("migrate.lateral")
+            self._c_lateral.n += 1

@@ -75,6 +75,20 @@ class MemorySystem:
         # re-referenced again from the DRAM" — promptly, not eventually.
         self._reaccess_horizon_ns = int(config.daemons.kpromoted_interval_s * 1e9)
         self.migrator.on_promote = self._note_promotion
+        # Interned counter handles for the access path: one attribute
+        # increment per event instead of a string-keyed dict update.
+        # Interning them here also keeps snapshot() key sets identical
+        # between the per-access and batched drivers.
+        stats = self.stats
+        self._c_accesses_total = stats.counter("accesses.total")
+        self._c_accesses_dram = stats.counter("accesses.dram")
+        self._c_accesses_pm = stats.counter("accesses.pm")
+        self._c_accesses_remote = stats.counter("accesses.remote")
+        self._c_faults_minor = stats.counter("faults.minor")
+        self._c_faults_major = stats.counter("faults.major")
+        self._c_faults_hint = stats.counter("faults.hint")
+        self._c_alloc_pages = stats.counter("alloc.pages")
+        self._c_promoted_reaccessed = stats.counter("promoted.reaccessed")
 
     # -- wiring -------------------------------------------------------------
 
@@ -139,7 +153,7 @@ class MemorySystem:
             pte.poisoned = False
             self.clock.advance_app(self.hardware.hint_fault_ns())
             charged += self.hardware.hint_fault_ns()
-            self.stats.inc("faults.hint")
+            self._c_faults_hint.n += 1
             self.policy.on_hint_fault(pte)
         pte.touch(is_write)
         page = pte.page
@@ -148,14 +162,14 @@ class MemorySystem:
         access_ns = self.policy.charge_access(page, is_write, lines)
         if self.nodes[page.node_id].socket != process.home_socket:
             access_ns = int(access_ns * self.config.latency.remote_socket_multiplier)
-            self.stats.inc("accesses.remote")
+            self._c_accesses_remote.n += 1
         self.clock.advance_app(access_ns)
         charged += access_ns
-        self.stats.inc("accesses.total")
+        self._c_accesses_total.n += 1
         if self.tier_of(page) is MemoryTier.DRAM:
-            self.stats.inc("accesses.dram")
+            self._c_accesses_dram.n += 1
         else:
-            self.stats.inc("accesses.pm")
+            self._c_accesses_pm.n += 1
         if region.supervised:
             self.policy.mark_page_accessed(page)
         self._note_reaccess(page)
@@ -174,7 +188,7 @@ class MemorySystem:
         if promoted_at is None:
             return
         if self.clock.now_ns - promoted_at <= self._reaccess_horizon_ns:
-            self.stats.inc("promoted.reaccessed")
+            self._c_promoted_reaccessed.n += 1
             self.stats.record("promoted_reaccessed_window", promoted_at)
 
     def _page_fault(
@@ -188,11 +202,11 @@ class MemorySystem:
             self.backing.swap_in(process.pid, vpage)
             self.clock.advance_app(latency.swap_in_ns)
             charged += latency.swap_in_ns
-            self.stats.inc("faults.major")
+            self._c_faults_major.n += 1
         else:
             self.clock.advance_app(latency.minor_fault_ns)
             charged += latency.minor_fault_ns
-            self.stats.inc("faults.minor")
+            self._c_faults_minor.n += 1
         page = self._allocate_page(region, process.home_socket)
         pte = process.page_table.map(vpage, page)
         if region.mlocked:
@@ -223,7 +237,7 @@ class MemorySystem:
             self.stats.inc("alloc.fallback_pm")
         if result.pressured_nodes:
             self.policy.on_memory_pressure(result.pressured_nodes)
-        self.stats.inc("alloc.pages")
+        self._c_alloc_pages.n += 1
         return result.page
 
     def discard_region(self, process: Process, region: MemoryRegion) -> int:

@@ -66,6 +66,7 @@ class ScanResult:
     deactivated: int = 0
     referenced: int = 0
     to_promote_list: int = 0
+    promoted: int = 0
     demoted: int = 0
     evicted: int = 0
     system_ns: int = 0
@@ -187,6 +188,10 @@ def shrink_inactive_list(
             break
         result.scanned += 1
         if page.test(PageFlags.LOCKED) or page.test(PageFlags.UNEVICTABLE):
+            # Rotate, don't just skip: a bare continue leaves the pinned
+            # page at the tail, so every subsequent scan burns budget
+            # re-visiting it and reclaim stalls behind it.
+            inactive.rotate_to_head(page)
             continue
         accessed = page.harvest_accessed()
         if accessed and page.test(PageFlags.REFERENCED):
@@ -211,6 +216,11 @@ def shrink_inactive_list(
             except MemoryError:
                 break  # swap full: give up, OOM is the caller's problem
             result.evicted += 1
+        else:
+            # Demotion was the plan but the destination refused (full, or
+            # the migration failed): rotate past the page so the scan
+            # keeps making progress instead of stalling on the same tail.
+            inactive.rotate_to_head(page)
     result.system_ns += system.hardware.scan_ns(result.scanned)
     return result
 

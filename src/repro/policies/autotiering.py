@@ -106,6 +106,8 @@ class _HintFaultPolicy(TieringPolicy):
     def __init__(self, system: MemorySystem) -> None:
         super().__init__(system)
         self._scanner = HintFaultScanner(system, track_history=self.track_history)
+        self._c_hint_faults = system.stats.counter("hint.faults")
+        self._c_hint_promotions = system.stats.counter("hint.promotions")
 
     def daemons(self) -> list[Daemon]:
         cfg = self.system.config.daemons
@@ -116,10 +118,10 @@ class _HintFaultPolicy(TieringPolicy):
         page = pte.page
         if self.track_history:
             page.policy_data = (page.policy_data or 0) | 1
-        self.system.stats.inc("hint.faults")
+        self._c_hint_faults.n += 1
         if self.system.tier_of(page) is MemoryTier.PM:
             if self._try_promote(page):
-                self.system.stats.inc("hint.promotions")
+                self._c_hint_promotions.n += 1
 
     def _try_promote(self, page: Page) -> bool:
         return movement.promote_page(

@@ -79,6 +79,9 @@ class MemoryModePolicy(TieringPolicy):
         self._tags: dict[int, int] = {}
         self._valid: dict[int, int] = {}  # slot -> sector presence bitmap
         self._dirty: dict[int, int] = {}  # slot -> dirty sector bitmap
+        self._c_hits = system.stats.counter("memcache.hits")
+        self._c_misses = system.stats.counter("memcache.misses")
+        self._c_writebacks = system.stats.counter("memcache.writebacks")
 
     @property
     def cache_slots(self) -> int:
@@ -99,7 +102,7 @@ class MemoryModePolicy(TieringPolicy):
             # Conflict (or cold) eviction: dirty sectors flush to PM.
             if resident is not None and self._dirty.get(slot, 0):
                 cost += latency.pm_write_ns
-                self.system.stats.inc("memcache.writebacks")
+                self._c_writebacks.n += 1
             self._tags[slot] = page.pfn
             self._valid[slot] = 0
             self._dirty[slot] = 0
@@ -111,10 +114,10 @@ class MemoryModePolicy(TieringPolicy):
         for sector in range(sectors):
             mask = 1 << (sector % SECTORS_PER_PAGE)
             if valid & mask:
-                self.system.stats.inc("memcache.hits")
+                self._c_hits.n += 1
                 cost += lines_per_sector * (dram_ns + HIT_OVERHEAD_NS)
             else:
-                self.system.stats.inc("memcache.misses")
+                self._c_misses.n += 1
                 cost += lines_per_sector * (pm_ns + MISS_OVERHEAD_NS)
                 cost += latency.dram_write_ns  # sector fill + tag update
                 valid |= mask

@@ -21,7 +21,13 @@ __all__ = ["RunResult", "run_workload"]
 
 @dataclass(frozen=True)
 class RunResult:
-    """Outcome of one ``(workload, policy, config)`` simulation."""
+    """Outcome of one ``(workload, policy, config)`` simulation.
+
+    ``operations`` is the workload's own operation count when the access
+    stream marks ``op_boundary``; for streams that never do, it falls
+    back to the raw access count and ``ops_fallback`` is True, so
+    throughput numbers can be told apart from real operation rates.
+    """
 
     workload: str
     policy: str
@@ -31,6 +37,7 @@ class RunResult:
     app_ns: int
     system_ns: int
     counters: dict[str, int] = field(default_factory=dict, repr=False)
+    ops_fallback: bool = False
 
     @property
     def elapsed_seconds(self) -> float:
@@ -75,12 +82,19 @@ def run_workload(
     policy: str = "multiclock",
     *,
     machine: Machine | None = None,
+    batch: bool = True,
 ) -> RunResult:
     """Simulate ``workload`` on a machine running ``policy``.
 
     A pre-built ``machine`` may be supplied to run several workload phases
     back to back on warm state (the YCSB prescribed execution sequence);
     otherwise a fresh machine is built from ``config``.
+
+    The access stream is driven through :meth:`Machine.touch_batch` by
+    default; ``batch=False`` selects the original one-call-per-access
+    loop.  The two drivers produce identical results (the perf tests
+    assert it) — the per-access loop exists as the baseline the
+    ``repro bench`` touch microbenchmark compares against.
     """
     if machine is None:
         machine = Machine(config, policy)
@@ -89,15 +103,18 @@ def run_workload(
     start_app = machine.clock.app_ns
     start_system = machine.clock.system_ns
     start_counters = machine.stats.snapshot()
-    operations = 0
-    accesses = 0
-    for access in workload.accesses():
-        machine.touch(
-            access.process, access.vpage, is_write=access.is_write, lines=access.lines
-        )
-        accesses += 1
-        if access.op_boundary:
-            operations += 1
+    if batch:
+        accesses, operations = machine.touch_batch(workload.accesses())
+    else:
+        operations = 0
+        accesses = 0
+        for access in workload.accesses():
+            machine.touch(
+                access.process, access.vpage, is_write=access.is_write, lines=access.lines
+            )
+            accesses += 1
+            if access.op_boundary:
+                operations += 1
     end_counters = machine.stats.snapshot()
     deltas = {
         key: end_counters.get(key, 0) - start_counters.get(key, 0)
@@ -112,4 +129,5 @@ def run_workload(
         app_ns=machine.clock.app_ns - start_app,
         system_ns=machine.clock.system_ns - start_system,
         counters=deltas,
+        ops_fallback=operations == 0,
     )

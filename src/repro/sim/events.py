@@ -17,7 +17,10 @@ from typing import Callable
 
 from repro.sim.vclock import NANOS_PER_SECOND, VirtualClock
 
-__all__ = ["Daemon", "DaemonScheduler"]
+__all__ = ["Daemon", "DaemonScheduler", "NEVER_NS"]
+
+NEVER_NS = 1 << 62
+"""Sentinel deadline meaning "no daemon is registered"."""
 
 
 class Daemon:
@@ -55,6 +58,12 @@ class DaemonScheduler:
     Deadlines are kept in a heap keyed by ``(next_deadline, seq)``; the
     sequence number makes ordering deterministic when two daemons share a
     deadline (registration order wins).
+
+    The earliest deadline is additionally cached in ``next_deadline_ns``
+    so the per-access pump is a single integer compare: callers on the
+    hot path check ``scheduler.next_deadline_ns <= clock.now_ns`` before
+    paying for a :meth:`run_due` call, and :meth:`run_due` itself returns
+    immediately when nothing is due.
     """
 
     def __init__(self, clock: VirtualClock, *, wakeup_cost_ns: int = 0) -> None:
@@ -65,6 +74,7 @@ class DaemonScheduler:
         self._heap: list[tuple[int, int, Daemon]] = []
         self._seq = itertools.count()
         self._daemons: dict[str, Daemon] = {}
+        self.next_deadline_ns: int = NEVER_NS
 
     def register(self, daemon: Daemon) -> Daemon:
         """Register ``daemon``; its first wakeup is one interval from now."""
@@ -73,6 +83,8 @@ class DaemonScheduler:
         self._daemons[daemon.name] = daemon
         first = self._clock.now_ns + daemon.interval_ns
         heapq.heappush(self._heap, (first, next(self._seq), daemon))
+        if first < self.next_deadline_ns:
+            self.next_deadline_ns = first
         return daemon
 
     def get(self, name: str) -> Daemon:
@@ -90,6 +102,8 @@ class DaemonScheduler:
         rescheduled from *now*, matching how a sleeping kernel thread that
         oversleeps does not replay missed wakeups.
         """
+        if self._clock.now_ns < self.next_deadline_ns:
+            return 0
         charged = 0
         while self._heap and self._heap[0][0] <= self._clock.now_ns:
             deadline, __, daemon = heapq.heappop(self._heap)
@@ -101,4 +115,5 @@ class DaemonScheduler:
                     charged += work_ns
             next_deadline = max(deadline, self._clock.now_ns) + daemon.interval_ns
             heapq.heappush(self._heap, (next_deadline, next(self._seq), daemon))
+        self.next_deadline_ns = self._heap[0][0] if self._heap else NEVER_NS
         return charged

@@ -5,29 +5,54 @@ window; Fig. 9: re-access percentage of recently promoted pages per
 window) need event streams bucketed by virtual time.  :class:`StatsBook`
 is the single sink the simulator writes into: plain monotonic counters
 for totals plus :class:`WindowedSeries` for anything reported over time.
+
+Counters are *interned*: :meth:`StatsBook.counter` hands out a
+:class:`Counter` handle whose ``.n`` slot hot paths bump directly,
+so a per-access statistics update is one attribute increment instead of
+a string hash into a dict.  ``inc``/``get``/``snapshot`` keep the
+original string-keyed interface on top of the handles.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.vclock import NANOS_PER_SECOND
 
-__all__ = ["StatsBook", "WindowedSeries", "WindowPoint"]
+__all__ = ["Counter", "StatsBook", "WindowedSeries", "WindowPoint"]
+
+
+class Counter:
+    """One interned counter: hot paths increment ``.n`` directly."""
+
+    __slots__ = ("name", "n")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.n = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, n={self.n})"
 
 
 @dataclass(frozen=True)
 class WindowPoint:
-    """One bucket of a windowed series."""
+    """One bucket of a windowed series.
+
+    ``width_seconds`` is the window width of the series the point came
+    from; it defaults to 1 so hand-built points keep the historical
+    ``start_seconds == window_id`` behaviour.
+    """
 
     window_id: int
     value: float
+    width_seconds: float = 1.0
 
     @property
     def start_seconds(self) -> float:
-        """Window start is meaningful only relative to the series width."""
-        return float(self.window_id)
+        """Virtual-time start of this window in seconds."""
+        return self.window_id * self.width_seconds
 
 
 class WindowedSeries:
@@ -40,6 +65,7 @@ class WindowedSeries:
     def __init__(self, window_seconds: float) -> None:
         if window_seconds <= 0:
             raise ValueError(f"window width must be positive, got {window_seconds}")
+        self.window_seconds = float(window_seconds)
         self.window_ns = int(window_seconds * NANOS_PER_SECOND)
         self._sums: dict[int, float] = defaultdict(float)
         self._counts: dict[int, int] = defaultdict(int)
@@ -67,7 +93,10 @@ class WindowedSeries:
         if not sparse:
             return []
         last = max(sparse)
-        return [WindowPoint(wid, sparse.get(wid, 0.0)) for wid in range(last + 1)]
+        width = self.window_seconds
+        return [
+            WindowPoint(wid, sparse.get(wid, 0.0), width) for wid in range(last + 1)
+        ]
 
     def __len__(self) -> int:
         return len(self._sums)
@@ -76,22 +105,35 @@ class WindowedSeries:
 class StatsBook:
     """Central statistics sink for a simulation run.
 
-    Counters are created lazily on first increment, so callers never need
-    to pre-register names.  Windowed series must be created explicitly
-    because they need a window width.
+    Counters are created lazily on first increment or interning, so
+    callers never need to pre-register names.  Windowed series must be
+    created explicitly because they need a window width.
     """
 
     def __init__(self) -> None:
-        self.counters: dict[str, int] = defaultdict(int)
+        self._counters: dict[str, Counter] = {}
         self.series: dict[str, WindowedSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Intern ``name`` and return its handle for direct ``.n`` bumps."""
+        handle = self._counters.get(name)
+        if handle is None:
+            handle = self._counters[name] = Counter(name)
+        return handle
 
     def inc(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self.counters[name] += amount
+        self.counter(name).n += amount
 
     def get(self, name: str) -> int:
         """Read counter ``name`` (zero if never incremented)."""
-        return self.counters.get(name, 0)
+        handle = self._counters.get(name)
+        return handle.n if handle is not None else 0
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Plain-dict view of all counters (compatibility accessor)."""
+        return self.snapshot()
 
     def make_series(self, name: str, window_seconds: float) -> WindowedSeries:
         """Create (or return the existing) windowed series called ``name``."""
@@ -105,4 +147,4 @@ class StatsBook:
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of all counters."""
-        return dict(self.counters)
+        return {name: handle.n for name, handle in self._counters.items()}

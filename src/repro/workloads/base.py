@@ -21,7 +21,7 @@ from repro.mm.address_space import Process
 __all__ = ["PageAccess", "Workload"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PageAccess:
     """One page reference emitted by a workload.
 

@@ -95,6 +95,33 @@ def test_selected_pages_promoted_in_same_run(machine):
     assert machine.stats.get("migrate.promotions") == promotions_before + 1
 
 
+def test_promotions_counted_in_stats(machine):
+    """A successful drain shows up in kpromoted.promoted, not a no-op."""
+    process = machine.create_process()
+    process.mmap_anon(0, 8)
+    page, pte = pm_resident(machine, process, 0, kind=ListKind.ACTIVE)
+    page.set(PageFlags.REFERENCED)
+    pte.accessed = True
+    pm_kpromoted(machine).run(0)
+    assert machine.system.tier_of(page) is MemoryTier.DRAM
+    assert machine.stats.get("kpromoted.promoted") == 1
+    # The engine-side counter agrees with the daemon-side one.
+    assert machine.stats.get("migrate.promotions") == 1
+
+
+def test_failed_promotion_not_counted(machine):
+    """A locked page recycles to active and is not counted as promoted."""
+    process = machine.create_process()
+    process.mmap_anon(0, 8)
+    page, pte = pm_resident(machine, process, 0, kind=ListKind.ACTIVE)
+    page.set(PageFlags.REFERENCED)
+    page.set(PageFlags.LOCKED)
+    pte.accessed = True
+    pm_kpromoted(machine).run(0)
+    assert machine.system.tier_of(page) is MemoryTier.PM
+    assert machine.stats.get("kpromoted.promoted") == 0
+
+
 def test_scan_budget_limits_work(machine):
     cfg = SimulationConfig(
         dram_pages=(64,),

@@ -204,6 +204,53 @@ def test_shrink_inactive_skips_locked(system):
     assert page.mapped
 
 
+def test_shrink_inactive_rotates_locked_to_head(system):
+    """Pinned pages rotate out of the way instead of clogging the tail."""
+    pm = system.nodes[1]
+    process = system.create_process()
+    process.mmap_anon(0, 16)
+    locked = resident_page(system, pm, process, 0)
+    locked.set(PageFlags.LOCKED)
+    clean = resident_page(system, pm, process, 1)
+    inactive = pm.lruvec.list_for(ListKind.INACTIVE, True)
+    assert inactive.tail is locked
+    result = shrink_inactive_list(system, pm, True, target_free=1, budget=16, demote_dest=None)
+    assert result.evicted == 1  # the clean page behind the locked one
+    assert not clean.mapped
+    assert locked.mapped
+    assert inactive.head is locked  # rotated, so the next scan starts past it
+
+
+def test_shrink_inactive_rotates_unevictable_to_head(system):
+    pm = system.nodes[1]
+    process = system.create_process()
+    process.mmap_anon(0, 16)
+    pinned = resident_page(system, pm, process, 0)
+    pinned.set(PageFlags.UNEVICTABLE)
+    inactive = pm.lruvec.list_for(ListKind.INACTIVE, True)
+    shrink_inactive_list(system, pm, True, target_free=1, budget=16, demote_dest=None)
+    assert pinned.mapped
+    assert inactive.head is pinned
+
+
+def test_shrink_inactive_rotates_on_failed_demotion(system):
+    """A full demotion destination must not stall the scan at the tail."""
+    dram, pm = system.nodes[0], system.nodes[1]
+    process = system.create_process()
+    process.mmap_anon(0, 16)
+    while pm.can_allocate():  # exhaust the destination
+        filler = pm.allocate_page(is_anon=True)
+        pm.lruvec.list_of(filler, ListKind.INACTIVE).add_head(filler)
+    page = resident_page(system, dram, process, 0)
+    inactive = dram.lruvec.list_for(ListKind.INACTIVE, True)
+    result = shrink_inactive_list(system, dram, True, target_free=1, budget=4, demote_dest=pm)
+    assert result.demoted == 0
+    assert result.evicted == 0  # a demotion tier exists, so no swap-out
+    assert page.mapped
+    assert page.node_id == dram.node_id
+    assert inactive.head is page  # rotated: the scan made progress
+
+
 def test_shrink_inactive_stops_at_target(system):
     pm = system.nodes[1]
     process = system.create_process()

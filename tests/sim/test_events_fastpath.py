@@ -1,0 +1,79 @@
+"""Tests for the scheduler's cached-deadline fast path.
+
+``DaemonScheduler.next_deadline_ns`` lets the access hot path decide
+with one integer compare whether ``run_due()`` could do anything.  The
+cache must track the heap exactly: stale-early wastes time, stale-late
+silently skips wakeups.
+"""
+
+from repro.sim.events import NEVER_NS, Daemon, DaemonScheduler
+from repro.sim.vclock import NANOS_PER_SECOND, VirtualClock
+
+
+def make_sched():
+    clock = VirtualClock()
+    return clock, DaemonScheduler(clock)
+
+
+def test_empty_scheduler_advertises_never():
+    __, sched = make_sched()
+    assert sched.next_deadline_ns == NEVER_NS
+    assert sched.run_due() == 0
+    assert sched.next_deadline_ns == NEVER_NS
+
+
+def test_register_caches_earliest_deadline():
+    __, sched = make_sched()
+    sched.register(Daemon("slow", 2.0, lambda now: 0))
+    assert sched.next_deadline_ns == 2 * NANOS_PER_SECOND
+    sched.register(Daemon("fast", 0.5, lambda now: 0))
+    assert sched.next_deadline_ns == NANOS_PER_SECOND // 2
+    sched.register(Daemon("slower", 5.0, lambda now: 0))
+    assert sched.next_deadline_ns == NANOS_PER_SECOND // 2
+
+
+def test_run_due_before_deadline_is_a_cheap_noop():
+    clock, sched = make_sched()
+    daemon = sched.register(Daemon("d", 1.0, lambda now: 0))
+    clock.advance_app(NANOS_PER_SECOND - 1)
+    assert sched.run_due() == 0
+    assert daemon.wakeups == 0
+    assert sched.next_deadline_ns == NANOS_PER_SECOND  # untouched
+
+
+def test_cache_refreshed_after_firing():
+    clock, sched = make_sched()
+    daemon = sched.register(Daemon("d", 1.0, lambda now: 0))
+    clock.advance_app(NANOS_PER_SECOND)
+    sched.run_due()
+    assert daemon.wakeups == 1
+    # Rescheduled one interval past the (on-time) deadline.
+    assert sched.next_deadline_ns == 2 * NANOS_PER_SECOND
+
+
+def test_cache_tracks_heap_across_interleaved_daemons():
+    clock, sched = make_sched()
+    sched.register(Daemon("fast", 0.25, lambda now: 0))
+    sched.register(Daemon("slow", 1.0, lambda now: 0))
+    for __ in range(12):
+        clock.advance_app(NANOS_PER_SECOND // 8)
+        sched.run_due()
+        assert sched.next_deadline_ns == sched._heap[0][0]
+        assert sched.next_deadline_ns > clock.now_ns
+
+
+def test_fast_path_never_skips_an_overdue_daemon():
+    """Checking the cache then calling run_due fires exactly like always
+    calling run_due — the pattern the batched access loop relies on."""
+
+    def drive(use_cache: bool) -> list[int]:
+        clock, sched = make_sched()
+        fired: list[int] = []
+        sched.register(Daemon("d", 0.3, lambda now: fired.append(now) or 0))
+        for __ in range(50):
+            clock.advance_app(NANOS_PER_SECOND // 10)
+            if not use_cache or sched.next_deadline_ns <= clock.now_ns:
+                sched.run_due()
+        return fired
+
+    assert drive(use_cache=True) == drive(use_cache=False)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.stats import StatsBook, WindowedSeries
+from repro.sim.stats import StatsBook, WindowedSeries, WindowPoint
 from repro.sim.vclock import NANOS_PER_SECOND
 
 
@@ -83,3 +83,34 @@ def test_book_record_routes_to_series():
     book.make_series("s", 1.0)
     book.record("s", 0, 3.0)
     assert book.series["s"].totals()[0].value == 3.0
+
+
+def test_interned_counter_shares_state_with_string_interface():
+    book = StatsBook()
+    handle = book.counter("x")
+    handle.n += 3
+    book.inc("x", 2)
+    assert book.get("x") == 5
+    assert book.counter("x") is handle
+    assert book.snapshot() == {"x": 5}
+
+
+def test_interned_counter_appears_in_snapshot_at_zero():
+    """Interning alone registers the name, so both access drivers
+    produce identical snapshot key sets even for untouched counters."""
+    book = StatsBook()
+    book.counter("never.bumped")
+    assert book.snapshot() == {"never.bumped": 0}
+
+
+def test_window_point_start_uses_width():
+    assert WindowPoint(3, 1.0).start_seconds == 3.0  # default 1s windows
+    assert WindowPoint(3, 1.0, width_seconds=20.0).start_seconds == 60.0
+
+
+def test_series_points_carry_window_width():
+    series = WindowedSeries(window_seconds=0.5)
+    series.record(int(1.2 * NANOS_PER_SECOND), 1.0)
+    points = series.totals()
+    assert points[-1].window_id == 2
+    assert points[-1].start_seconds == pytest.approx(1.0)

@@ -45,6 +45,39 @@ def test_run_on_prebuilt_machine_counts_deltas():
     assert second.counters.get("faults.minor", 0) < first.counters["faults.minor"]
 
 
+class _NoBoundaryWorkload(UniformWorkload):
+    """A stream that never marks op_boundary (e.g. a raw page trace)."""
+
+    name = "no-boundary"
+
+    def accesses(self):
+        for access in super().accesses():
+            yield type(access)(
+                access.process, access.vpage, is_write=access.is_write, lines=access.lines
+            )
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_ops_fallback_is_explicit(batch):
+    """When a stream carries no operation markers, RunResult falls back
+    to the access count — and says so, instead of silently conflating
+    operations with accesses."""
+    result = run_workload(
+        _NoBoundaryWorkload(pages=100, ops=300), CONFIG, policy="static", batch=batch
+    )
+    assert result.ops_fallback
+    assert result.operations == result.accesses == 300
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_ops_fallback_false_for_marked_streams(batch):
+    result = run_workload(
+        ZipfWorkload(pages=100, ops=300), CONFIG, policy="static", batch=batch
+    )
+    assert not result.ops_fallback
+    assert result.operations == 300
+
+
 def test_unknown_policy_name():
     with pytest.raises(KeyError):
         Machine(CONFIG, "bogus")
