@@ -16,4 +16,13 @@ python -m pytest benchmarks/perf -q
 echo "== repro bench --smoke =="
 python -m repro bench --smoke --repeats 1 --out "$(mktemp -d)/BENCH_perf.json"
 
+echo "== chaos smoke (2 policies x 1 workload under faults) =="
+python -m repro chaos --policies multiclock,static --workload zipf \
+    --pages 600 --ops 4000 --dram-pages 256 --pm-pages 2048 \
+    --interval 0.002 --out "$(mktemp -d)/CHAOS_report.json"
+
+echo "== invariant checker against a clean run =="
+python -m repro check --workload shifting-hotset --pages 800 --ops 6000 \
+    --dram-pages 256 --pm-pages 2048 --interval 0.002 --strict
+
 echo "CI OK"

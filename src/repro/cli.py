@@ -12,6 +12,13 @@ Commands:
   or replay a trace under any policy.
 * ``bench`` — host-wall-clock microbenchmarks of the simulator's hot
   paths, written to ``BENCH_perf.json`` (``--smoke`` for CI sizes).
+* ``check`` — run a workload with the ``CONFIG_DEBUG_VM`` invariant
+  checker sweeping periodically; nonzero exit on any violation.
+* ``chaos`` — run a policy × workload matrix under a fault schedule and
+  write ``CHAOS_report.json``; nonzero exit unless every cell is clean.
+
+Operator errors (unknown policy, impossible sizing, running out of
+simulated memory) exit with a one-line message, not a traceback.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import sys
 from typing import Callable
 
 from repro.machine import Machine
+from repro.mm.system import OutOfMemoryError
 from repro.run import run_workload
 from repro.sim.config import DaemonConfig, SimulationConfig
 
@@ -66,7 +74,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
 WORKLOADS = ("zipf", "uniform", "seqscan", "shifting-hotset")
 
 
-def _build_workload(args: argparse.Namespace):
+def _workload_builders(args: argparse.Namespace) -> dict[str, Callable]:
     from repro.workloads.synthetic import (
         SequentialScanWorkload,
         ShiftingHotSetWorkload,
@@ -74,7 +82,7 @@ def _build_workload(args: argparse.Namespace):
         ZipfWorkload,
     )
 
-    builders = {
+    return {
         "zipf": lambda: ZipfWorkload(args.pages, args.ops, seed=args.seed,
                                      write_ratio=args.write_ratio),
         "uniform": lambda: UniformWorkload(args.pages, args.ops, seed=args.seed,
@@ -86,13 +94,17 @@ def _build_workload(args: argparse.Namespace):
             phase_ops=max(1, args.ops // 4),
         ),
     }
-    return builders[args.workload]()
+
+
+def _build_workload(args: argparse.Namespace):
+    return _workload_builders(args)[args.workload]()
 
 
 def _build_config(args: argparse.Namespace) -> SimulationConfig:
     return SimulationConfig(
         dram_pages=(args.dram_pages,),
         pm_pages=(args.pm_pages,),
+        swap_pages=args.swap_pages,
         daemons=DaemonConfig(
             kpromoted_interval_s=args.interval,
             kswapd_interval_s=args.interval / 2,
@@ -106,6 +118,8 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--policy", default="multiclock", help="tiering policy name")
     parser.add_argument("--dram-pages", type=int, default=1024)
     parser.add_argument("--pm-pages", type=int, default=8192)
+    parser.add_argument("--swap-pages", type=int, default=1 << 28,
+                        help="backing-store capacity in pages")
     parser.add_argument("--interval", type=float, default=0.005,
                         help="daemon interval in virtual seconds")
     parser.add_argument("--seed", type=int, default=42)
@@ -150,6 +164,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="timing repeats per benchmark (best-of)")
     bench_p.add_argument("--out", default=None,
                          help="output JSON path (default BENCH_perf.json)")
+
+    check_p = sub.add_parser(
+        "check", help="run a workload under the VM invariant checker"
+    )
+    _add_machine_args(check_p)
+    _add_workload_args(check_p)
+    check_p.add_argument("--strict", action="store_true",
+                         help="raise on the first dirty sweep instead of counting")
+
+    chaos_p = sub.add_parser(
+        "chaos", help="run a policy × workload matrix under injected faults"
+    )
+    _add_machine_args(chaos_p)
+    _add_workload_args(chaos_p)
+    chaos_p.add_argument("--policies", default="multiclock,static",
+                         help="comma-separated policies for the matrix")
+    chaos_p.add_argument("--workloads", default=None,
+                         help="comma-separated workloads (default: --workload)")
+    chaos_p.add_argument("--fail-rate", type=float, default=0.2,
+                         help="transient migration copy-failure probability")
+    chaos_p.add_argument("--out", default=None,
+                         help="report path (default CHAOS_report.json)")
     return parser
 
 
@@ -207,8 +243,68 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _cmd_check(args: argparse.Namespace) -> int:
+    machine = Machine(_build_config(args), args.policy)
+    checker = machine.install_invariant_checker(args.interval, strict=args.strict)
+    result = run_workload(_build_workload(args), machine.config, machine=machine)
+    final = checker.check()
+    checks = machine.stats.get("debug_vm.checks")
+    violations = machine.stats.get("debug_vm.violations")
+    print(result.summary())
+    print(f"debug_vm: {checks} sweeps, {violations} violation(s)")
+    for violation in final:
+        print(f"  {violation}")
+    return 1 if violations else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import (
+        CapacityLoss,
+        CopyFailures,
+        FaultPlan,
+        render_report,
+        run_chaos,
+        write_report,
+    )
+    from repro.faults.chaos import DEFAULT_REPORT
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    workload_names = (
+        [w.strip() for w in args.workloads.split(",") if w.strip()]
+        if args.workloads
+        else [args.workload]
+    )
+    builders = _workload_builders(args)
+    unknown = [w for w in workload_names if w not in builders]
+    if unknown:
+        raise ValueError(
+            f"unknown workload(s) {', '.join(unknown)}; choose from {', '.join(WORKLOADS)}"
+        )
+    plan = FaultPlan(
+        seed=args.seed,
+        events=(
+            CopyFailures(start_s=0.002, end_s=30.0, rate=args.fail_rate),
+            CapacityLoss(
+                start_s=0.01, end_s=0.05, node_id=1,
+                frames=max(1, args.pm_pages // 8),
+            ),
+        ),
+    )
+    report = run_chaos(
+        policies,
+        {name: builders[name] for name in workload_names},
+        plan,
+        _build_config(args),
+        check_interval_s=args.interval,
+    )
+    out = args.out or DEFAULT_REPORT
+    write_report(report, out)
+    print(render_report(report))
+    print(f"report written to {out}")
+    return 0 if report.all_clean else 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "policies":
         return _cmd_policies()
     if args.command == "run":
@@ -221,7 +317,30 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_replay(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except OutOfMemoryError as exc:
+        # Message already names the failing allocation and per-node occupancy.
+        print(f"error: out of memory: {exc}", file=sys.stderr)
+        return 1
+    except MemoryError as exc:
+        print(f"error: allocation failed: {exc}", file=sys.stderr)
+        return 1
+    except (KeyError, ValueError) as exc:
+        # Operator mistakes (unknown policy, impossible sizing, bad plan)
+        # get one line on stderr, not a traceback.
+        detail = exc.args[0] if exc.args else str(exc)
+        print(f"error: {detail}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

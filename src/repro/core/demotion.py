@@ -40,6 +40,8 @@ class DemotionDaemon:
         stats = policy.system.stats
         self._c_runs = stats.counter("kswapd.runs")
         self._c_pages_scanned = stats.counter("kswapd.pages_scanned")
+        self._c_demoted = stats.counter("kswapd.demoted")
+        self._c_evicted = stats.counter("kswapd.evicted")
 
     @property
     def name(self) -> str:
@@ -83,6 +85,8 @@ class DemotionDaemon:
             )
         self._c_runs.n += 1
         self._c_pages_scanned.n += total.scanned
+        self._c_demoted.n += total.demoted
+        self._c_evicted.n += total.evicted
         return total.system_ns
 
     def _relieve_promote_list(self, budget: int) -> ScanResult:

@@ -50,6 +50,7 @@ class KPromoted:
         self._c_activated = stats.counter("kpromoted.activated")
         self._c_to_promote_list = stats.counter("kpromoted.to_promote_list")
         self._c_promoted = stats.counter("kpromoted.promoted")
+        self._c_deactivated = stats.counter("kpromoted.deactivated")
 
     @property
     def name(self) -> str:
@@ -72,6 +73,10 @@ class KPromoted:
         self._c_activated.n += total.activated
         self._c_to_promote_list.n += total.to_promote_list
         self._c_promoted.n += total.promoted
+        # Edge 11: promote-list pages recycled to active (stale, or the
+        # promotion could not make room) — without this the ladder's
+        # recycling arm is invisible next to the other counters.
+        self._c_deactivated.n += total.deactivated
         return total.system_ns
 
     def _scan_inactive(self, is_anon: bool, budget: int) -> ScanResult:

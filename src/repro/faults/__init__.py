@@ -1,0 +1,48 @@
+"""Fault injection and chaos testing for the simulator.
+
+``repro.faults`` turns the simulator into its own test rig: a declarative
+:class:`~repro.faults.plan.FaultPlan` is armed against a machine by
+:func:`~repro.faults.injector.install_faults`, and the chaos harness in
+:mod:`repro.faults.chaos` runs policy × workload matrices under fault
+schedules while the ``CONFIG_DEBUG_VM`` invariant checker
+(:mod:`repro.mm.debug`) watches for corruption.
+"""
+
+from repro.faults.chaos import (
+    ChaosCell,
+    ChaosReport,
+    default_plan,
+    render_report,
+    run_chaos,
+    write_report,
+)
+from repro.faults.injector import FaultInjector, install_faults
+from repro.faults.plan import (
+    CapacityLoss,
+    CopyFailures,
+    DaemonJitter,
+    DaemonStall,
+    FaultPlan,
+    FaultSpec,
+    LockBurst,
+    PmSlowdown,
+)
+
+__all__ = [
+    "FaultSpec",
+    "CopyFailures",
+    "LockBurst",
+    "PmSlowdown",
+    "CapacityLoss",
+    "DaemonStall",
+    "DaemonJitter",
+    "FaultPlan",
+    "FaultInjector",
+    "install_faults",
+    "ChaosCell",
+    "ChaosReport",
+    "default_plan",
+    "run_chaos",
+    "write_report",
+    "render_report",
+]

@@ -1,0 +1,227 @@
+"""Chaos harness: a policy × workload matrix under a fault schedule.
+
+``repro chaos`` (and ``tests/chaos/``) drive every requested policy over
+every requested workload with a :class:`~repro.faults.plan.FaultPlan`
+armed and the ``CONFIG_DEBUG_VM`` invariant checker sweeping periodically,
+then assert the three robustness properties the subsystem exists for:
+
+1. **completion** — no uncaught exception ends the run (OOM kills are
+   recorded, not crashes);
+2. **cleanliness** — zero invariant violations across every periodic
+   sweep and a final full sweep;
+3. **determinism** — the report is a pure function of (plan, matrix,
+   config): same seed, same ``CHAOS_report.json``, bit for bit.
+
+The report deliberately contains no wall-clock or host facts — everything
+in it is virtual-time state, which is what makes property 3 checkable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.faults.injector import install_faults
+from repro.faults.plan import CapacityLoss, CopyFailures, FaultPlan
+from repro.machine import Machine
+from repro.mm.debug import InvariantChecker
+from repro.mm.system import OutOfMemoryError
+from repro.run import RunResult, run_workload
+from repro.sim.config import SimulationConfig
+from repro.sim.events import Daemon
+from repro.workloads.base import Workload
+
+__all__ = [
+    "ChaosCell",
+    "ChaosReport",
+    "default_plan",
+    "run_chaos",
+    "write_report",
+    "render_report",
+    "DEFAULT_REPORT",
+]
+
+DEFAULT_REPORT = "CHAOS_report.json"
+
+#: counters worth surfacing per cell — the observability the retry /
+#: degradation machinery exists to provide.
+_REPORT_COUNTERS = (
+    "migrate.attempts",
+    "migrate.failed_copy",
+    "migrate.failed_dest_full",
+    "migrate.failed_locked",
+    "migrate.retries",
+    "migrate.retry_succeeded",
+    "migrate.retries_exhausted",
+    "migrate.promotions",
+    "migrate.demotions",
+    "vm.oom_stalls",
+    "oom.kills",
+    "alloc.direct_reclaim",
+    "faults.windows_opened",
+    "faults.copy_failures_injected",
+    "faults.pages_locked",
+    "faults.frames_offlined",
+    "debug_vm.checks",
+    "debug_vm.violations",
+    "kpromoted.promoted",
+    "kpromoted.deactivated",
+)
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One (policy, workload) run of the matrix."""
+
+    policy: str
+    workload: str
+    completed: bool
+    oom_killed: bool
+    error: str
+    elapsed_ns: int
+    accesses: int
+    violations: int
+    violation_details: tuple[str, ...]
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return self.completed and self.violations == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "workload": self.workload,
+            "completed": self.completed,
+            "oom_killed": self.oom_killed,
+            "error": self.error,
+            "elapsed_ns": self.elapsed_ns,
+            "accesses": self.accesses,
+            "violations": self.violations,
+            "violation_details": list(self.violation_details),
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """The full matrix outcome plus the plan that produced it."""
+
+    plan: FaultPlan
+    cells: tuple[ChaosCell, ...]
+
+    @property
+    def all_clean(self) -> bool:
+        return all(cell.clean for cell in self.cells)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "plan": self.plan.to_dict(),
+            "all_clean": self.all_clean,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+def default_plan(seed: int = 42) -> FaultPlan:
+    """The acceptance schedule: 20% transient migration copy failures for
+    most of the run, plus one PM capacity-loss window."""
+    return FaultPlan(
+        seed=seed,
+        events=(
+            CopyFailures(start_s=0.002, end_s=30.0, rate=0.2),
+            CapacityLoss(start_s=0.01, end_s=0.05, node_id=1, frames=1024),
+        ),
+    )
+
+
+def run_chaos(
+    policies: list[str],
+    workloads: dict[str, Callable[[], Workload]],
+    plan: FaultPlan,
+    config: SimulationConfig,
+    *,
+    check_interval_s: float = 0.005,
+) -> ChaosReport:
+    """Run the matrix; every cell gets a fresh machine and a fresh fault
+    schedule, so cells are independent and individually reproducible."""
+    cells = []
+    for policy in policies:
+        for workload_name, build in workloads.items():
+            cells.append(
+                _run_cell(policy, workload_name, build(), plan, config, check_interval_s)
+            )
+    return ChaosReport(plan=plan, cells=tuple(cells))
+
+
+def _run_cell(
+    policy: str,
+    workload_name: str,
+    workload: Workload,
+    plan: FaultPlan,
+    config: SimulationConfig,
+    check_interval_s: float,
+) -> ChaosCell:
+    machine = Machine(config, policy)
+    install_faults(machine, plan)
+    checker = InvariantChecker(machine.system)
+    machine.scheduler.register(Daemon(checker.name, check_interval_s, checker.run))
+    details: list[str] = []
+    result: RunResult | None = None
+    completed = False
+    oom_killed = False
+    error = ""
+    try:
+        result = run_workload(workload, config, machine=machine)
+        completed = True
+    except OutOfMemoryError as exc:
+        # Graceful degradation's last resort: recorded, not a crash.
+        oom_killed = True
+        error = f"OutOfMemoryError: {exc}"
+    except Exception as exc:  # noqa: BLE001 - chaos runs must report, not die
+        error = f"{type(exc).__name__}: {exc}"
+    # Final sweep over whatever state the run ended in.
+    final = checker.check()
+    details.extend(str(v) for v in checker.last_violations)
+    violations = machine.stats.get("debug_vm.violations")
+    counters = {
+        key: machine.stats.get(key) for key in _REPORT_COUNTERS
+    }
+    return ChaosCell(
+        policy=policy,
+        workload=workload_name,
+        completed=completed,
+        oom_killed=oom_killed,
+        error=error,
+        elapsed_ns=machine.clock.now_ns,
+        accesses=result.accesses if result is not None else machine.stats.get("accesses.total"),
+        violations=violations,
+        violation_details=tuple(details[:20]),
+        counters=counters,
+    )
+
+
+def write_report(report: ChaosReport, path: str = DEFAULT_REPORT) -> None:
+    """Serialise deterministically: sorted keys, no timestamps, newline-terminated."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_report(report: ChaosReport) -> str:
+    """Human-readable matrix summary for the CLI."""
+    lines = ["policy × workload under faults:"]
+    for cell in report.cells:
+        status = "clean" if cell.clean else ("OOM" if cell.oom_killed else "DIRTY")
+        retries = cell.counters.get("migrate.retries", 0)
+        healed = cell.counters.get("migrate.retry_succeeded", 0)
+        lines.append(
+            f"  {cell.policy:>12} × {cell.workload:<16} {status:>5}  "
+            f"{cell.counters.get('faults.copy_failures_injected', 0)} copy faults, "
+            f"{retries} retries ({healed} healed), "
+            f"{cell.counters.get('vm.oom_stalls', 0)} oom stalls, "
+            f"{cell.violations} violations"
+        )
+    verdict = "ALL CLEAN" if report.all_clean else "FAILURES PRESENT"
+    lines.append(f"chaos verdict: {verdict}")
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a seed plus a list of fault specs, each pinned to
+a virtual-time window (or instant).  Plans are plain data: they can be
+built in code, round-tripped through dicts (the chaos harness embeds the
+plan in ``CHAOS_report.json``), and replayed bit-identically — the
+injector derives every random draw from the plan's seed.
+
+Each spec models one failure mode the paper's kernel context absorbs for
+free:
+
+* :class:`CopyFailures`     — transient ``migrate_pages()`` copy failures
+  (-EAGAIN), at a given probability per attempt inside the window;
+* :class:`LockBurst`        — a burst of pages grabbing the page lock for
+  a while (writeback / pin storms), blocking their migration;
+* :class:`PmSlowdown`       — a PM latency degradation window (thermal
+  throttle / media-error retries on a DIMM);
+* :class:`CapacityLoss`     — frames taken offline on one node for the
+  window (memory hot-remove, a failing rank);
+* :class:`DaemonStall`      — matching daemons miss every wakeup in the
+  window (scheduling starvation under load);
+* :class:`DaemonJitter`     — random extra delay added to every daemon
+  reschedule in the window (noisy-neighbour wakeup latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any
+
+__all__ = [
+    "FaultSpec",
+    "CopyFailures",
+    "LockBurst",
+    "PmSlowdown",
+    "CapacityLoss",
+    "DaemonStall",
+    "DaemonJitter",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Base: a fault active on the virtual-time window [start_s, end_s)."""
+
+    start_s: float
+    end_s: float
+
+    def validated(self) -> "FaultSpec":
+        if self.start_s < 0:
+            raise ValueError(f"{type(self).__name__} cannot start before t=0")
+        if self.end_s <= self.start_s:
+            raise ValueError(
+                f"{type(self).__name__} window [{self.start_s}, {self.end_s}) is empty"
+            )
+        return self
+
+    @property
+    def kind(self) -> str:
+        return _KIND_BY_CLASS[type(self)]
+
+
+@dataclass(frozen=True)
+class CopyFailures(FaultSpec):
+    """Each migration copy attempt fails with probability ``rate``."""
+
+    rate: float = 0.2
+
+    def validated(self) -> "CopyFailures":
+        super().validated()
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"copy-failure rate must be in (0, 1], got {self.rate}")
+        return self
+
+
+@dataclass(frozen=True)
+class LockBurst(FaultSpec):
+    """``pages`` random resident pages of ``node_id`` hold the page lock."""
+
+    node_id: int = 0
+    pages: int = 64
+
+    def validated(self) -> "LockBurst":
+        super().validated()
+        if self.pages <= 0:
+            raise ValueError("a lock burst needs a positive page count")
+        return self
+
+
+@dataclass(frozen=True)
+class PmSlowdown(FaultSpec):
+    """PM access latency is scaled by ``multiplier`` for the window."""
+
+    multiplier: float = 3.0
+
+    def validated(self) -> "PmSlowdown":
+        super().validated()
+        if self.multiplier < 1.0:
+            raise ValueError("a slowdown cannot make PM faster than nominal")
+        return self
+
+
+@dataclass(frozen=True)
+class CapacityLoss(FaultSpec):
+    """``frames`` free frames of ``node_id`` go offline for the window."""
+
+    node_id: int = 0
+    frames: int = 256
+
+    def validated(self) -> "CapacityLoss":
+        super().validated()
+        if self.frames <= 0:
+            raise ValueError("a capacity loss needs a positive frame count")
+        return self
+
+
+@dataclass(frozen=True)
+class DaemonStall(FaultSpec):
+    """Daemons whose name starts with ``name_prefix`` skip every wakeup."""
+
+    name_prefix: str = "kpromoted"
+
+
+@dataclass(frozen=True)
+class DaemonJitter(FaultSpec):
+    """Every daemon reschedule gains up to ``max_extra_s`` random delay."""
+
+    max_extra_s: float = 0.01
+
+    def validated(self) -> "DaemonJitter":
+        super().validated()
+        if self.max_extra_s <= 0:
+            raise ValueError("jitter needs a positive maximum delay")
+        return self
+
+
+_KIND_BY_CLASS: dict[type, str] = {
+    CopyFailures: "copy_failures",
+    LockBurst: "lock_burst",
+    PmSlowdown: "pm_slowdown",
+    CapacityLoss: "capacity_loss",
+    DaemonStall: "daemon_stall",
+    DaemonJitter: "daemon_jitter",
+}
+_CLASS_BY_KIND = {kind: cls for cls, kind in _KIND_BY_CLASS.items()}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the fault schedule it makes deterministic."""
+
+    seed: int = 42
+    events: tuple[FaultSpec, ...] = ()
+
+    def validated(self) -> "FaultPlan":
+        for event in self.events:
+            if type(event) not in _KIND_BY_CLASS:
+                raise ValueError(f"unknown fault spec {type(event).__name__}")
+            event.validated()
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form, embedded in chaos reports."""
+        return {
+            "seed": self.seed,
+            "events": [
+                {"kind": event.kind, **asdict(event)} for event in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        events = []
+        for entry in data.get("events", ()):
+            entry = dict(entry)
+            spec_cls = _CLASS_BY_KIND[entry.pop("kind")]
+            allowed = {f.name for f in fields(spec_cls)}
+            events.append(spec_cls(**{k: v for k, v in entry.items() if k in allowed}))
+        return cls(seed=data.get("seed", 42), events=tuple(events)).validated()

@@ -58,6 +58,32 @@ class Machine:
     def create_process(self, name: str = "", home_socket: int = 0) -> Process:
         return self.system.create_process(name, home_socket)
 
+    def install_faults(self, plan) -> "object":
+        """Arm a :class:`~repro.faults.plan.FaultPlan` on this machine.
+
+        Returns the live :class:`~repro.faults.injector.FaultInjector`.
+        Must be called before driving accesses; a machine accepts at most
+        one plan for its lifetime.
+        """
+        from repro.faults.injector import install_faults
+
+        return install_faults(self, plan)
+
+    def install_invariant_checker(
+        self, interval_s: float = 0.005, *, strict: bool = False
+    ) -> "object":
+        """Register a periodic ``CONFIG_DEBUG_VM`` sweep on the scheduler.
+
+        Returns the :class:`~repro.mm.debug.InvariantChecker` so callers
+        can also sweep on demand and read ``last_violations``.
+        """
+        from repro.mm.debug import InvariantChecker
+        from repro.sim.events import Daemon
+
+        checker = InvariantChecker(self.system, strict=strict)
+        self.scheduler.register(Daemon(checker.name, interval_s, checker.run))
+        return checker
+
     def touch(
         self, process: Process, vpage: int, *, is_write: bool = False, lines: int = 1
     ) -> int:
@@ -108,6 +134,10 @@ class Machine:
         node_list = [nodes[nid] for nid in range(len(nodes))]
         node_read_ns = [read_ns[n.tier] for n in node_list]
         node_write_ns = [write_ns[n.tier] for n in node_list]
+        # With a fault plan armed, daemon wakeups may rescale tier latency
+        # (PmSlowdown windows), so the hoisted per-node tables must be
+        # rebuilt after every run_due(); without faults they are constant.
+        faults_live = system.faults is not None
         node_is_dram = [n.tier is MemoryTier.DRAM for n in node_list]
         node_socket = [n.socket for n in node_list]
         c_total = stats.counter("accesses.total")
@@ -167,6 +197,9 @@ class Machine:
                     run_due()
                     now = clock._now_ns
                     next_deadline = scheduler.next_deadline_ns
+                    if faults_live:
+                        node_read_ns = [read_ns[n.tier] for n in node_list]
+                        node_write_ns = [write_ns[n.tier] for n in node_list]
                 continue
             if not reg_start <= vpage < reg_end:
                 region = process.region_for(vpage)
@@ -228,6 +261,9 @@ class Machine:
                 run_due()
                 now = clock._now_ns
                 next_deadline = scheduler.next_deadline_ns
+                if faults_live:
+                    node_read_ns = [read_ns[n.tier] for n in node_list]
+                    node_write_ns = [write_ns[n.tier] for n in node_list]
         clock._now_ns = now
         clock._app_ns += app_accum
         c_total.n += acc_total

@@ -48,6 +48,20 @@ class PageAllocator:
     def fallback_order(self) -> list[NumaNode]:
         return list(self._nodes)
 
+    def occupancy(self) -> str:
+        """One-line per-node occupancy, for OOM reports.
+
+        Shows which node refused the allocation and why — full, or
+        frames offline after a fault-injected capacity loss.
+        """
+        parts = []
+        for node in self._nodes:
+            part = f"node{node.node_id}/{node.tier.name} {node.used_pages}/{node.capacity_pages} used"
+            if node.offline_pages:
+                part += f" ({node.offline_pages} offline)"
+            parts.append(part)
+        return "; ".join(parts)
+
     def allocate(
         self, *, is_anon: bool, born_ns: int = 0, home_socket: int = 0
     ) -> AllocationResult:

@@ -1,0 +1,241 @@
+"""Kernel-style invariant checking — the simulator's ``CONFIG_DEBUG_VM``.
+
+The kernel catches list corruption and accounting drift with
+``VM_BUG_ON_PAGE`` assertions compiled in under ``CONFIG_DEBUG_VM``; the
+simulator gets the same safety net here.  :func:`check_invariants` walks
+the whole machine — every node, every LRU list, every page table — and
+returns a list of violations instead of asserting, so callers choose
+between logging (the chaos harness), raising (strict tests) and counting
+(the periodic daemon).
+
+Checks, mirroring their kernel analogues:
+
+* list structure   — forward/backward links agree, lengths match the
+  maintained counts, head/tail terminate properly (``list_head`` checks);
+* single residence — every page sits on exactly one list, on the node it
+  is accounted to, with its LRU flag matching (``VM_BUG_ON_PAGE(PageLRU)``);
+* frame accounting — each node's ``used_pages`` equals the distinct pages
+  resident on it (LRU lists plus mapped off-list pages), and
+  used + free + offline covers the capacity exactly;
+* rmap symmetry    — every PTE is in its page's rmap and vice versa;
+* swap accounting  — the backing store's slot count is consistent and
+  within capacity;
+* counter monotonicity — stat counters only ever grow between checks
+  (the stateful part, held by :class:`InvariantChecker`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.mm.flags import PageFlags
+from repro.mm.lruvec import ListKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mm.system import MemorySystem
+
+__all__ = ["Violation", "InvariantError", "check_invariants", "InvariantChecker"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant: which check, and what it saw."""
+
+    check: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.detail}"
+
+
+class InvariantError(AssertionError):
+    """Raised in strict mode — the simulator's ``VM_BUG_ON``."""
+
+    def __init__(self, violations: list[Violation]) -> None:
+        self.violations = violations
+        lines = "\n".join(f"  {v}" for v in violations)
+        super().__init__(f"{len(violations)} VM invariant violation(s):\n{lines}")
+
+
+def check_invariants(system: "MemorySystem") -> list[Violation]:
+    """Validate the whole machine's MM state; returns all violations found."""
+    violations: list[Violation] = []
+    seen_on_lists: dict[int, str] = {}  # pfn -> list description
+
+    for node in system.nodes.values():
+        node_resident: set[int] = set()
+        for lst in node.lruvec.all_lists():
+            where = f"node{node.node_id}:{lst.name}"
+            count = 0
+            prev = None
+            cursor = lst.head
+            broken = False
+            while cursor is not None:
+                count += 1
+                if count > len(lst):
+                    violations.append(Violation(
+                        "list-structure",
+                        f"{where} walk exceeds its count of {len(lst)} (cycle?)",
+                    ))
+                    broken = True
+                    break
+                if cursor.lru_prev is not prev:
+                    violations.append(Violation(
+                        "list-structure",
+                        f"{where} back-link of pfn={cursor.pfn} does not match walk",
+                    ))
+                if cursor.lru is not lst:
+                    violations.append(Violation(
+                        "list-structure",
+                        f"pfn={cursor.pfn} on {where} but its lru pointer says "
+                        f"{cursor.lru.name if cursor.lru else None}",
+                    ))
+                if not cursor.test(PageFlags.LRU):
+                    violations.append(Violation(
+                        "list-structure", f"pfn={cursor.pfn} on {where} without the LRU flag"
+                    ))
+                if cursor.pfn in seen_on_lists:
+                    violations.append(Violation(
+                        "single-residence",
+                        f"pfn={cursor.pfn} on both {seen_on_lists[cursor.pfn]} and {where}",
+                    ))
+                else:
+                    seen_on_lists[cursor.pfn] = where
+                if cursor.node_id != node.node_id:
+                    violations.append(Violation(
+                        "single-residence",
+                        f"pfn={cursor.pfn} on {where} but accounted to node {cursor.node_id}",
+                    ))
+                if lst.kind is ListKind.UNEVICTABLE and not cursor.test(PageFlags.UNEVICTABLE):
+                    violations.append(Violation(
+                        "single-residence",
+                        f"pfn={cursor.pfn} on {where} without the UNEVICTABLE flag",
+                    ))
+                node_resident.add(cursor.pfn)
+                prev = cursor
+                cursor = cursor.lru_next
+            if not broken:
+                if count != len(lst):
+                    violations.append(Violation(
+                        "list-structure",
+                        f"{where} holds {count} pages but counts {len(lst)}",
+                    ))
+                if lst.tail is not prev:
+                    violations.append(Violation(
+                        "list-structure", f"{where} tail pointer does not end the walk"
+                    ))
+
+        # Frame accounting: resident pages on this node's lists, plus any
+        # mapped pages transiently off-LRU, must equal used_pages exactly.
+        for process in system.processes.values():
+            for pte in process.page_table.entries():
+                if pte.page.node_id == node.node_id:
+                    node_resident.add(pte.page.pfn)
+        if len(node_resident) != node.used_pages:
+            violations.append(Violation(
+                "frame-accounting",
+                f"node{node.node_id} accounts {node.used_pages} used frames but "
+                f"{len(node_resident)} pages are resident",
+            ))
+        if node.used_pages < 0 or node.free_pages < 0 or node.offline_pages < 0:
+            violations.append(Violation(
+                "frame-accounting",
+                f"node{node.node_id} has negative accounting: used={node.used_pages} "
+                f"free={node.free_pages} offline={node.offline_pages}",
+            ))
+        if node.used_pages + node.free_pages + node.offline_pages != node.capacity_pages:
+            violations.append(Violation(
+                "frame-accounting",
+                f"node{node.node_id} used+free+offline "
+                f"{node.used_pages}+{node.free_pages}+{node.offline_pages} "
+                f"!= capacity {node.capacity_pages}",
+            ))
+
+    # Rmap symmetry, both directions.
+    for process in system.processes.values():
+        for pte in process.page_table.entries():
+            if pte not in pte.page.rmap:
+                violations.append(Violation(
+                    "rmap",
+                    f"pid={pte.process_id} vpage={pte.vpage} maps pfn={pte.page.pfn} "
+                    f"but is missing from its rmap",
+                ))
+        for pte in process.page_table.entries():
+            for mapper in pte.page.rmap:
+                owner = system.processes.get(mapper.process_id)
+                if owner is None or owner.page_table.lookup(mapper.vpage) is not mapper:
+                    violations.append(Violation(
+                        "rmap",
+                        f"pfn={pte.page.pfn} rmap holds a stale PTE "
+                        f"(pid={mapper.process_id} vpage={mapper.vpage})",
+                    ))
+
+    backing = system.backing
+    if backing.swapped_pages > backing.swap_capacity_pages:
+        violations.append(Violation(
+            "swap-accounting",
+            f"{backing.swapped_pages} pages swapped exceeds capacity "
+            f"{backing.swap_capacity_pages}",
+        ))
+    if backing.swap_outs - backing.swap_ins != backing.swapped_pages:
+        violations.append(Violation(
+            "swap-accounting",
+            f"swap_outs-swap_ins {backing.swap_outs}-{backing.swap_ins} "
+            f"!= resident slots {backing.swapped_pages}",
+        ))
+    return violations
+
+
+class InvariantChecker:
+    """Periodic / on-demand invariant checking with counter tracking.
+
+    Stateless structural checks come from :func:`check_invariants`; this
+    object adds the *monotone counters* check (needs the previous
+    snapshot) and the bookkeeping to run from the daemon scheduler:
+    ``debug_vm.checks`` counts sweeps, ``debug_vm.violations`` accumulates
+    findings, and ``last_violations`` keeps the most recent detail for
+    reporting.  ``strict=True`` raises :class:`InvariantError` instead —
+    the panic-on-corruption configuration used by the chaos tests.
+    """
+
+    #: counters the checker itself bumps, exempt from the monotone check
+    #: (they are, but excluding them keeps the check self-contained).
+    _SELF = ("debug_vm.checks", "debug_vm.violations")
+
+    def __init__(self, system: "MemorySystem", *, strict: bool = False) -> None:
+        self.system = system
+        self.strict = strict
+        self.last_violations: list[Violation] = []
+        self._c_checks = system.stats.counter("debug_vm.checks")
+        self._c_violations = system.stats.counter("debug_vm.violations")
+        self._last_counters: dict[str, int] = {}
+
+    @property
+    def name(self) -> str:
+        return "debug_vm"
+
+    def check(self) -> list[Violation]:
+        """One full sweep; records, remembers and (in strict mode) raises."""
+        violations = check_invariants(self.system)
+        current = self.system.stats.snapshot()
+        for key, value in self._last_counters.items():
+            if key in self._SELF:
+                continue
+            if current.get(key, 0) < value:
+                violations.append(Violation(
+                    "counter-monotone",
+                    f"counter {key} went backwards: {value} -> {current.get(key, 0)}",
+                ))
+        self._last_counters = current
+        self._c_checks.n += 1
+        self._c_violations.n += len(violations)
+        self.last_violations = violations
+        if violations and self.strict:
+            raise InvariantError(violations)
+        return violations
+
+    def run(self, now_ns: int) -> int:
+        """Daemon body: sweep and charge nothing (a pure observer)."""
+        self.check()
+        return 0

@@ -58,6 +58,10 @@ class HardwareModel:
             MemoryTier.DRAM: latency.dram_write_ns,
             MemoryTier.PM: latency.pm_write_ns,
         }
+        # Nominal values, kept so degradation windows can be applied and
+        # lifted losslessly (scales never compound).
+        self._base_read_ns = dict(self._read_ns)
+        self._base_write_ns = dict(self._write_ns)
 
     @property
     def latency(self) -> LatencyConfig:
@@ -76,6 +80,19 @@ class HardwareModel:
         construction, so handing them out is safe.
         """
         return self._read_ns, self._write_ns
+
+    def set_tier_scale(self, tier: MemoryTier, multiplier: float) -> None:
+        """Scale one tier's access latency (fault-injection degradation).
+
+        Mutates the live latency tables in place — the same dict objects
+        :meth:`access_tables` hands out — so callers holding the tables
+        observe the change; 1.0 restores nominal latency.  Models a PM
+        DIMM falling into a thermally-throttled / media-error-retry mode.
+        """
+        if multiplier <= 0:
+            raise ValueError(f"latency multiplier must be positive, got {multiplier}")
+        self._read_ns[tier] = max(1, int(self._base_read_ns[tier] * multiplier))
+        self._write_ns[tier] = max(1, int(self._base_write_ns[tier] * multiplier))
 
     def migrate_ns(self, pages: int = 1) -> int:
         """System cost of migrating ``pages`` pages between tiers."""

@@ -22,7 +22,10 @@ from repro.mm.page import Page
 from repro.sim.stats import StatsBook
 from repro.sim.vclock import VirtualClock
 
-__all__ = ["MigrationEngine", "MigrationOutcome"]
+__all__ = ["MigrationEngine", "MigrationOutcome", "MAX_MIGRATE_ATTEMPTS"]
+
+MAX_MIGRATE_ATTEMPTS = 10
+"""Kernel ``migrate_pages()`` retries a failing page up to 10 times."""
 
 
 class MigrationOutcome(enum.Enum):
@@ -33,10 +36,21 @@ class MigrationOutcome(enum.Enum):
     PAGE_UNEVICTABLE = "page_unevictable"
     DEST_FULL = "dest_full"
     SAME_NODE = "same_node"
+    COPY_FAILED = "copy_failed"
 
     @property
     def ok(self) -> bool:
         return self is MigrationOutcome.MIGRATED
+
+    @property
+    def transient(self) -> bool:
+        """Failures worth retrying — the kernel's -EAGAIN class.
+
+        A failed copy may succeed on the next attempt; a full destination
+        may drain as kswapd works.  Locked / unevictable / same-node are
+        permanent for this pass.
+        """
+        return self in (MigrationOutcome.COPY_FAILED, MigrationOutcome.DEST_FULL)
 
 
 class MigrationEngine:
@@ -53,13 +67,25 @@ class MigrationEngine:
         self._hardware = hardware
         self._clock = clock
         self._stats = stats
+        self._c_attempts = stats.counter("migrate.attempts")
         self._c_failed_locked = stats.counter("migrate.failed_locked")
         self._c_failed_unevictable = stats.counter("migrate.failed_unevictable")
         self._c_failed_dest_full = stats.counter("migrate.failed_dest_full")
+        self._c_failed_copy = stats.counter("migrate.failed_copy")
+        self._c_retries = stats.counter("migrate.retries")
+        self._c_retry_succeeded = stats.counter("migrate.retry_succeeded")
+        self._c_retries_exhausted = stats.counter("migrate.retries_exhausted")
         self._c_promotions = stats.counter("migrate.promotions")
         self._c_demotions = stats.counter("migrate.demotions")
         self._c_lateral = stats.counter("migrate.lateral")
         self.on_promote: "Callable[[Page], None] | None" = None
+        # Fault-injection hook: when set, it is consulted on every copy
+        # attempt and a True return fails the copy transiently.  Its
+        # presence also arms the retry loop — with no injector installed
+        # migrate_with_retry degenerates to a single attempt, keeping the
+        # happy path bit-identical to the pre-resilience engine.
+        self.copy_fault_hook: "Callable[[Page, NumaNode], bool] | None" = None
+        self._backoff_base_ns = hardware.latency.migrate_backoff_ns
 
     def node_of(self, page: Page) -> NumaNode:
         return self._nodes[page.node_id]
@@ -72,6 +98,7 @@ class MigrationEngine:
         policy wants.  On failure the page is left exactly where it was.
         """
         source = self._nodes[page.node_id]
+        self._c_attempts.n += 1
         if dest.node_id == source.node_id:
             return MigrationOutcome.SAME_NODE
         if page.test(PageFlags.LOCKED):
@@ -83,6 +110,13 @@ class MigrationEngine:
         if not dest.can_allocate():
             self._c_failed_dest_full.n += 1
             return MigrationOutcome.DEST_FULL
+        if self.copy_fault_hook is not None and self.copy_fault_hook(page, dest):
+            # The copy ran and was torn down: charge the full copy cost
+            # (as the kernel does for a failed migrate attempt) but leave
+            # the page exactly where it was.
+            self._c_failed_copy.n += 1
+            self._clock.advance_system(self._hardware.migrate_ns())
+            return MigrationOutcome.COPY_FAILED
 
         if page.lru is not None:
             page.lru.remove(page)
@@ -91,6 +125,53 @@ class MigrationEngine:
         self._clock.advance_system(self._hardware.migrate_ns())
         self._account_direction(source, dest, page)
         return MigrationOutcome.MIGRATED
+
+    def migrate_with_retry(
+        self,
+        page: Page,
+        dest: NumaNode,
+        *,
+        max_attempts: int = MAX_MIGRATE_ATTEMPTS,
+    ) -> MigrationOutcome:
+        """Kernel-style bounded retry around :meth:`migrate`.
+
+        ``migrate_pages()`` retries a page that failed transiently up to
+        10 times; we add exponential *virtual-time* backoff between
+        attempts (standing in for the cond_resched + writeback waits of
+        the real retry loop) and a longer congestion backoff when the
+        destination is full, giving kswapd's drain a chance to land.
+
+        The loop only engages when a fault injector is armed
+        (``copy_fault_hook`` set): without one, transient failures cannot
+        heal between attempts, so the first outcome is returned as-is and
+        the happy path stays bit-identical to the retry-free engine.
+        """
+        outcome = self.migrate(page, dest)
+        if self.copy_fault_hook is None:
+            return outcome
+        backoff_ns = self._backoff_base_ns
+        attempts = 1
+        # A full destination cannot drain during our own backoff unless
+        # something else runs, so congestion retries are capped tighter
+        # than the transient-copy budget.
+        dest_full_budget = 3
+        while not outcome.ok and outcome.transient and attempts < max_attempts:
+            if outcome is MigrationOutcome.DEST_FULL:
+                if dest_full_budget <= 0:
+                    break
+                dest_full_budget -= 1
+                self._clock.advance_system(4 * backoff_ns)  # congestion wait
+            else:
+                self._clock.advance_system(backoff_ns)
+            backoff_ns = min(backoff_ns * 2, 512 * self._backoff_base_ns)
+            self._c_retries.n += 1
+            outcome = self.migrate(page, dest)
+            attempts += 1
+        if outcome.ok and attempts > 1:
+            self._c_retry_succeeded.n += 1
+        elif not outcome.ok and outcome.transient:
+            self._c_retries_exhausted.n += 1
+        return outcome
 
     def _account_direction(self, source: NumaNode, dest: NumaNode, page: Page) -> None:
         if dest.tier < source.tier:

@@ -36,6 +36,7 @@ class NumaNode:
         self.watermarks = watermarks
         self.lruvec = LruVec()
         self._used_pages = 0
+        self._offline_pages = 0
 
     @classmethod
     def create(
@@ -60,8 +61,36 @@ class NumaNode:
         return self._used_pages
 
     @property
+    def offline_pages(self) -> int:
+        """Frames taken offline (fault injection / simulated hot-remove)."""
+        return self._offline_pages
+
+    @property
     def free_pages(self) -> int:
-        return self.capacity_pages - self._used_pages
+        return self.capacity_pages - self._used_pages - self._offline_pages
+
+    def take_offline(self, frames: int) -> int:
+        """Remove up to ``frames`` free frames from service.
+
+        Models memory hot-remove (or a failing DIMM rank): only free
+        frames can leave — occupied ones would need migrating off first,
+        which the pressure this creates will drive.  Returns the number
+        actually taken; the caller passes it back to :meth:`bring_online`.
+        """
+        if frames < 0:
+            raise ValueError("cannot offline a negative number of frames")
+        taken = min(frames, self.free_pages)
+        self._offline_pages += taken
+        return taken
+
+    def bring_online(self, frames: int) -> None:
+        """Return previously offlined frames to service."""
+        if frames < 0 or frames > self._offline_pages:
+            raise ValueError(
+                f"node {self.node_id} has {self._offline_pages} frames offline, "
+                f"cannot bring {frames} online"
+            )
+        self._offline_pages -= frames
 
     def pressure(self) -> PressureLevel:
         return self.watermarks.pressure(self.free_pages)

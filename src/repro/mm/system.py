@@ -29,7 +29,12 @@ from repro.sim.vclock import VirtualClock
 if TYPE_CHECKING:  # pragma: no cover
     from repro.policies.base import TieringPolicy
 
-__all__ = ["MemorySystem", "OutOfMemoryError"]
+__all__ = ["MemorySystem", "OutOfMemoryError", "OOM_RECLAIM_RETRIES"]
+
+OOM_RECLAIM_RETRIES = 4
+"""Direct-reclaim passes the touch path absorbs before the OOM killer
+fires — the analogue of ``__alloc_pages_slowpath`` looping while reclaim
+keeps making progress."""
 
 
 class OutOfMemoryError(RuntimeError):
@@ -89,6 +94,10 @@ class MemorySystem:
         self._c_faults_hint = stats.counter("faults.hint")
         self._c_alloc_pages = stats.counter("alloc.pages")
         self._c_promoted_reaccessed = stats.counter("promoted.reaccessed")
+        self._c_oom_stalls = stats.counter("vm.oom_stalls")
+        # Fault injector handle; None means no faults are armed and every
+        # resilience hook stays on its zero-cost path.
+        self.faults = None
 
     # -- wiring -------------------------------------------------------------
 
@@ -215,30 +224,44 @@ class MemorySystem:
         return pte, charged
 
     def _allocate_page(self, region: MemoryRegion, home_socket: int = 0) -> Page:
-        """Allocate with fallback; direct-reclaim through the policy on failure."""
-        try:
-            result = self.allocator.allocate(
-                is_anon=region.is_anon, born_ns=self.clock.now_ns,
-                home_socket=home_socket,
-            )
-        except MemoryError:
-            self.stats.inc("alloc.direct_reclaim")
-            freed = self.policy.direct_reclaim()
-            if freed <= 0:
-                self.stats.inc("oom.kills")
-                raise OutOfMemoryError(
-                    "allocation failed and reclaim freed nothing"
-                ) from None
-            result = self.allocator.allocate(
-                is_anon=region.is_anon, born_ns=self.clock.now_ns,
-                home_socket=home_socket,
-            )
+        """Allocate with fallback, degrading gracefully under exhaustion.
+
+        Allocation failure never escapes as a raw ``MemoryError``: each
+        failed walk stalls the faulting access in synchronous direct
+        reclaim (counted in ``vm.oom_stalls``) and retries, for up to
+        :data:`OOM_RECLAIM_RETRIES` passes while reclaim keeps making
+        progress.  Only when reclaim frees nothing does the OOM killer
+        fire, with the per-node occupancy in the message.
+        """
+        result = None
+        for __ in range(1 + OOM_RECLAIM_RETRIES):
+            try:
+                result = self.allocator.allocate(
+                    is_anon=region.is_anon, born_ns=self.clock.now_ns,
+                    home_socket=home_socket,
+                )
+                break
+            except MemoryError:
+                self.stats.inc("alloc.direct_reclaim")
+                self._c_oom_stalls.n += 1
+                freed = self.policy.direct_reclaim()
+                if freed <= 0:
+                    self._oom("reclaim freed nothing")
+        if result is None:
+            self._oom(f"reclaim kept stalling ({OOM_RECLAIM_RETRIES} retries)")
         if result.fell_back:
             self.stats.inc("alloc.fallback_pm")
         if result.pressured_nodes:
             self.policy.on_memory_pressure(result.pressured_nodes)
         self._c_alloc_pages.n += 1
         return result.page
+
+    def _oom(self, why: str) -> None:
+        """Fire the OOM killer: count it and report node occupancy."""
+        self.stats.inc("oom.kills")
+        raise OutOfMemoryError(
+            f"allocation failed and {why} — {self.allocator.occupancy()}"
+        ) from None
 
     def discard_region(self, process: Process, region: MemoryRegion) -> int:
         """Free every resident page of a region (munmap / MADV_FREE).

@@ -204,7 +204,7 @@ def shrink_inactive_list(
             result.referenced += 1
             continue
         if demote_dest is not None and demote_dest.can_allocate():
-            outcome = system.migrator.migrate(page, demote_dest)
+            outcome = system.migrator.migrate_with_retry(page, demote_dest)
             if outcome.ok:
                 page.clear(PageFlags.REFERENCED)
                 demote_dest.lruvec.list_for(ListKind.INACTIVE, is_anon).add_head(page)

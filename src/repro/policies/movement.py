@@ -101,7 +101,7 @@ def promote_page(
     if not dest.can_allocate():
         if not make_room or not demand_demote(system, dest, pages=1):
             return False
-    outcome = system.migrator.migrate(page, dest)
+    outcome = system.migrator.migrate_with_retry(page, dest)
     if not outcome.ok:
         return False
     page.clear(PageFlags.PROMOTE)
@@ -142,7 +142,7 @@ def demand_demote(system: MemorySystem, dram_node: NumaNode, pages: int) -> bool
                 return True
             if page.test(PageFlags.LOCKED) or page.test(PageFlags.UNEVICTABLE):
                 continue
-            if system.migrator.migrate(page, dest).ok:
+            if system.migrator.migrate_with_retry(page, dest).ok:
                 page.clear(PageFlags.REFERENCED)
                 dest.lruvec.list_of(page, ListKind.INACTIVE).add_head(page)
                 freed += 1

@@ -56,6 +56,9 @@ class LatencyConfig:
     minor_fault_ns: int = 800
     swap_in_ns: int = 100_000
     swap_out_ns: int = 60_000
+    migrate_backoff_ns: int = 1_000
+    """Base backoff between retries of a transiently failed migration
+    (doubles per attempt, kernel ``migrate_pages()``-style)."""
     remote_socket_multiplier: float = 1.5
     """Latency multiplier for accesses that cross a socket interconnect
     (typical QPI/UPI remote-DRAM penalty)."""

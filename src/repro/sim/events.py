@@ -30,6 +30,10 @@ class Daemon:
     of nanoseconds of system work the wakeup consumed, which the scheduler
     charges to the clock.  Returning 0 models a wakeup that found nothing
     to do.
+
+    ``one_shot=True`` makes the daemon a timer instead: it fires once,
+    ``interval_s`` after registration, and is not rescheduled.  The fault
+    injector uses these for the edges of its fault windows.
     """
 
     def __init__(
@@ -39,6 +43,7 @@ class Daemon:
         body: Callable[[int], int],
         *,
         enabled: bool = True,
+        one_shot: bool = False,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"daemon {name!r} needs a positive interval")
@@ -46,10 +51,12 @@ class Daemon:
         self.interval_ns = int(interval_s * NANOS_PER_SECOND)
         self.body = body
         self.enabled = enabled
+        self.one_shot = one_shot
         self.wakeups = 0
 
     def __repr__(self) -> str:
-        return f"Daemon({self.name!r}, every {self.interval_ns}ns, wakeups={self.wakeups})"
+        kind = "once in" if self.one_shot else "every"
+        return f"Daemon({self.name!r}, {kind} {self.interval_ns}ns, wakeups={self.wakeups})"
 
 
 class DaemonScheduler:
@@ -75,6 +82,9 @@ class DaemonScheduler:
         self._seq = itertools.count()
         self._daemons: dict[str, Daemon] = {}
         self.next_deadline_ns: int = NEVER_NS
+        # Optional wakeup-jitter hook (fault injection): called once per
+        # reschedule, returns extra nanoseconds to delay the next wakeup.
+        self.jitter_hook: Callable[[Daemon], int] | None = None
 
     def register(self, daemon: Daemon) -> Daemon:
         """Register ``daemon``; its first wakeup is one interval from now."""
@@ -113,7 +123,12 @@ class DaemonScheduler:
                 if work_ns:
                     self._clock.advance_system(work_ns)
                     charged += work_ns
+            if daemon.one_shot:
+                del self._daemons[daemon.name]
+                continue
             next_deadline = max(deadline, self._clock.now_ns) + daemon.interval_ns
+            if self.jitter_hook is not None:
+                next_deadline += max(0, self.jitter_hook(daemon))
             heapq.heappush(self._heap, (next_deadline, next(self._seq), daemon))
         self.next_deadline_ns = self._heap[0][0] if self._heap else NEVER_NS
         return charged

@@ -184,3 +184,18 @@ def test_promotion_into_full_dram_demand_demotes(machine):
     pm_kpromoted(machine).run(0)
     assert machine.system.tier_of(page) is MemoryTier.DRAM
     assert machine.stats.get("migrate.demotions") >= 1
+
+
+def test_failed_drain_counts_deactivation(machine):
+    """A promote-list page that cannot migrate is recycled to the active
+    list and shows up in kpromoted.deactivated."""
+    process = machine.create_process()
+    process.mmap_anon(0, 8)
+    page, pte = pm_resident(machine, process, 0, kind=ListKind.ACTIVE)
+    page.set(PageFlags.REFERENCED)
+    page.set(PageFlags.LOCKED)
+    pte.accessed = True
+    pm_kpromoted(machine).run(0)
+    assert machine.system.tier_of(page) is MemoryTier.PM
+    assert machine.stats.get("kpromoted.deactivated") >= 1
+    assert machine.stats.get("kpromoted.promoted") == 0

@@ -92,3 +92,59 @@ def test_anon_flag_propagates():
     allocator = PageAllocator(make_nodes())
     assert allocator.allocate(is_anon=True).page.is_anon
     assert not allocator.allocate(is_anon=False).page.is_anon
+
+
+def test_reserve_walk_takes_highest_tier_first():
+    """Once every node is below its min watermark, remaining frames are
+    still handed out in fallback order — DRAM reserve before PM reserve."""
+    nodes = make_nodes(dram=4, pm=4)
+    allocator = PageAllocator(nodes)
+    while (nodes[0].free_pages > nodes[0].watermarks.min_pages
+           or nodes[1].free_pages > nodes[1].watermarks.min_pages):
+        allocator.allocate(is_anon=True)
+    assert nodes[0].free_pages > 0  # DRAM reserve not yet consumed
+    result = allocator.allocate(is_anon=True)
+    assert result.node.tier is MemoryTier.DRAM
+    assert not result.fell_back
+
+
+def test_reserve_walk_stops_only_when_frames_are_gone():
+    nodes = make_nodes(dram=4, pm=4)
+    allocator = PageAllocator(nodes)
+    for __ in range(8):
+        allocator.allocate(is_anon=True)
+    assert nodes[0].free_pages == 0
+    assert nodes[1].free_pages == 0
+    with pytest.raises(MemoryError):
+        allocator.allocate(is_anon=True)
+
+
+def test_occupancy_reports_every_node():
+    nodes = make_nodes(dram=16, pm=64)
+    allocator = PageAllocator(nodes)
+    for __ in range(3):
+        allocator.allocate(is_anon=True)
+    report = allocator.occupancy()
+    assert "node0/DRAM 3/16 used" in report
+    assert "node1/PM 0/64 used" in report
+
+
+def test_occupancy_reports_offline_frames():
+    nodes = make_nodes(dram=16, pm=64)
+    allocator = PageAllocator(nodes)
+    nodes[1].take_offline(10)
+    assert "(10 offline)" in allocator.occupancy()
+
+
+def test_offline_frames_shrink_the_reserve():
+    nodes = make_nodes(dram=4, pm=4)
+    allocator = PageAllocator(nodes)
+    nodes[1].take_offline(2)
+    got = 0
+    while True:
+        try:
+            allocator.allocate(is_anon=True)
+            got += 1
+        except MemoryError:
+            break
+    assert got == 6  # 8 frames minus 2 offline

@@ -1,0 +1,125 @@
+"""Unit tests for the CONFIG_DEBUG_VM-style invariant checker.
+
+A clean machine must pass; each planted corruption must be caught by the
+check named after its kernel analogue.
+"""
+
+import pytest
+
+from repro.machine import Machine
+from repro.mm.debug import InvariantChecker, InvariantError, check_invariants
+from repro.mm.flags import PageFlags
+from repro.sim.config import SimulationConfig
+
+
+@pytest.fixture
+def machine():
+    m = Machine(SimulationConfig(dram_pages=(64,), pm_pages=(256,)), "multiclock")
+    process = m.create_process()
+    process.mmap_anon(0, 48)
+    for vpage in range(48):
+        m.system.touch(process, vpage)
+    return m
+
+
+def checks_of(violations):
+    return {v.check for v in violations}
+
+
+def first_listed_page(machine, node_id=0):
+    for lst in machine.system.nodes[node_id].lruvec.all_lists():
+        for page in lst:
+            return page, lst
+    raise AssertionError("no resident pages")
+
+
+def test_clean_machine_has_no_violations(machine):
+    assert check_invariants(machine.system) == []
+
+
+def test_clean_machine_stays_clean_after_daemon_work(machine):
+    machine.clock.advance_app(int(2e9))
+    machine.drain_daemons()
+    assert check_invariants(machine.system) == []
+
+
+def test_missing_lru_flag_caught(machine):
+    page, __ = first_listed_page(machine)
+    page.clear(PageFlags.LRU)
+    assert "list-structure" in checks_of(check_invariants(machine.system))
+
+
+def test_broken_back_link_caught(machine):
+    lst = next(
+        lst for node in machine.system.nodes.values()
+        for lst in node.lruvec.all_lists() if len(lst) >= 2
+    )
+    lst.head.lru_next.lru_prev = None
+    assert "list-structure" in checks_of(check_invariants(machine.system))
+
+
+def test_count_drift_caught(machine):
+    __, lst = first_listed_page(machine)
+    lst._count += 1
+    assert "list-structure" in checks_of(check_invariants(machine.system))
+
+
+def test_node_accounting_drift_caught(machine):
+    machine.system.nodes[0]._used_pages += 1
+    violations = check_invariants(machine.system)
+    assert "frame-accounting" in checks_of(violations)
+
+
+def test_stale_rmap_entry_caught(machine):
+    process = next(iter(machine.system.processes.values()))
+    pte = process.page_table.lookup(0)
+    pte.page.rmap.remove(pte)
+    assert "rmap" in checks_of(check_invariants(machine.system))
+
+
+def test_swap_accounting_drift_caught(machine):
+    machine.system.backing.swap_outs += 1
+    assert "swap-accounting" in checks_of(check_invariants(machine.system))
+
+
+def test_checker_counts_sweeps_and_violations(machine):
+    checker = InvariantChecker(machine.system)
+    assert checker.check() == []
+    assert machine.stats.get("debug_vm.checks") == 1
+    assert machine.stats.get("debug_vm.violations") == 0
+    page, __ = first_listed_page(machine)
+    page.clear(PageFlags.LRU)
+    found = checker.check()
+    assert found
+    assert machine.stats.get("debug_vm.checks") == 2
+    assert machine.stats.get("debug_vm.violations") == len(found)
+    assert checker.last_violations == found
+
+
+def test_strict_mode_panics_like_vm_bug_on(machine):
+    checker = InvariantChecker(machine.system, strict=True)
+    checker.check()  # clean sweep does not raise
+    page, __ = first_listed_page(machine)
+    page.clear(PageFlags.LRU)
+    with pytest.raises(InvariantError) as excinfo:
+        checker.check()
+    assert excinfo.value.violations
+
+
+def test_counter_regression_caught(machine):
+    checker = InvariantChecker(machine.system)
+    counter = machine.stats.counter("test.monotone")
+    counter.n = 5
+    assert checker.check() == []
+    counter.n = 3
+    violations = checker.check()
+    assert "counter-monotone" in checks_of(violations)
+
+
+def test_periodic_daemon_registration(machine):
+    checker = machine.install_invariant_checker(0.001)
+    machine.clock.advance_app(int(0.01 * 1e9))
+    machine.drain_daemons()
+    assert machine.stats.get("debug_vm.checks") >= 1
+    assert machine.stats.get("debug_vm.violations") == 0
+    assert checker.last_violations == []

@@ -3,7 +3,7 @@
 from repro.mm.flags import PageFlags
 from repro.mm.hardware import HardwareModel, MemoryTier
 from repro.mm.lruvec import ListKind
-from repro.mm.migrate import MigrationEngine, MigrationOutcome
+from repro.mm.migrate import MAX_MIGRATE_ATTEMPTS, MigrationEngine, MigrationOutcome
 from repro.mm.numa import NumaNode
 from repro.sim.config import LatencyConfig
 from repro.sim.stats import StatsBook
@@ -106,3 +106,94 @@ def test_failed_migration_leaves_page_on_list():
     lst.add_head(page)
     engine.migrate(page, nodes[0])
     assert page.lru is lst
+
+
+def test_copy_failure_charges_cost_but_leaves_page():
+    engine, nodes, clock, stats = make_engine()
+    page = nodes[1].allocate_page(is_anon=True)
+    engine.copy_fault_hook = lambda p, d: True
+    assert engine.migrate(page, nodes[0]) is MigrationOutcome.COPY_FAILED
+    assert page.node_id == 1
+    assert clock.system_ns == LatencyConfig().page_copy_ns
+    assert stats.get("migrate.failed_copy") == 1
+
+
+def test_retry_heals_transient_copy_failure():
+    engine, nodes, __, stats = make_engine()
+    page = nodes[1].allocate_page(is_anon=True)
+    fails = iter([True, True, False])
+    engine.copy_fault_hook = lambda p, d: next(fails)
+    assert engine.migrate_with_retry(page, nodes[0]).ok
+    assert page.node_id == 0
+    assert stats.get("migrate.attempts") == 3
+    assert stats.get("migrate.retries") == 2
+    assert stats.get("migrate.retry_succeeded") == 1
+    assert stats.get("migrate.retries_exhausted") == 0
+
+
+def test_retry_backoff_is_exponential_virtual_time():
+    engine, nodes, clock, __stats = make_engine()
+    page = nodes[1].allocate_page(is_anon=True)
+    fails = iter([True, True, False])
+    engine.copy_fault_hook = lambda p, d: next(fails)
+    engine.migrate_with_retry(page, nodes[0])
+    latency = LatencyConfig()
+    # Three copy attempts charged, plus backoffs of base and 2*base.
+    expected = 3 * latency.page_copy_ns + 3 * latency.migrate_backoff_ns
+    assert clock.system_ns == expected
+
+
+def test_retry_gives_up_after_kernel_bound():
+    engine, nodes, __, stats = make_engine()
+    page = nodes[1].allocate_page(is_anon=True)
+    engine.copy_fault_hook = lambda p, d: True
+    outcome = engine.migrate_with_retry(page, nodes[0])
+    assert outcome is MigrationOutcome.COPY_FAILED
+    assert page.node_id == 1
+    assert stats.get("migrate.attempts") == MAX_MIGRATE_ATTEMPTS
+    assert stats.get("migrate.retries") == MAX_MIGRATE_ATTEMPTS - 1
+    assert stats.get("migrate.retries_exhausted") == 1
+    assert stats.get("migrate.retry_succeeded") == 0
+
+
+def test_retry_without_injector_is_single_attempt():
+    """Faults-off bit-identity: no hook means no retry loop, no backoff."""
+    engine, nodes, clock, stats = make_engine(dram=1)
+    nodes[0].allocate_page(is_anon=True)
+    page = nodes[1].allocate_page(is_anon=True)
+    assert engine.migrate_with_retry(page, nodes[0]) is MigrationOutcome.DEST_FULL
+    assert stats.get("migrate.attempts") == 1
+    assert stats.get("migrate.retries") == 0
+    assert clock.system_ns == 0
+
+
+def test_dest_full_retries_capped_by_congestion_budget():
+    engine, nodes, clock, stats = make_engine(dram=1)
+    nodes[0].allocate_page(is_anon=True)
+    page = nodes[1].allocate_page(is_anon=True)
+    engine.copy_fault_hook = lambda p, d: False  # armed but never fires
+    assert engine.migrate_with_retry(page, nodes[0]) is MigrationOutcome.DEST_FULL
+    # Congestion budget (3) is tighter than the 10-attempt transient bound.
+    assert stats.get("migrate.attempts") == 4
+    assert stats.get("migrate.retries") == 3
+    assert stats.get("migrate.retries_exhausted") == 1
+    assert clock.system_ns > 0  # congestion backoff was charged
+
+
+def test_permanent_failure_never_retried():
+    engine, nodes, __, stats = make_engine()
+    page = nodes[1].allocate_page(is_anon=True)
+    page.set(PageFlags.LOCKED)
+    engine.copy_fault_hook = lambda p, d: True
+    assert engine.migrate_with_retry(page, nodes[0]) is MigrationOutcome.PAGE_LOCKED
+    assert stats.get("migrate.attempts") == 1
+    assert stats.get("migrate.retries") == 0
+
+
+def test_transient_classification():
+    assert MigrationOutcome.COPY_FAILED.transient
+    assert MigrationOutcome.DEST_FULL.transient
+    assert not MigrationOutcome.PAGE_LOCKED.transient
+    assert not MigrationOutcome.PAGE_UNEVICTABLE.transient
+    assert not MigrationOutcome.SAME_NODE.transient
+    assert not MigrationOutcome.MIGRATED.transient

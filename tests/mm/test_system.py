@@ -201,3 +201,40 @@ def test_used_pages_accounting(system):
     for vpage in range(10):
         system.touch(process, vpage)
     assert system.used_pages() == 10
+
+
+def test_exhaustion_stalls_in_direct_reclaim_not_crash():
+    """Filling memory past capacity degrades into direct reclaim (swap),
+    never an uncaught MemoryError."""
+    machine = Machine(
+        SimulationConfig(dram_pages=(16,), pm_pages=(16,), swap_pages=256),
+        "static",
+    )
+    process = machine.system.create_process()
+    process.mmap_anon(0, 64)
+    for vpage in range(64):
+        machine.system.touch(process, vpage)
+    assert machine.stats.get("accesses.total") + machine.stats.get("faults.minor") > 0
+    assert machine.stats.get("vm.oom_stalls") > 0
+    assert machine.stats.get("alloc.direct_reclaim") > 0
+    assert machine.stats.get("oom.kills") == 0
+
+
+def test_oom_killer_reports_node_occupancy():
+    """When reclaim cannot free anything (swap full), the OOM error names
+    the per-node occupancy instead of a bare MemoryError."""
+    from repro.mm.system import OutOfMemoryError
+
+    machine = Machine(
+        SimulationConfig(dram_pages=(8,), pm_pages=(8,), swap_pages=4),
+        "static",
+    )
+    process = machine.system.create_process()
+    process.mmap_anon(0, 128)
+    with pytest.raises(OutOfMemoryError) as excinfo:
+        for vpage in range(128):
+            machine.system.touch(process, vpage)
+    message = str(excinfo.value)
+    assert "node0/DRAM" in message
+    assert "node1/PM" in message
+    assert machine.stats.get("oom.kills") == 1

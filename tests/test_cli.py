@@ -62,3 +62,78 @@ def test_unknown_experiment_rejected():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_unknown_policy_exits_with_one_line_error(capsys):
+    code = main([
+        "run", "--policy", "nosuch", "--pages", "100", "--ops", "200",
+        "--dram-pages", "128", "--pm-pages", "512",
+    ])
+    assert code == 2
+    captured = capsys.readouterr()
+    assert captured.err.startswith("error:")
+    assert "nosuch" in captured.err
+    assert "Traceback" not in captured.err
+    assert captured.err.count("\n") == 1
+
+
+def test_invalid_sizing_exits_with_one_line_error(capsys):
+    code = main([
+        "run", "--dram-pages", "0", "--pm-pages", "512",
+        "--pages", "100", "--ops", "200",
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "positive" in err
+    assert err.count("\n") == 1
+
+
+def test_oom_reports_node_occupancy(capsys):
+    """Driving more pages than the machine holds with a full swap must
+    end in a one-line OOM report naming the failing nodes, not a crash."""
+    code = main([
+        "run", "--policy", "static", "--workload", "uniform",
+        "--pages", "200", "--ops", "400",
+        "--dram-pages", "16", "--pm-pages", "16", "--swap-pages", "8",
+    ])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: out of memory:")
+    assert "node0/DRAM" in err
+
+
+def test_check_subcommand_reports_clean_run(capsys):
+    code = main([
+        "check", "--workload", "zipf", "--pages", "200", "--ops", "1000",
+        "--dram-pages", "128", "--pm-pages", "512",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "debug_vm" in out
+    assert "0 violation(s)" in out
+
+
+def test_chaos_subcommand_writes_clean_report(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "report.json"
+    code = main([
+        "chaos", "--policies", "static", "--workload", "zipf",
+        "--pages", "300", "--ops", "2000",
+        "--dram-pages", "128", "--pm-pages", "1024",
+        "--out", str(out_file),
+    ])
+    assert code == 0
+    data = json.loads(out_file.read_text())
+    assert data["all_clean"] is True
+    assert data["cells"][0]["policy"] == "static"
+    assert "chaos verdict: ALL CLEAN" in capsys.readouterr().out
+
+
+def test_chaos_unknown_workload_one_line_error(capsys):
+    code = main(["chaos", "--workloads", "nosuch"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "nosuch" in err
