@@ -31,3 +31,10 @@ def test_smoke_suite_writes_results(tmp_path):
     assert on_disk["kpromoted"]["pages_per_sec"] > 0
     assert on_disk["ycsb_a"]["wall_seconds"] > 0
     assert on_disk["ycsb_a"]["accesses"] > 0
+    trace = on_disk["trace"]
+    # Tracing must not perturb the simulation at all (counters + clocks),
+    # and an armed tracer should cost well under 2x even on a noisy host
+    # (the recorded full-size number is far lower).
+    assert trace["identical"] is True
+    assert trace["events_emitted"] > 0
+    assert trace["overhead"] < 2.0, "tracepoint layer got expensive"

@@ -21,6 +21,14 @@ python -m repro chaos --policies multiclock,static --workload zipf \
     --pages 600 --ops 4000 --dram-pages 256 --pm-pages 2048 \
     --interval 0.002 --out "$(mktemp -d)/CHAOS_report.json"
 
+echo "== trace smoke (run -> export -> audit) =="
+TRACE_TMP="$(mktemp -d)"
+python -m repro trace --workload zipf --pages 600 --ops 4000 \
+    --dram-pages 256 --pm-pages 2048 --interval 0.002 --no-summary \
+    --ndjson "$TRACE_TMP/events.ndjson" --perfetto "$TRACE_TMP/events.json" \
+    --audit
+test -s "$TRACE_TMP/events.ndjson"
+
 echo "== invariant checker against a clean run =="
 python -m repro check --workload shifting-hotset --pages 800 --ops 6000 \
     --dram-pages 256 --pm-pages 2048 --interval 0.002 --strict

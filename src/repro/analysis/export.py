@@ -10,6 +10,7 @@ series (Figs 8-9), and generic labelled rows.
 from __future__ import annotations
 
 import csv
+import math
 from pathlib import Path
 from typing import Sequence
 
@@ -52,10 +53,15 @@ def write_series_csv(
         writer = csv.writer(fh)
         writer.writerow(["window", *labels])
         for window in range(width):
-            row = [window]
+            row: list[object] = [window]
             for label in labels:
                 points = series[label]
-                row.append(f"{points[window].value:.6f}" if window < len(points) else "")
+                if window >= len(points) or math.isnan(points[window].value):
+                    # No-data windows export as empty cells, not 0.0 —
+                    # plotting stacks then show a gap, matching means().
+                    row.append("")
+                else:
+                    row.append(f"{points[window].value:.6f}")
             writer.writerow(row)
     return path
 

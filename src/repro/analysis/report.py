@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.sim.stats import WindowPoint
@@ -38,12 +39,20 @@ def render_bars(values: dict[str, float], *, width: int = 40, unit: str = "") ->
 def render_series(
     points: Sequence[WindowPoint], *, label: str = "window", width: int = 40
 ) -> str:
-    """One bar per time window — the Fig 8/9 plot style."""
+    """One bar per time window — the Fig 8/9 plot style.
+
+    Windows with no data (NaN values from ``WindowedSeries.means()``)
+    render as an explicit gap instead of a zero-height bar.
+    """
     if not points:
         return "(no data)"
-    peak = max(point.value for point in points) or 1.0
+    finite = [point.value for point in points if not math.isnan(point.value)]
+    peak = max(finite, default=0.0) or 1.0
     lines = []
     for point in points:
+        if math.isnan(point.value):
+            lines.append(f"{label} {point.window_id:>4} {'-':>12} (no data)")
+            continue
         bar = "#" * max(0, int(width * point.value / peak))
         lines.append(f"{label} {point.window_id:>4} {point.value:>12.2f} {bar}")
     return "\n".join(lines)

@@ -60,17 +60,17 @@ class ResidencyProbe:
         dram = pm = 0
         system = self.machine.system
         for pte in self.process.page_table.entries():
-            if system.tier_of(pte.page) is MemoryTier.DRAM:
+            # An explicit tier split: the old `else: pm += 1` arm counted
+            # every non-DRAM resident page as PM, which silently folded
+            # any future tier (or a misplaced page) into the PM column.
+            tier = system.tier_of(pte.page)
+            if tier is MemoryTier.DRAM:
                 dram += 1
-            else:
+            elif tier is MemoryTier.PM:
                 pm += 1
-        swapped = sum(
-            1
-            for region in self.process.regions
-            if region.is_anon
-            for vpage in range(region.start_vpage, region.end_vpage)
-            if system.backing.is_swapped(self.process.pid, vpage)
-        )
+        # O(1) from the backing store's per-process count, instead of
+        # re-testing every vpage of every anonymous region per sample.
+        swapped = system.backing.swapped_pages_of(self.process.pid)
         self.samples.append(ResidencySample(now_ns, dram, pm, swapped))
         return 0  # observation is free: probes must not perturb timing
 

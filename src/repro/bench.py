@@ -16,6 +16,11 @@ benchmarks, written to ``BENCH_perf.json``:
 * ``ycsb_a`` — end-to-end host wall time of a YCSB Load + Workload A
   sequence under ``multiclock``, the closest thing to "how long does a
   paper experiment take".
+* ``trace`` — the tracepoint layer's cost: the same ``multiclock`` run
+  with tracing off versus armed.  Reports both throughputs, the
+  overhead ratio, and an ``identical`` flag asserting the traced run's
+  counters and virtual clocks match the untraced run bit for bit (the
+  "tracepoints compile to nops" property, measured).
 
 Each benchmark takes a best-of-``repeats`` timing to shrug off host
 scheduling noise.  ``--smoke`` shrinks the workloads to CI size.
@@ -34,7 +39,14 @@ from repro.machine import Machine
 from repro.sim.config import DaemonConfig, SimulationConfig
 from repro.workloads.synthetic import ZipfWorkload
 
-__all__ = ["bench_touch", "bench_kpromoted", "bench_ycsb_a", "run_suite", "write_results"]
+__all__ = [
+    "bench_touch",
+    "bench_kpromoted",
+    "bench_ycsb_a",
+    "bench_trace",
+    "run_suite",
+    "write_results",
+]
 
 DEFAULT_OUT = "BENCH_perf.json"
 
@@ -169,16 +181,66 @@ def bench_ycsb_a(
     }
 
 
+def bench_trace(
+    ops: int = 100_000, *, pages: int = 4000, repeats: int = 3, seed: int = 42
+) -> dict[str, Any]:
+    """Tracing off vs armed on an identical multiclock run.
+
+    ``multiclock`` (not ``static``) so daemons, migrations, and LRU
+    movement actually fire tracepoints — an access-only run would
+    measure almost nothing.
+    """
+
+    def run_once(traced: bool) -> tuple[Machine, float, int]:
+        workload = ZipfWorkload(pages, ops, seed=seed, write_ratio=0.2)
+        machine = Machine(_config(seed), "multiclock")
+        if traced:
+            machine.enable_tracing()
+        workload.setup(machine)
+        stream = list(workload.accesses())
+        with _gc_paused():
+            start = time.perf_counter()
+            machine.touch_batch(stream)
+            elapsed = time.perf_counter() - start
+        emitted = machine.system.trace.events_emitted if traced else 0
+        return machine, elapsed, emitted
+
+    off_best = on_best = float("inf")
+    for _ in range(max(1, repeats)):
+        machine, elapsed, _ = run_once(traced=False)
+        off_best = min(off_best, elapsed)
+    off_state = _machine_state(machine)
+    for _ in range(max(1, repeats)):
+        machine, elapsed, emitted = run_once(traced=True)
+        on_best = min(on_best, elapsed)
+    on_state = _machine_state(machine)
+
+    off_ops = ops / off_best
+    on_ops = ops / on_best
+    return {
+        "ops": ops,
+        "pages": pages,
+        "repeats": repeats,
+        "off_ops_per_sec": round(off_ops),
+        "on_ops_per_sec": round(on_ops),
+        "overhead": round(off_ops / on_ops, 3),
+        "events_emitted": emitted,
+        "identical": off_state == on_state,
+    }
+
+
 def run_suite(*, smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
     """Run all benchmarks; smoke mode uses CI-sized workloads."""
     if smoke:
         touch = bench_touch(60_000, pages=2000, repeats=max(1, min(repeats, 2)))
         kpromoted = bench_kpromoted(pages=1000, warm_ops=10_000, runs=30)
         ycsb = bench_ycsb_a(n_records=2_000, ops=5_000)
+        trace = bench_trace(30_000, pages=2000, repeats=max(1, min(repeats, 2)))
     else:
         touch = bench_touch(repeats=repeats)
         kpromoted = bench_kpromoted()
         ycsb = bench_ycsb_a()
+        trace = bench_trace(repeats=repeats)
     return {
         "meta": {
             "mode": "smoke" if smoke else "full",
@@ -188,6 +250,7 @@ def run_suite(*, smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
         "touch": touch,
         "kpromoted": kpromoted,
         "ycsb_a": ycsb,
+        "trace": trace,
     }
 
 
@@ -213,4 +276,13 @@ def render(results: dict[str, Any]) -> str:
         f"  ({ycsb['accesses_per_wall_sec']:,} accesses/s host,"
         f" {ycsb['virtual_throughput_ops']:,} ops/s virtual)",
     ]
+    trace = results.get("trace")
+    if trace is not None:
+        lines.append(
+            f"trace      off {trace['off_ops_per_sec']:>10,} ops/s"
+            f"  armed {trace['on_ops_per_sec']:>10,} ops/s"
+            f"  overhead {trace['overhead']:.3f}x"
+            f"  ({trace['events_emitted']:,} events)"
+            f"  identical={trace['identical']}"
+        )
     return "\n".join(lines)

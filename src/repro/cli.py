@@ -16,6 +16,9 @@ Commands:
   checker sweeping periodically; nonzero exit on any violation.
 * ``chaos`` — run a policy × workload matrix under a fault schedule and
   write ``CHAOS_report.json``; nonzero exit unless every cell is clean.
+* ``trace`` — run a workload with the kernel-style tracepoint layer
+  armed: tail the event stream, print per-event summaries, export
+  NDJSON / perfetto JSON, and audit counters against the trace.
 
 Operator errors (unknown policy, impossible sizing, running out of
 simulated memory) exit with a one-line message, not a traceback.
@@ -186,6 +189,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="transient migration copy-failure probability")
     chaos_p.add_argument("--out", default=None,
                          help="report path (default CHAOS_report.json)")
+    chaos_p.add_argument("--trace-capacity", type=int, default=None,
+                         help="arm tracing with this per-node ring capacity "
+                              "and audit every cell")
+
+    trace_p = sub.add_parser(
+        "trace", help="run a workload with tracepoints armed"
+    )
+    _add_machine_args(trace_p)
+    _add_workload_args(trace_p)
+    trace_p.add_argument("--capacity", type=int, default=None,
+                         help="ring-buffer capacity per node "
+                              "(default 65536; oldest events overwritten)")
+    trace_p.add_argument("--events", default=None,
+                         help="comma-separated event-name prefixes to keep "
+                              "(e.g. mm_migrate,kpromoted)")
+    trace_p.add_argument("--tail", type=int, default=0, metavar="N",
+                         help="print the last N matching events, trace_pipe style")
+    trace_p.add_argument("--no-summary", action="store_true",
+                         help="skip the per-event hit table and rate histogram")
+    trace_p.add_argument("--ndjson", default=None, metavar="PATH",
+                         help="write matching events as NDJSON")
+    trace_p.add_argument("--perfetto", default=None, metavar="PATH",
+                         help="write matching events as Chrome trace-event JSON")
+    trace_p.add_argument("--audit", action="store_true",
+                         help="replay the trace against the counters; "
+                              "nonzero exit on any mismatch")
     return parser
 
 
@@ -296,12 +325,51 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         plan,
         _build_config(args),
         check_interval_s=args.interval,
+        trace_capacity=args.trace_capacity,
     )
     out = args.out or DEFAULT_REPORT
     write_report(report, out)
     print(render_report(report))
     print(f"report written to {out}")
     return 0 if report.all_clean else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace import (
+        audit_machine,
+        iter_events,
+        render_summary,
+        render_tail,
+        write_ndjson,
+        write_perfetto,
+    )
+
+    machine = Machine(_build_config(args), args.policy)
+    tracer = machine.enable_tracing(capacity_per_node=args.capacity)
+    result = run_workload(_build_workload(args), machine.config, machine=machine)
+    print(result.summary())
+
+    prefixes = (
+        [p.strip() for p in args.events.split(",") if p.strip()]
+        if args.events
+        else None
+    )
+    events = list(iter_events(tracer, prefixes=prefixes))
+    if args.ndjson:
+        write_ndjson(events, args.ndjson)
+        print(f"{len(events)} events written to {args.ndjson}")
+    if args.perfetto:
+        write_perfetto(events, args.perfetto)
+        print(f"{len(events)} events written to {args.perfetto} (perfetto)")
+    if args.tail:
+        print(render_tail(events, args.tail))
+    if not args.no_summary:
+        print(render_summary(tracer))
+    if args.audit:
+        report = audit_machine(machine)
+        print(report.render())
+        return 0 if report.ok else 1
+    return 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -321,6 +389,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_check(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -58,6 +58,8 @@ class DemotionDaemon:
         system = self.policy.system
         node = self.node
         budget = system.config.daemons.scan_budget_pages
+        if system.trace is not None:
+            system.trace.trace_kswapd_wake(node.node_id, node.free_pages)
         total = ScanResult()
         total.merge(self._relieve_promote_list(budget))
         demote_dest = self.policy.demotion_destination(node)
@@ -80,7 +82,8 @@ class DemotionDaemon:
                 break
             total.merge(
                 shrink_inactive_list(
-                    system, node, is_anon, target, budget, demote_dest
+                    system, node, is_anon, target, budget, demote_dest,
+                    scanner="kswapd",
                 )
             )
         self._c_runs.n += 1
@@ -98,6 +101,7 @@ class DemotionDaemon:
         """
         result = ScanResult()
         system = self.policy.system
+        tr = system.trace
         can_go_up = self.node.tier.next_higher() is not None
         for is_anon in (True, False):
             promote = self.node.lruvec.list_for(ListKind.PROMOTE, is_anon)
@@ -108,8 +112,15 @@ class DemotionDaemon:
                 moved_up = can_go_up and not page.test(PageFlags.LOCKED)
                 if moved_up:
                     moved_up = self.policy.promote_page(page)
-                if not moved_up:
+                if moved_up:
+                    if tr is not None:
+                        tr.trace_kswapd_promote(
+                            self.node.node_id, page.pfn, page.node_id
+                        )
+                else:
                     recycle_promote_to_active(self.node, page, keep_referenced=True)
                     result.deactivated += 1
+                    if tr is not None:
+                        tr.trace_kswapd_recycle_promote(self.node.node_id, page.pfn)
         result.system_ns = system.hardware.scan_ns(result.scanned)
         return result

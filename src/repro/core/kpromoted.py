@@ -102,6 +102,10 @@ class KPromoted:
                 page.set(PageFlags.ACTIVE)
                 active.add_head(page)
                 result.activated += 1
+                if system.trace is not None:
+                    system.trace.trace_mm_lru_activate(
+                        self.node.node_id, page.pfn, "kpromoted"
+                    )
             else:
                 page.set(PageFlags.REFERENCED)
                 inactive.rotate_to_head(page)
@@ -125,6 +129,10 @@ class KPromoted:
             if page.test(PageFlags.REFERENCED):
                 move_to_promote(self.node, page)
                 result.to_promote_list += 1
+                if system.trace is not None:
+                    system.trace.trace_mm_promote_list_add(
+                        self.node.node_id, page.pfn, "kpromoted"
+                    )
             else:
                 page.set(PageFlags.REFERENCED)
                 active.rotate_to_head(page)
@@ -136,22 +144,41 @@ class KPromoted:
         """Promote referenced promote-list pages to DRAM (edges 11-13)."""
         result = ScanResult()
         system = self.policy.system
+        tr = system.trace
         promote = self.node.lruvec.list_for(ListKind.PROMOTE, is_anon)
-        top_tier = self.node.tier.next_higher() is not None
+        can_go_up = self.node.tier.next_higher() is not None
         for page in promote.iter_from_tail():
             if result.scanned >= budget:
                 break
             result.scanned += 1
-            accessed = page.harvest_accessed() or page.test_and_clear(PageFlags.REFERENCED)
-            if not top_tier or not accessed:
+            # Consume BOTH reference signals every pass.  With the old
+            # `harvest_accessed() or test_and_clear(...)` short-circuit, a
+            # harvested accessed bit left the REFERENCED flag set, so the
+            # page carried a stale second reference into its next ladder
+            # pass instead of having to earn one.
+            harvested = page.harvest_accessed()
+            referenced = page.test_and_clear(PageFlags.REFERENCED)
+            accessed = harvested or referenced
+            if not can_go_up or not accessed:
                 recycle_promote_to_active(self.node, page)
                 result.deactivated += 1
+                if tr is not None:
+                    tr.trace_kpromoted_recycle(
+                        self.node.node_id, page.pfn,
+                        "top_tier" if not can_go_up else "stale",
+                    )
                 continue
             if self.policy.promote_page(page):
                 result.promoted += 1
+                if tr is not None:
+                    tr.trace_kpromoted_promote(
+                        self.node.node_id, page.pfn, page.node_id
+                    )
             else:
                 # Could not make room upstairs; keep the page hot locally.
                 recycle_promote_to_active(self.node, page)
                 result.deactivated += 1
+                if tr is not None:
+                    tr.trace_kpromoted_recycle(self.node.node_id, page.pfn, "no_room")
         result.system_ns = system.hardware.scan_ns(result.scanned)
         return result

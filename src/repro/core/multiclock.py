@@ -54,6 +54,8 @@ class MultiClockPolicy(TieringPolicy):
         """Edge 10: re-referenced active page joins the promote list."""
         move_to_promote(node, page)
         self._c_promote_list_adds.n += 1
+        if self.system.trace is not None:
+            self.system.trace.trace_mm_promote_list_add(node.node_id, page.pfn, "hook")
 
     def mark_page_accessed(self, page: Page) -> None:
         mark_page_accessed(self.system, page, on_second_reference=self.second_reference_hook)

@@ -84,13 +84,18 @@ class ChaosCell:
     violations: int
     violation_details: tuple[str, ...]
     counters: dict[str, int] = field(default_factory=dict)
+    # Present only when the matrix ran with tracing armed
+    # (run_chaos(trace_capacity=...)): the lifecycle auditor's verdict.
+    trace_audit: dict[str, Any] | None = None
 
     @property
     def clean(self) -> bool:
+        if self.trace_audit is not None and self.trace_audit["mismatches"]:
+            return False
         return self.completed and self.violations == 0
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "policy": self.policy,
             "workload": self.workload,
             "completed": self.completed,
@@ -102,6 +107,9 @@ class ChaosCell:
             "violation_details": list(self.violation_details),
             "counters": dict(sorted(self.counters.items())),
         }
+        if self.trace_audit is not None:
+            data["trace_audit"] = self.trace_audit
+        return data
 
 
 @dataclass(frozen=True)
@@ -142,14 +150,28 @@ def run_chaos(
     config: SimulationConfig,
     *,
     check_interval_s: float = 0.005,
+    trace_capacity: int | None = None,
 ) -> ChaosReport:
     """Run the matrix; every cell gets a fresh machine and a fresh fault
-    schedule, so cells are independent and individually reproducible."""
+    schedule, so cells are independent and individually reproducible.
+
+    ``trace_capacity`` arms the tracepoint layer on every cell (ring
+    capacity per node) and runs the lifecycle auditor after each run;
+    audit mismatches mark the cell dirty.
+    """
     cells = []
     for policy in policies:
         for workload_name, build in workloads.items():
             cells.append(
-                _run_cell(policy, workload_name, build(), plan, config, check_interval_s)
+                _run_cell(
+                    policy,
+                    workload_name,
+                    build(),
+                    plan,
+                    config,
+                    check_interval_s,
+                    trace_capacity,
+                )
             )
     return ChaosReport(plan=plan, cells=tuple(cells))
 
@@ -161,8 +183,11 @@ def _run_cell(
     plan: FaultPlan,
     config: SimulationConfig,
     check_interval_s: float,
+    trace_capacity: int | None = None,
 ) -> ChaosCell:
     machine = Machine(config, policy)
+    if trace_capacity is not None:
+        machine.enable_tracing(capacity_per_node=trace_capacity)
     install_faults(machine, plan)
     checker = InvariantChecker(machine.system)
     machine.scheduler.register(Daemon(checker.name, check_interval_s, checker.run))
@@ -187,6 +212,18 @@ def _run_cell(
     counters = {
         key: machine.stats.get(key) for key in _REPORT_COUNTERS
     }
+    trace_audit = None
+    if trace_capacity is not None:
+        from repro.trace import audit_machine
+
+        report = audit_machine(machine)
+        trace_audit = {
+            "checks": report.checks,
+            "events_replayed": report.events_replayed,
+            "complete": report.complete,
+            "mismatches": len(report.mismatches),
+            "mismatch_details": list(report.mismatches[:20]),
+        }
     return ChaosCell(
         policy=policy,
         workload=workload_name,
@@ -198,6 +235,7 @@ def _run_cell(
         violations=violations,
         violation_details=tuple(details[:20]),
         counters=counters,
+        trace_audit=trace_audit,
     )
 
 

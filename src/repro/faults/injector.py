@@ -110,6 +110,9 @@ class FaultInjector:
         event = self.plan.events[index]
 
         def body(now_ns: int) -> int:
+            trace = self.machine.system.trace
+            if trace is not None:
+                trace.trace_fault_window(index, type(event).__name__, opening)
             if opening:
                 self._c_windows.n += 1
                 self._open(index, event)
@@ -174,6 +177,9 @@ class FaultInjector:
             miss *= 1.0 - rate
         if self.rng.random() < 1.0 - miss:
             self._c_copy_failures.n += 1
+            trace = self.machine.system.trace
+            if trace is not None:
+                trace.trace_fault_copy_fail(page.node_id, page.pfn, dest.node_id)
             return True
         return False
 

@@ -69,6 +69,36 @@ class Machine:
 
         return install_faults(self, plan)
 
+    def enable_tracing(self, *, capacity_per_node: int | None = None) -> "object":
+        """Install a :class:`~repro.trace.tracer.Tracer` on this machine.
+
+        Idempotent-hostile on purpose (one tracer per machine, like one
+        perf session per buffer): enabling twice raises.  The tracer's
+        counter baseline is snapshotted here so the auditor compares
+        deltas even when tracing starts mid-run.  Returns the tracer.
+        """
+        from repro.trace.tracer import DEFAULT_RING_CAPACITY, Tracer
+
+        system = self.system
+        if system.trace is not None:
+            raise RuntimeError("tracing is already enabled on this machine")
+        # `is None`, not `or`: an explicit 0 must reach the Tracer's own
+        # validation instead of silently meaning "default capacity".
+        tracer = Tracer(
+            system.clock,
+            capacity_per_node=(
+                DEFAULT_RING_CAPACITY if capacity_per_node is None else capacity_per_node
+            ),
+        )
+        tracer.baseline = system.stats.snapshot()
+        tracer.baseline["backing.swap_outs"] = system.backing.swap_outs
+        tracer.baseline["backing.swap_ins"] = system.backing.swap_ins
+        system.trace = tracer
+        system.allocator.trace = tracer
+        system.backing.trace = tracer
+        system.migrator.trace = tracer
+        return tracer
+
     def install_invariant_checker(
         self, interval_s: float = 0.005, *, strict: bool = False
     ) -> "object":

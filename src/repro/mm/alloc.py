@@ -43,6 +43,8 @@ class PageAllocator:
         if not nodes:
             raise ValueError("allocator needs at least one node")
         self._nodes = sorted(nodes, key=lambda n: (n.tier, n.node_id))
+        # Tracepoint sink, installed by Machine.enable_tracing.
+        self.trace = None
 
     @property
     def fallback_order(self) -> list[NumaNode]:
@@ -96,4 +98,6 @@ class PageAllocator:
         page = chosen.allocate_page(is_anon=is_anon, born_ns=born_ns)
         if chosen.pressure() is not PressureLevel.NONE and chosen.node_id not in pressured:
             pressured.append(chosen.node_id)
+        if self.trace is not None:
+            self.trace.trace_mm_page_alloc(chosen.node_id, page.pfn, is_anon, fell_back)
         return AllocationResult(page, chosen, fell_back, tuple(pressured))

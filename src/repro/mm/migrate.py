@@ -86,6 +86,8 @@ class MigrationEngine:
         # happy path bit-identical to the pre-resilience engine.
         self.copy_fault_hook: "Callable[[Page, NumaNode], bool] | None" = None
         self._backoff_base_ns = hardware.latency.migrate_backoff_ns
+        # Tracepoint sink, installed by Machine.enable_tracing.
+        self.trace = None
 
     def node_of(self, page: Page) -> NumaNode:
         return self._nodes[page.node_id]
@@ -98,6 +100,22 @@ class MigrationEngine:
         policy wants.  On failure the page is left exactly where it was.
         """
         source = self._nodes[page.node_id]
+        outcome = self._attempt(page, source, dest)
+        if self.trace is not None:
+            if dest.tier < source.tier:
+                direction = "promote"
+            elif dest.tier > source.tier:
+                direction = "demote"
+            else:
+                direction = "lateral"
+            self.trace.trace_mm_migrate_pages(
+                source.node_id, page.pfn, dest.node_id, direction, outcome.value
+            )
+        return outcome
+
+    def _attempt(
+        self, page: Page, source: NumaNode, dest: NumaNode
+    ) -> MigrationOutcome:
         self._c_attempts.n += 1
         if dest.node_id == source.node_id:
             return MigrationOutcome.SAME_NODE

@@ -20,10 +20,15 @@ class BackingStore:
             raise ValueError("swap capacity must be positive")
         self.swap_capacity_pages = swap_capacity_pages
         self._swapped: set[tuple[int, int]] = set()
+        # Incremental per-process residency count, so residency probes
+        # read swap occupancy in O(1) instead of rescanning every vpage.
+        self._per_process: dict[int, int] = {}
         self.swap_outs = 0
         self.swap_ins = 0
         self.file_writebacks = 0
         self.file_refaults = 0
+        # Tracepoint sink, installed by Machine.enable_tracing.
+        self.trace = None
 
     @property
     def swapped_pages(self) -> int:
@@ -45,10 +50,17 @@ class BackingStore:
         if key in self._swapped:
             raise ValueError(f"page {key} is already swapped out")
         self._swapped.add(key)
+        self._per_process[process_id] = self._per_process.get(process_id, 0) + 1
         self.swap_outs += 1
+        if self.trace is not None:
+            self.trace.trace_mm_swap_out(process_id, vpage)
 
     def is_swapped(self, process_id: int, vpage: int) -> bool:
         return (process_id, vpage) in self._swapped
+
+    def swapped_pages_of(self, process_id: int) -> int:
+        """How many of one process's pages sit in swap right now."""
+        return self._per_process.get(process_id, 0)
 
     def swap_in(self, process_id: int, vpage: int) -> None:
         """Consume the swap slot on a major fault."""
@@ -56,7 +68,14 @@ class BackingStore:
         if key not in self._swapped:
             raise KeyError(f"page {key} is not in swap")
         self._swapped.remove(key)
+        remaining = self._per_process[process_id] - 1
+        if remaining:
+            self._per_process[process_id] = remaining
+        else:
+            del self._per_process[process_id]
         self.swap_ins += 1
+        if self.trace is not None:
+            self.trace.trace_mm_swap_in(process_id, vpage)
 
     def writeback_file(self) -> None:
         """Account a file page dropped (clean) or written back (dirty)."""

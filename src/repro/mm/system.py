@@ -98,6 +98,9 @@ class MemorySystem:
         # Fault injector handle; None means no faults are armed and every
         # resilience hook stays on its zero-cost path.
         self.faults = None
+        # Tracepoint sink; None means tracing is compiled out and every
+        # emission site is a single failed identity check.
+        self.trace = None
 
     # -- wiring -------------------------------------------------------------
 
@@ -259,6 +262,8 @@ class MemorySystem:
     def _oom(self, why: str) -> None:
         """Fire the OOM killer: count it and report node occupancy."""
         self.stats.inc("oom.kills")
+        if self.trace is not None:
+            self.trace.trace_oom_kill(why)
         raise OutOfMemoryError(
             f"allocation failed and {why} — {self.allocator.occupancy()}"
         ) from None
@@ -285,6 +290,8 @@ class MemorySystem:
                 page.lru.remove(page)
             page.clear(PageFlags.UNEVICTABLE)
             self.nodes[page.node_id].release_frame(page)
+            if self.trace is not None:
+                self.trace.trace_mm_page_free(page.node_id, page.pfn, "discard")
             freed += 1
         self.stats.inc("mm.region_discards")
         self.stats.inc("mm.pages_discarded", freed)
@@ -325,4 +332,6 @@ class MemorySystem:
             page.lru.remove(page)
         self.nodes[page.node_id].release_frame(page)
         self.stats.inc("reclaim.evictions")
+        if self.trace is not None:
+            self.trace.trace_mm_vmscan_evict(page.node_id, page.pfn, page.is_anon)
         return charged

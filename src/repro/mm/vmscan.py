@@ -53,7 +53,11 @@ def active_ratio_threshold(node: NumaNode, cap: float | None = None) -> float:
     """
     if cap is not None:
         return cap
-    gib = node.capacity_pages * PAGE_SIZE / _GIB
+    # "memory in GB *available* in the tier": frames taken offline (a
+    # fault-injected capacity loss, or hot-remove) are not available, so
+    # a node shrunk under a fault window must also shrink its active
+    # list rather than keeping a ratio sized for frames it no longer has.
+    gib = (node.capacity_pages - node.offline_pages) * PAGE_SIZE / _GIB
     return max(1.0, math.sqrt(10.0 * gib))
 
 
@@ -100,6 +104,8 @@ def mark_page_accessed(
     if lst.kind is ListKind.INACTIVE:
         if page.test(PageFlags.REFERENCED):
             _activate(node, page)
+            if system.trace is not None:
+                system.trace.trace_mm_lru_activate(node.node_id, page.pfn, "mark_accessed")
         else:
             page.set(PageFlags.REFERENCED)
         return
@@ -132,6 +138,7 @@ def deactivate_excess_active(
     lruvec = node.lruvec
     active = lruvec.list_for(ListKind.ACTIVE, is_anon)
     threshold = active_ratio_threshold(node, ratio_cap)
+    tr = system.trace
     for page in active.iter_from_tail():
         if result.scanned >= budget:
             break
@@ -161,6 +168,8 @@ def deactivate_excess_active(
             active.remove(page)
             lruvec.list_for(ListKind.INACTIVE, is_anon).add_head(page)
             result.deactivated += 1
+            if tr is not None:
+                tr.trace_mm_lru_deactivate(node.node_id, page.pfn, "vmscan")
     result.system_ns = system.hardware.scan_ns(result.scanned)
     return result
 
@@ -172,6 +181,7 @@ def shrink_inactive_list(
     target_free: int,
     budget: int,
     demote_dest: NumaNode | None,
+    scanner: str = "direct",
 ) -> ScanResult:
     """Reclaim from one inactive list (the ``shrink_inactive_list`` analogue).
 
@@ -179,10 +189,14 @@ def shrink_inactive_list(
     (edge 3), or evicted to the backing store at the lowest tier (edge 4).
     Referenced pages climb the recency ladder instead (edges 1 and 6).
     Stops after freeing ``target_free`` pages or scanning ``budget``.
+    ``scanner`` tags the emitted tracepoints with who is reclaiming
+    ("kswapd", "demand", or the default direct-reclaim path), so a trace
+    can be cross-checked against the per-daemon counters.
     """
     result = ScanResult()
     lruvec = node.lruvec
     inactive = lruvec.list_for(ListKind.INACTIVE, is_anon)
+    tr = system.trace
     for page in inactive.iter_from_tail():
         if result.scanned >= budget or (result.demoted + result.evicted) >= target_free:
             break
@@ -197,6 +211,8 @@ def shrink_inactive_list(
         if accessed and page.test(PageFlags.REFERENCED):
             _activate(node, page)
             result.activated += 1
+            if tr is not None:
+                tr.trace_mm_lru_activate(node.node_id, page.pfn, scanner)
             continue
         if accessed:
             page.set(PageFlags.REFERENCED)
@@ -209,6 +225,10 @@ def shrink_inactive_list(
                 page.clear(PageFlags.REFERENCED)
                 demote_dest.lruvec.list_for(ListKind.INACTIVE, is_anon).add_head(page)
                 result.demoted += 1
+                if tr is not None:
+                    tr.trace_mm_vmscan_demote(
+                        node.node_id, page.pfn, demote_dest.node_id, scanner
+                    )
                 continue
         if node.tier.next_lower() is None or demote_dest is None:
             try:

@@ -131,6 +131,7 @@ def demand_demote(system: MemorySystem, dram_node: NumaNode, pages: int) -> bool
         result = shrink_inactive_list(
             system, dram_node, is_anon,
             target_free=pages - freed, budget=64, demote_dest=dest,
+            scanner="demand",
         )
         freed += result.demoted + result.evicted
     if freed >= pages:

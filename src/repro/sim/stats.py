@@ -42,17 +42,27 @@ class WindowPoint:
 
     ``width_seconds`` is the window width of the series the point came
     from; it defaults to 1 so hand-built points keep the historical
-    ``start_seconds == window_id`` behaviour.
+    ``start_seconds == window_id`` behaviour.  ``samples`` is how many
+    events landed in the window (``None`` for hand-built points that
+    never knew): a window with ``samples == 0`` held *no data*, which for
+    a mean is not the same thing as averaging to zero — Fig. 9 must
+    distinguish "no promoted pages to re-access" from "0% re-accessed".
     """
 
     window_id: int
     value: float
     width_seconds: float = 1.0
+    samples: int | None = None
 
     @property
     def start_seconds(self) -> float:
         """Virtual-time start of this window in seconds."""
         return self.window_id * self.width_seconds
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the window is known to have received no events."""
+        return self.samples == 0
 
 
 class WindowedSeries:
@@ -77,25 +87,41 @@ class WindowedSeries:
         self._counts[window_id] += 1
 
     def totals(self) -> list[WindowPoint]:
-        """Sum of values per window, dense from window 0 to the last."""
-        return self._dense(self._sums)
+        """Sum of values per window, dense from window 0 to the last.
+
+        An empty window genuinely sums to zero, so its value stays 0.0 —
+        but its ``samples`` count is 0, letting consumers that care tell
+        the difference.
+        """
+        return self._dense(self._sums, empty_value=0.0)
 
     def means(self) -> list[WindowPoint]:
-        """Mean value per window (zero for empty windows)."""
+        """Mean value per window; empty windows carry NaN, not zero.
+
+        A mean over nothing is undefined: densifying empty windows to 0.0
+        (the old behaviour) made a window with no promoted pages read as
+        "0% re-accessed" in the Fig. 9 series.  Empty windows now come
+        back with ``value=nan`` and ``samples=0`` so renderers and CSV
+        export show them as gaps.
+        """
         means = {
             wid: self._sums[wid] / self._counts[wid]
             for wid in self._sums
             if self._counts[wid]
         }
-        return self._dense(means)
+        return self._dense(means, empty_value=float("nan"))
 
-    def _dense(self, sparse: dict[int, float]) -> list[WindowPoint]:
+    def _dense(
+        self, sparse: dict[int, float], *, empty_value: float
+    ) -> list[WindowPoint]:
         if not sparse:
             return []
         last = max(sparse)
         width = self.window_seconds
+        counts = self._counts
         return [
-            WindowPoint(wid, sparse.get(wid, 0.0), width) for wid in range(last + 1)
+            WindowPoint(wid, sparse.get(wid, empty_value), width, counts.get(wid, 0))
+            for wid in range(last + 1)
         ]
 
     def __len__(self) -> int:

@@ -1,0 +1,38 @@
+"""Kernel-style tracepoints for the simulator.
+
+Linux answers "what did the VM actually do?" with tracepoints
+(``trace_mm_lru_activate``, ``trace_mm_migrate_pages``, ...) feeding
+per-CPU ring buffers that tools read from debugfs.  This package is that
+surface for the simulator: :class:`Tracer` exposes one ``trace_*`` method
+per event, every emission lands in a bounded per-node ring buffer with a
+virtual timestamp, and the exporters/auditor consume the rings.
+
+Tracing is off unless a :class:`Tracer` is installed (see
+``Machine.enable_tracing``); every call site guards with ``if tr is not
+None``, the analogue of tracepoints compiling to nops, so tracing-off
+runs are bit-identical to a build without this package.
+"""
+
+from repro.trace.audit import AuditReport, audit_machine
+from repro.trace.buffer import RingBuffer, TraceEvent
+from repro.trace.export import (
+    iter_events,
+    render_summary,
+    render_tail,
+    write_ndjson,
+    write_perfetto,
+)
+from repro.trace.tracer import Tracer
+
+__all__ = [
+    "AuditReport",
+    "RingBuffer",
+    "TraceEvent",
+    "Tracer",
+    "audit_machine",
+    "iter_events",
+    "render_summary",
+    "render_tail",
+    "write_ndjson",
+    "write_perfetto",
+]

@@ -1,0 +1,206 @@
+"""Page-lifecycle auditor: replay a trace, cross-check the StatsBook.
+
+The trace stream and the counters are written by *different* code at
+*different* layers — e.g. ``kpromoted.promoted`` is accumulated from
+``ScanResult`` merges in the daemon's ``run()`` while the
+``kpromoted_promote`` tracepoint fires inside the drain loop — so
+agreement between the two is evidence that the accounting, not just the
+arithmetic, is right.  Exactly the class of bug this PR's satellites fix
+(misattributed residency tiers, double-consumed REFERENCED flags) shows
+up here as a counter/trace mismatch.
+
+Two layers of checking:
+
+1. **Counter cross-checks** — each cross-check compares a counter *delta*
+   (since the tracer's enable-time baseline) against the tracer's
+   ``hits``.  Hits count every emission even when the ring overwrote the
+   event, so these stay exact under ring pressure.
+2. **Replay checks** — run only while every ring is complete (nothing
+   overwritten): per-pfn lifecycle replay (pages are allocated before
+   they are used, never used after free/evict, and migrate from the node
+   the trace last placed them on — pfns are globally unique and never
+   reused, which is what makes this a pure fold over the stream), plus
+   breakdowns that need event fields (migration directions, which
+   scanner demoted, fault windows opened).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.trace.export import iter_events
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+
+__all__ = ["AuditReport", "audit_machine"]
+
+_MAX_DETAILS = 20
+
+#: counter-vs-hits equalities: (counter names to sum, event name).
+_COUNTER_CHECKS: tuple[tuple[tuple[str, ...], str], ...] = (
+    (("alloc.pages",), "mm_page_alloc"),
+    (("reclaim.evictions",), "mm_vmscan_evict"),
+    (("oom.kills",), "oom_kill"),
+    (("kpromoted.promoted",), "kpromoted_promote"),
+    (("kpromoted.deactivated",), "kpromoted_recycle"),
+    (("migrate.attempts",), "mm_migrate_pages"),
+    (("faults.copy_failures_injected",), "fault_copy_fail"),
+    (("multiclock.promote_list_adds", "kpromoted.to_promote_list"), "mm_promote_list_add"),
+    (("backing.swap_outs",), "mm_swap_out"),
+    (("backing.swap_ins",), "mm_swap_in"),
+)
+
+#: events that never concern one page even though replay sees them.
+_DEATHS = ("mm_page_free", "mm_vmscan_evict")
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one trace-vs-counters audit."""
+
+    checks: int = 0
+    events_replayed: int = 0
+    complete: bool = True
+    mismatches: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def render(self) -> str:
+        lines = [
+            f"trace audit: {self.checks} cross-checks, "
+            f"{self.events_replayed} events replayed, "
+            f"rings {'complete' if self.complete else 'OVERWRITTEN (replay skipped)'}"
+        ]
+        lines.extend(f"  note: {note}" for note in self.notes)
+        if self.ok:
+            lines.append("  verdict: OK — counters and trace agree")
+        else:
+            lines.extend(f"  MISMATCH: {m}" for m in self.mismatches)
+            lines.append(f"  verdict: {len(self.mismatches)} mismatch(es)")
+        return "\n".join(lines)
+
+    def _mismatch(self, message: str) -> None:
+        if len(self.mismatches) < _MAX_DETAILS:
+            self.mismatches.append(message)
+        elif len(self.mismatches) == _MAX_DETAILS:
+            self.mismatches.append("... further mismatches elided")
+
+
+def audit_machine(machine: "Machine") -> AuditReport:
+    """Cross-check ``machine``'s trace against its StatsBook counters.
+
+    The tracer must have been enabled before the workload ran (its
+    enable-time baseline makes the counter deltas exact either way, but
+    replay only sees events emitted while it was live).
+    """
+    tracer = machine.system.trace
+    if tracer is None:
+        raise RuntimeError("no tracer installed — call Machine.enable_tracing() first")
+    report = AuditReport(complete=tracer.complete)
+    stats = machine.system.stats
+    backing = machine.system.backing
+    baseline = tracer.baseline
+
+    def counter_delta(name: str) -> int:
+        if name == "backing.swap_outs":
+            current = backing.swap_outs
+        elif name == "backing.swap_ins":
+            current = backing.swap_ins
+        else:
+            current = stats.get(name)
+        return current - baseline.get(name, 0)
+
+    for names, event_name in _COUNTER_CHECKS:
+        expected = sum(counter_delta(name) for name in names)
+        observed = tracer.hits.get(event_name, 0)
+        report.checks += 1
+        if expected != observed:
+            report._mismatch(
+                f"{'+'.join(names)} = {expected} but {observed} {event_name} events emitted"
+            )
+
+    if not tracer.complete:
+        report.notes.append(
+            f"{tracer.events_dropped} events overwritten — raise capacity_per_node "
+            "for lifecycle replay"
+        )
+        return report
+    _replay(machine, tracer, report, counter_delta)
+    return report
+
+
+def _replay(machine, tracer, report: AuditReport, counter_delta) -> None:
+    directions = {"promote": 0, "demote": 0, "lateral": 0}
+    kswapd_demotes = 0
+    windows_opened = 0
+    # pfn -> [node the trace last placed it on, alive]
+    pages: dict[int, list] = {}
+    for event in iter_events(tracer):
+        report.events_replayed += 1
+        name = event.name
+        if name == "fault_window":
+            windows_opened += event.fields["opening"]
+            continue
+        if name == "mm_vmscan_demote" and event.fields["scanner"] == "kswapd":
+            kswapd_demotes += 1
+        if name == "mm_migrate_pages" and event.fields["outcome"] == "migrated":
+            directions[event.fields["direction"]] += 1
+        pfn = event.pfn
+        if pfn < 0:
+            continue
+        state = pages.get(pfn)
+        if name == "mm_page_alloc":
+            if state is not None and state[1]:
+                report._mismatch(f"pfn {pfn} allocated while already live")
+            pages[pfn] = [event.node_id, True]
+            continue
+        if state is None:
+            continue  # allocated before tracing started: nothing to hold it to
+        node, alive = state
+        if not alive:
+            report._mismatch(f"{name} for pfn {pfn} after it was freed (seq {event.seq})")
+            continue
+        if name in _DEATHS:
+            if node != event.node_id:
+                report._mismatch(
+                    f"pfn {pfn} freed on node {event.node_id} but last seen on {node}"
+                )
+            state[1] = False
+        elif name == "mm_migrate_pages":
+            if node != event.node_id:
+                report._mismatch(
+                    f"pfn {pfn} migrating from node {event.node_id} but last seen on {node}"
+                )
+            if event.fields["outcome"] == "migrated":
+                state[0] = event.fields["dest"]
+        elif name in ("mm_vmscan_demote", "kpromoted_promote", "kswapd_promote"):
+            # Emitted by the scanner *after* the migration moved the page,
+            # so the page must already sit on the destination.
+            if node != event.fields["dest"]:
+                report._mismatch(
+                    f"{name} says pfn {pfn} landed on node {event.fields['dest']} "
+                    f"but the trace has it on {node}"
+                )
+        elif node != event.node_id:
+            report._mismatch(
+                f"{name} for pfn {pfn} on node {event.node_id} but last seen on {node}"
+            )
+    replay_checks = (
+        ("migrate.promotions", directions["promote"]),
+        ("migrate.demotions", directions["demote"]),
+        ("migrate.lateral", directions["lateral"]),
+        ("kswapd.demoted", kswapd_demotes),
+        ("faults.windows_opened", windows_opened),
+    )
+    for counter_name, observed in replay_checks:
+        report.checks += 1
+        expected = counter_delta(counter_name)
+        if expected != observed:
+            report._mismatch(
+                f"{counter_name} = {expected} but replay saw {observed}"
+            )

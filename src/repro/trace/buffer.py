@@ -1,0 +1,96 @@
+"""Bounded trace ring buffers — the simulator's per-CPU trace pages.
+
+The kernel's tracing buffers are fixed-size per CPU and overwrite the
+oldest entries when full; readers learn how much they missed from an
+``overrun`` count.  :class:`RingBuffer` mirrors that contract per NUMA
+node: appends never fail and never grow memory without bound, overwrites
+are counted in :attr:`RingBuffer.dropped`, and iteration yields the
+surviving events oldest first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = ["TraceEvent", "RingBuffer"]
+
+
+class TraceEvent:
+    """One emitted tracepoint record.
+
+    ``seq`` is a global monotonic sequence number (emission order across
+    all rings — virtual timestamps are not unique because many events
+    share one clock reading), ``ts_ns`` the virtual time, ``node_id`` the
+    ring it was emitted to (-1 for machine-wide events), ``pfn`` the page
+    concerned (-1 when the event is not about one page).
+    """
+
+    __slots__ = ("seq", "ts_ns", "name", "node_id", "pfn", "fields")
+
+    def __init__(
+        self,
+        seq: int,
+        ts_ns: int,
+        name: str,
+        node_id: int,
+        pfn: int,
+        fields: dict[str, Any],
+    ) -> None:
+        self.seq = seq
+        self.ts_ns = ts_ns
+        self.name = name
+        self.node_id = node_id
+        self.pfn = pfn
+        self.fields = fields
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "seq": self.seq,
+            "ts_ns": self.ts_ns,
+            "event": self.name,
+            "node": self.node_id,
+        }
+        if self.pfn >= 0:
+            data["pfn"] = self.pfn
+        data.update(self.fields)
+        return data
+
+    def __repr__(self) -> str:
+        extra = "".join(f" {k}={v}" for k, v in self.fields.items())
+        pfn = f" pfn={self.pfn}" if self.pfn >= 0 else ""
+        return f"<{self.name} @{self.ts_ns}ns node={self.node_id}{pfn}{extra}>"
+
+
+class RingBuffer:
+    """Fixed-capacity overwrite-oldest event buffer for one node."""
+
+    __slots__ = ("capacity", "dropped", "_slots", "_next")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._slots: list[TraceEvent] = []
+        self._next = 0  # overwrite position once the ring is full
+
+    def append(self, event: TraceEvent) -> None:
+        slots = self._slots
+        if len(slots) < self.capacity:
+            slots.append(event)
+        else:
+            slots[self._next] = event
+            self._next = (self._next + 1) % self.capacity
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        """Surviving events, oldest first."""
+        slots = self._slots
+        if len(slots) < self.capacity:
+            yield from slots
+        else:
+            yield from slots[self._next :]
+            yield from slots[: self._next]

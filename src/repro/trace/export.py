@@ -1,0 +1,126 @@
+"""Trace consumers: merged iteration, NDJSON/perfetto export, summaries.
+
+NDJSON (one JSON object per line) is the grep-friendly interchange form;
+the perfetto writer emits the Chrome trace-event JSON that
+https://ui.perfetto.dev loads directly, with one track per NUMA node so
+per-node daemon activity lines up visually.  Virtual nanoseconds map to
+trace microseconds (the trace-event unit), so one simulated second reads
+as one second in the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.sim.vclock import NANOS_PER_SECOND
+from repro.trace.buffer import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.tracer import Tracer
+
+__all__ = [
+    "iter_events",
+    "write_ndjson",
+    "write_perfetto",
+    "render_tail",
+    "render_summary",
+]
+
+
+def iter_events(
+    tracer: "Tracer", *, prefixes: Sequence[str] | None = None
+) -> Iterator[TraceEvent]:
+    """All surviving events across every ring, in emission order.
+
+    ``prefixes`` filters by event-name prefix (``["mm_lru", "oom"]``),
+    mirroring ``trace-cmd record -e mm_lru*``.
+    """
+    merged: list[TraceEvent] = []
+    for ring in tracer.buffers.values():
+        merged.extend(ring)
+    merged.sort(key=lambda ev: ev.seq)
+    for event in merged:
+        if prefixes is None or any(event.name.startswith(p) for p in prefixes):
+            yield event
+
+
+def write_ndjson(events: Iterable[TraceEvent], path: str | Path) -> Path:
+    """One compact JSON object per line, in emission order."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for event in events:
+            json.dump(event.to_dict(), fh, separators=(",", ":"), sort_keys=True)
+            fh.write("\n")
+    return path
+
+
+def write_perfetto(events: Iterable[TraceEvent], path: str | Path) -> Path:
+    """Chrome trace-event JSON: instant events, one track per node."""
+    records = []
+    for event in events:
+        args = dict(event.fields)
+        if event.pfn >= 0:
+            args["pfn"] = event.pfn
+        records.append(
+            {
+                "name": event.name,
+                "ph": "i",
+                "s": "t",
+                "ts": event.ts_ns / 1000.0,
+                "pid": 0,
+                "tid": event.node_id,
+                "args": args,
+            }
+        )
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump({"traceEvents": records, "displayTimeUnit": "ms"}, fh)
+        fh.write("\n")
+    return path
+
+
+def render_tail(events: Sequence[TraceEvent], count: int) -> str:
+    """The last ``count`` events, one per line — ``trace_pipe`` style."""
+    lines = []
+    for event in events[-count:]:
+        extra = " ".join(f"{k}={v}" for k, v in sorted(event.fields.items()))
+        pfn = f" pfn={event.pfn}" if event.pfn >= 0 else ""
+        lines.append(
+            f"[{event.ts_ns / NANOS_PER_SECOND:12.6f}] node{event.node_id:>2} "
+            f"{event.name}:{pfn}{' ' + extra if extra else ''}"
+        )
+    return "\n".join(lines) if lines else "(no events)"
+
+
+def render_summary(tracer: "Tracer", *, buckets: int = 20, width: int = 40) -> str:
+    """Per-event totals plus an event-rate histogram over virtual time."""
+    lines = ["event                        hits  buffered"]
+    buffered: dict[str, int] = {}
+    for ring in tracer.buffers.values():
+        for event in ring:
+            buffered[event.name] = buffered.get(event.name, 0) + 1
+    for name in sorted(tracer.hits):
+        lines.append(f"{name:<24} {tracer.hits[name]:>9}  {buffered.get(name, 0):>8}")
+    lines.append(
+        f"{'total':<24} {tracer.events_emitted:>9}  "
+        f"{sum(len(r) for r in tracer.buffers.values()):>8}"
+        f"  ({tracer.events_dropped} overwritten)"
+    )
+    events = list(iter_events(tracer))
+    if events:
+        lo = events[0].ts_ns
+        hi = max(events[-1].ts_ns, lo + 1)
+        span = hi - lo
+        counts = [0] * buckets
+        for event in events:
+            index = min(buckets - 1, (event.ts_ns - lo) * buckets // span)
+            counts[index] += 1
+        peak = max(counts) or 1
+        lines.append("")
+        lines.append(f"buffered event rate over virtual time ({span / NANOS_PER_SECOND:.4f}s span):")
+        for i, n in enumerate(counts):
+            start_s = (lo + i * span / buckets) / NANOS_PER_SECOND
+            lines.append(f"{start_s:10.4f}s {n:>7} {'#' * (width * n // peak)}")
+    return "\n".join(lines)

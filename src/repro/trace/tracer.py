@@ -1,0 +1,141 @@
+"""The tracepoint surface: one ``trace_*`` method per kernel event.
+
+A :class:`Tracer` is installed on a machine with
+``Machine.enable_tracing()``; until then every call site sees ``None``
+and skips emission entirely — the analogue of tracepoints compiled to
+nops.  The tracer deliberately owns *all* of its own state:
+
+* events go to per-node :class:`~repro.trace.buffer.RingBuffer`\\ s keyed
+  by ``node_id`` (-1 collects machine-wide events like OOM kills);
+* per-event emission counts live in :attr:`Tracer.hits`, a plain dict
+  **outside** the simulation's :class:`~repro.sim.stats.StatsBook` —
+  tracing must never change the counter key set or values a run reports,
+  or tracing-on runs would stop being comparable to tracing-off ones;
+* timestamps are read from the shared virtual clock but the clock is
+  never advanced: observation is free, exactly like the residency probe.
+
+``hits`` counts every emission even when the ring overwrote the event,
+so counter cross-checks (see :mod:`repro.trace.audit`) stay exact under
+ring pressure; only per-event *replay* needs complete rings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.trace.buffer import RingBuffer, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.vclock import VirtualClock
+
+__all__ = ["Tracer", "DEFAULT_RING_CAPACITY"]
+
+DEFAULT_RING_CAPACITY = 65536
+"""Events retained per node before the ring overwrites the oldest."""
+
+
+class Tracer:
+    """Bounded, virtually-timestamped event recorder for one machine."""
+
+    def __init__(
+        self, clock: "VirtualClock", *, capacity_per_node: int = DEFAULT_RING_CAPACITY
+    ) -> None:
+        if capacity_per_node <= 0:
+            raise ValueError("capacity_per_node must be positive")
+        self._clock = clock
+        self.capacity_per_node = capacity_per_node
+        self.buffers: dict[int, RingBuffer] = {}
+        self.hits: dict[str, int] = {}
+        # Counter values at the moment tracing was enabled: the auditor
+        # compares *deltas* against hits so a tracer attached mid-run
+        # still cross-checks exactly.
+        self.baseline: dict[str, int] = {}
+        self._seq = 0
+
+    @property
+    def events_emitted(self) -> int:
+        return self._seq
+
+    @property
+    def events_dropped(self) -> int:
+        return sum(ring.dropped for ring in self.buffers.values())
+
+    @property
+    def complete(self) -> bool:
+        """True while no ring has overwritten anything."""
+        return self.events_dropped == 0
+
+    def emit(self, name: str, node_id: int = -1, pfn: int = -1, **fields) -> None:
+        """Record one event into ``node_id``'s ring. Hot sites use the
+        typed ``trace_*`` wrappers; this is the shared tail."""
+        self.hits[name] = self.hits.get(name, 0) + 1
+        ring = self.buffers.get(node_id)
+        if ring is None:
+            ring = self.buffers[node_id] = RingBuffer(self.capacity_per_node)
+        self._seq += 1
+        ring.append(TraceEvent(self._seq, self._clock.now_ns, name, node_id, pfn, fields))
+
+    # -- mm tracepoints ------------------------------------------------------
+
+    def trace_mm_page_alloc(self, node_id: int, pfn: int, is_anon: bool, fell_back: bool) -> None:
+        self.emit("mm_page_alloc", node_id, pfn, anon=is_anon, fell_back=fell_back)
+
+    def trace_mm_page_free(self, node_id: int, pfn: int, reason: str) -> None:
+        self.emit("mm_page_free", node_id, pfn, reason=reason)
+
+    def trace_mm_lru_activate(self, node_id: int, pfn: int, scanner: str) -> None:
+        self.emit("mm_lru_activate", node_id, pfn, scanner=scanner)
+
+    def trace_mm_lru_deactivate(self, node_id: int, pfn: int, scanner: str) -> None:
+        self.emit("mm_lru_deactivate", node_id, pfn, scanner=scanner)
+
+    def trace_mm_promote_list_add(self, node_id: int, pfn: int, source: str) -> None:
+        self.emit("mm_promote_list_add", node_id, pfn, source=source)
+
+    def trace_mm_vmscan_demote(self, node_id: int, pfn: int, dest: int, scanner: str) -> None:
+        self.emit("mm_vmscan_demote", node_id, pfn, dest=dest, scanner=scanner)
+
+    def trace_mm_vmscan_evict(self, node_id: int, pfn: int, is_anon: bool) -> None:
+        self.emit("mm_vmscan_evict", node_id, pfn, anon=is_anon)
+
+    def trace_mm_migrate_pages(
+        self, node_id: int, pfn: int, dest: int, direction: str, outcome: str
+    ) -> None:
+        self.emit(
+            "mm_migrate_pages", node_id, pfn,
+            dest=dest, direction=direction, outcome=outcome,
+        )
+
+    def trace_mm_swap_out(self, process_id: int, vpage: int) -> None:
+        self.emit("mm_swap_out", pid=process_id, vpage=vpage)
+
+    def trace_mm_swap_in(self, process_id: int, vpage: int) -> None:
+        self.emit("mm_swap_in", pid=process_id, vpage=vpage)
+
+    def trace_oom_kill(self, reason: str) -> None:
+        self.emit("oom_kill", reason=reason)
+
+    # -- daemon tracepoints --------------------------------------------------
+
+    def trace_kpromoted_promote(self, node_id: int, pfn: int, dest: int) -> None:
+        self.emit("kpromoted_promote", node_id, pfn, dest=dest)
+
+    def trace_kpromoted_recycle(self, node_id: int, pfn: int, reason: str) -> None:
+        self.emit("kpromoted_recycle", node_id, pfn, reason=reason)
+
+    def trace_kswapd_wake(self, node_id: int, free_pages: int) -> None:
+        self.emit("kswapd_wake", node_id, free_pages=free_pages)
+
+    def trace_kswapd_promote(self, node_id: int, pfn: int, dest: int) -> None:
+        self.emit("kswapd_promote", node_id, pfn, dest=dest)
+
+    def trace_kswapd_recycle_promote(self, node_id: int, pfn: int) -> None:
+        self.emit("kswapd_recycle_promote", node_id, pfn)
+
+    # -- fault-injection tracepoints ----------------------------------------
+
+    def trace_fault_window(self, index: int, kind: str, opening: bool) -> None:
+        self.emit("fault_window", index=index, kind=kind, opening=opening)
+
+    def trace_fault_copy_fail(self, node_id: int, pfn: int, dest: int) -> None:
+        self.emit("fault_copy_fail", node_id, pfn, dest=dest)

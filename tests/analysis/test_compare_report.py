@@ -76,3 +76,17 @@ def test_comparison_render_sorted():
     text = normalize_throughput(results).render()
     lines = text.splitlines()
     assert "multiclock" in lines[1]  # best first
+
+
+def test_render_series_shows_gaps_for_no_data_windows():
+    points = [
+        WindowPoint(0, 4.0, samples=2),
+        WindowPoint(1, float("nan"), samples=0),
+        WindowPoint(2, 8.0, samples=1),
+    ]
+    text = render_series(points)
+    lines = text.splitlines()
+    assert "(no data)" in lines[1]
+    assert "#" not in lines[1]
+    # Peak scaling must ignore the NaN: window 2 gets the full bar.
+    assert lines[2].count("#") > lines[0].count("#")

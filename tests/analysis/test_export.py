@@ -67,3 +67,18 @@ def test_export_real_experiment_output(tmp_path):
     path = write_comparisons_csv(comparisons, tmp_path / "fig5.csv")
     rows = read(path)
     assert rows[1][0] == "A"
+
+
+def test_series_csv_writes_empty_cells_for_no_data_windows(tmp_path):
+    series = {
+        "reaccess": [
+            WindowPoint(0, 50.0, samples=3),
+            WindowPoint(1, float("nan"), samples=0),
+            WindowPoint(2, 25.0, samples=1),
+        ],
+    }
+    path = write_series_csv(series, tmp_path / "fig9.csv")
+    rows = read(path)
+    assert rows[1] == ["0", "50.000000"]
+    assert rows[2] == ["1", ""]  # a gap, not a fabricated zero
+    assert rows[3] == ["2", "25.000000"]

@@ -80,3 +80,41 @@ def test_empty_probe_render():
     assert probe.render() == "(no samples)"
     assert probe.final() is None
     assert probe.peak_dram_fraction() == 0.0
+
+
+def test_swapped_count_matches_brute_force():
+    """The O(1) per-process swap count must agree with re-testing every
+    vpage of every anonymous region — the scan it replaced."""
+    machine, process, probe = run_with_probe(footprint=400, rounds=4)
+    backing = machine.system.backing
+    brute = sum(
+        1
+        for region in process.regions
+        if region.is_anon
+        for vpage in range(region.start_vpage, region.end_vpage)
+        if backing.is_swapped(process.pid, vpage)
+    )
+    assert backing.swapped_pages_of(process.pid) == brute
+    probe._sample(machine.clock.now_ns)  # fresh sample at this instant
+    assert probe.final().swapped_pages == brute
+
+
+def test_sample_tier_split_matches_system():
+    """Each resident page must land in the column of its actual tier —
+    the old `else: pm` arm misfiled anything that was merely not-DRAM."""
+    from repro.mm.hardware import MemoryTier
+
+    machine, process, probe = run_with_probe()
+    dram = pm = 0
+    for pte in process.page_table.entries():
+        tier = machine.system.tier_of(pte.page)
+        if tier is MemoryTier.DRAM:
+            dram += 1
+        elif tier is MemoryTier.PM:
+            pm += 1
+    sample = probe.final()
+    # The probe last sampled mid-run; take one fresh sample to compare.
+    probe._sample(machine.clock.now_ns)
+    fresh = probe.final()
+    assert (fresh.dram_pages, fresh.pm_pages) == (dram, pm)
+    assert fresh.resident == dram + pm

@@ -199,3 +199,35 @@ def test_failed_drain_counts_deactivation(machine):
     assert machine.system.tier_of(page) is MemoryTier.PM
     assert machine.stats.get("kpromoted.deactivated") >= 1
     assert machine.stats.get("kpromoted.promoted") == 0
+
+
+def test_drain_consumes_both_reference_signals(machine):
+    """The stale-REFERENCED fix: draining a promote-list page with a set
+    hardware accessed bit must also clear REFERENCED, so the page lands
+    upstairs without a free second reference already banked."""
+    process = machine.create_process()
+    process.mmap_anon(0, 8)
+    page, pte = pm_resident(machine, process, 0, kind=ListKind.ACTIVE)
+    node = machine.system.nodes[1]
+    move_to_promote(node, page)  # sets REFERENCED by design (edge 10)
+    assert page.test(PageFlags.REFERENCED)
+    pte.accessed = True  # the hardware bit the old short-circuit hid behind
+    pm_kpromoted(machine).run(0)
+    assert machine.system.tier_of(page) is MemoryTier.DRAM
+    assert not page.test(PageFlags.REFERENCED), (
+        "drain left a stale second reference on the promoted page"
+    )
+
+
+def test_drain_promotes_on_referenced_flag_alone(machine):
+    """Clearing both signals must not break the flag-only path: a page
+    whose second reference came from REFERENCED (no fresh hardware bit)
+    still climbs."""
+    process = machine.create_process()
+    process.mmap_anon(0, 8)
+    page, __ = pm_resident(machine, process, 0, kind=ListKind.ACTIVE)
+    node = machine.system.nodes[1]
+    move_to_promote(node, page)
+    pm_kpromoted(machine).run(0)
+    assert machine.system.tier_of(page) is MemoryTier.DRAM
+    assert not page.test(PageFlags.REFERENCED)

@@ -259,3 +259,22 @@ def test_shrink_inactive_stops_at_target(system):
         resident_page(system, pm, process, i)
     result = shrink_inactive_list(system, pm, True, target_free=3, budget=16, demote_dest=None)
     assert result.evicted == 3
+
+
+def test_active_ratio_threshold_ignores_offline_frames():
+    """Section III-C sizes the ratio by memory *available* in the tier:
+    frames taken offline (capacity-loss fault, hot-remove) must shrink
+    the threshold, not keep it sized for frames the node no longer has."""
+    from repro.mm.hardware import MemoryTier
+    from repro.mm.numa import NumaNode
+
+    node = NumaNode.create(1, MemoryTier.PM, 1 << 20, 1 << 20)  # 4 GiB
+    full = active_ratio_threshold(node)
+    assert full > 1.0
+    node.take_offline(3 * (1 << 18))  # lose 3 GiB
+    assert active_ratio_threshold(node) < full
+    assert active_ratio_threshold(node) == pytest.approx(
+        active_ratio_threshold(NumaNode.create(1, MemoryTier.PM, 1 << 18, 1 << 18))
+    )
+    node.bring_online(3 * (1 << 18))
+    assert active_ratio_threshold(node) == pytest.approx(full)

@@ -114,3 +114,37 @@ def test_series_points_carry_window_width():
     points = series.totals()
     assert points[-1].window_id == 2
     assert points[-1].start_seconds == pytest.approx(1.0)
+
+
+def test_means_mark_empty_windows_as_no_data():
+    """A mean over nothing is undefined: empty windows must come back as
+    NaN with samples=0, not as a fabricated 0.0 (the Fig. 9 bug where
+    "no promoted pages this window" read as "0% re-accessed")."""
+    import math
+
+    series = WindowedSeries(window_seconds=1.0)
+    series.record(0, 4.0)
+    series.record(3 * NANOS_PER_SECOND, 8.0)
+    means = series.means()
+    assert [p.window_id for p in means] == [0, 1, 2, 3]
+    assert means[0].value == pytest.approx(4.0)
+    assert math.isnan(means[1].value) and math.isnan(means[2].value)
+    assert means[3].value == pytest.approx(8.0)
+    assert [p.samples for p in means] == [1, 0, 0, 1]
+    assert means[1].is_empty and not means[0].is_empty
+
+
+def test_totals_keep_zero_for_empty_windows_but_flag_them():
+    series = WindowedSeries(window_seconds=1.0)
+    series.record(0, 1.0)
+    series.record(2 * NANOS_PER_SECOND, 1.0)
+    totals = series.totals()
+    assert [p.value for p in totals] == [1.0, 0.0, 1.0]
+    assert [p.samples for p in totals] == [1, 0, 1]
+    assert totals[1].is_empty
+
+
+def test_hand_built_points_have_unknown_samples():
+    point = WindowPoint(0, 1.0)
+    assert point.samples is None
+    assert not point.is_empty

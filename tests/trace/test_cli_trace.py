@@ -1,0 +1,49 @@
+"""CLI tests for ``repro trace`` and ``repro chaos --trace-capacity``."""
+
+import json
+
+from repro.cli import main
+
+ARGS = [
+    "--workload", "zipf", "--pages", "300", "--ops", "2000",
+    "--dram-pages", "128", "--pm-pages", "1024", "--interval", "0.002",
+]
+
+
+def test_trace_prints_summary_and_audits(capsys):
+    assert main(["trace", *ARGS, "--audit"]) == 0
+    out = capsys.readouterr().out
+    assert "zipf on multiclock" in out
+    assert "mm_page_alloc" in out
+    assert "verdict: OK" in out
+
+
+def test_trace_tail_and_filter(capsys):
+    assert main(["trace", *ARGS, "--no-summary", "--tail", "3",
+                 "--events", "mm_migrate"]) == 0
+    out = capsys.readouterr().out
+    assert "mm_migrate_pages" in out
+    assert "mm_page_alloc" not in out
+
+
+def test_trace_exports_ndjson_and_perfetto(tmp_path, capsys):
+    ndjson = tmp_path / "ev.ndjson"
+    perfetto = tmp_path / "ev.json"
+    assert main(["trace", *ARGS, "--no-summary",
+                 "--ndjson", str(ndjson), "--perfetto", str(perfetto)]) == 0
+    lines = ndjson.read_text().splitlines()
+    assert lines and all(json.loads(line)["event"] for line in lines)
+    assert json.loads(perfetto.read_text())["traceEvents"]
+    out = capsys.readouterr().out
+    assert str(ndjson) in out
+
+
+def test_chaos_trace_capacity_embeds_audits(tmp_path, capsys):
+    out_path = tmp_path / "chaos.json"
+    assert main([
+        "chaos", *ARGS, "--policies", "static",
+        "--trace-capacity", str(1 << 20), "--out", str(out_path),
+    ]) == 0
+    report = json.loads(out_path.read_text())
+    for cell in report["cells"]:
+        assert cell["trace_audit"]["mismatches"] == 0

@@ -1,0 +1,50 @@
+"""Unit tests for the trace ring buffer and event record."""
+
+import pytest
+
+from repro.trace.buffer import RingBuffer, TraceEvent
+
+
+def event(seq, name="mm_page_alloc", node=0, pfn=-1, **fields):
+    return TraceEvent(seq=seq, ts_ns=seq * 10, name=name, node_id=node,
+                      pfn=pfn, fields=fields)
+
+
+def test_append_preserves_order_when_not_full():
+    ring = RingBuffer(capacity=8)
+    for i in range(5):
+        ring.append(event(i))
+    assert [e.seq for e in ring] == [0, 1, 2, 3, 4]
+    assert ring.dropped == 0
+    assert len(ring) == 5
+
+
+def test_full_ring_overwrites_oldest():
+    ring = RingBuffer(capacity=4)
+    for i in range(10):
+        ring.append(event(i))
+    assert [e.seq for e in ring] == [6, 7, 8, 9]
+    assert ring.dropped == 6
+    assert len(ring) == 4
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        RingBuffer(capacity=0)
+
+
+def test_to_dict_includes_pfn_only_when_present():
+    with_pfn = event(1, pfn=42, dest=1).to_dict()
+    assert with_pfn["pfn"] == 42
+    assert with_pfn["dest"] == 1
+    assert with_pfn["event"] == "mm_page_alloc"
+    without = event(2).to_dict()
+    assert "pfn" not in without
+
+
+def test_wraparound_iteration_is_oldest_first():
+    ring = RingBuffer(capacity=3)
+    for i in range(4):  # exactly one wrap
+        ring.append(event(i))
+    seqs = [e.seq for e in ring]
+    assert seqs == sorted(seqs) == [1, 2, 3]

@@ -1,0 +1,89 @@
+"""Unit tests for trace export: merged iteration, NDJSON, perfetto, text."""
+
+import json
+
+from repro.machine import Machine
+from repro.sim.config import SimulationConfig
+from repro.trace import (
+    iter_events,
+    render_summary,
+    render_tail,
+    write_ndjson,
+    write_perfetto,
+)
+
+CONFIG = SimulationConfig(dram_pages=(64,), pm_pages=(256,))
+
+
+def tracer_with_events():
+    machine = Machine(CONFIG, "static")
+    tracer = machine.enable_tracing()
+    tracer.trace_mm_page_alloc(0, 1, True, False)
+    tracer.trace_mm_vmscan_demote(0, 1, 1, "kswapd")
+    tracer.trace_mm_page_alloc(1, 2, True, True)
+    tracer.trace_oom_kill("test pressure")
+    return tracer
+
+
+def test_iter_events_merges_rings_in_emission_order():
+    tracer = tracer_with_events()
+    events = list(iter_events(tracer))
+    assert [e.seq for e in events] == [1, 2, 3, 4]
+    assert [e.name for e in events] == [
+        "mm_page_alloc", "mm_vmscan_demote", "mm_page_alloc", "oom_kill",
+    ]
+
+
+def test_iter_events_prefix_filter():
+    tracer = tracer_with_events()
+    names = [e.name for e in iter_events(tracer, prefixes=["mm_page", "oom"])]
+    assert names == ["mm_page_alloc", "mm_page_alloc", "oom_kill"]
+
+
+def test_ndjson_round_trips(tmp_path):
+    tracer = tracer_with_events()
+    out = tmp_path / "events.ndjson"
+    write_ndjson(iter_events(tracer), out)
+    lines = out.read_text().splitlines()
+    assert len(lines) == 4
+    first = json.loads(lines[0])
+    assert first["event"] == "mm_page_alloc"
+    assert first["pfn"] == 1
+    assert first["anon"] is True
+    last = json.loads(lines[-1])
+    assert last["event"] == "oom_kill"
+    assert "pfn" not in last  # not about one page
+
+
+def test_perfetto_shape(tmp_path):
+    tracer = tracer_with_events()
+    out = tmp_path / "trace.json"
+    write_perfetto(iter_events(tracer), out)
+    doc = json.loads(out.read_text())
+    records = doc["traceEvents"]
+    assert len(records) == 4
+    assert {r["tid"] for r in records} == {0, 1, -1}
+    demote = next(r for r in records if r["name"] == "mm_vmscan_demote")
+    assert demote["ph"] == "i"
+    assert demote["args"]["dest"] == 1
+    assert demote["args"]["pfn"] == 1
+
+
+def test_render_tail_shows_last_events():
+    tracer = tracer_with_events()
+    text = render_tail(list(iter_events(tracer)), 2)
+    assert "oom_kill" in text
+    assert "mm_page_alloc" in text
+    assert "mm_vmscan_demote" not in text
+
+
+def test_render_tail_empty():
+    assert render_tail([], 5) == "(no events)"
+
+
+def test_render_summary_lists_every_event_name():
+    tracer = tracer_with_events()
+    text = render_summary(tracer)
+    for name in ("mm_page_alloc", "mm_vmscan_demote", "oom_kill", "total"):
+        assert name in text
+    assert "(0 overwritten)" in text
