@@ -21,6 +21,29 @@ python -m repro chaos --policies multiclock,static --workload zipf \
     --pages 600 --ops 4000 --dram-pages 256 --pm-pages 2048 \
     --interval 0.002 --out "$(mktemp -d)/CHAOS_report.json"
 
+echo "== sweep smoke (2 workers == sequential; forced crash retried) =="
+SWEEP_TMP="$(mktemp -d)"
+python -m repro sweep --policies static,multiclock --workload zipf \
+    --pages 400 --ops 3000 --dram-pages 128 --pm-pages 1024 \
+    --interval 0.002 --workers 2 --out "$SWEEP_TMP/par.json" >/dev/null
+python -m repro sweep --policies static,multiclock --workload zipf \
+    --pages 400 --ops 3000 --dram-pages 128 --pm-pages 1024 \
+    --interval 0.002 --workers 1 --out "$SWEEP_TMP/seq.json" >/dev/null
+cmp "$SWEEP_TMP/par.json" "$SWEEP_TMP/seq.json"
+python - "$SWEEP_TMP" <<'PYEOF'
+import sys
+from repro.sweep import SweepCell, SweepSpec, run_sweep
+
+marker = sys.argv[1] + "/crash.marker"
+spec = SweepSpec(name="ci-crash", cells=(
+    SweepCell("boom", "flaky",
+              {"marker": marker, "mode": "exit", "payload": "recovered"}),
+))
+result = run_sweep(spec, workers=2)
+assert result.ok and result.outcomes[0].attempts == 2, result.outcomes
+print("forced worker crash was retried and healed")
+PYEOF
+
 echo "== trace smoke (run -> export -> audit) =="
 TRACE_TMP="$(mktemp -d)"
 python -m repro trace --workload zipf --pages 600 --ops 4000 \

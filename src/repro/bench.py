@@ -21,6 +21,11 @@ benchmarks, written to ``BENCH_perf.json``:
   overhead ratio, and an ``identical`` flag asserting the traced run's
   counters and virtual clocks match the untraced run bit for bit (the
   "tracepoints compile to nops" property, measured).
+* ``sweep`` — the parallel sweep orchestrator: a policy grid run
+  sequentially versus sharded across 2 worker processes.  Reports both
+  wall times, the speedup, the host's CPU count (the speedup is only
+  expected to exceed 1 on multi-core hosts), and an ``identical`` flag
+  asserting the merged results equal the sequential ones exactly.
 
 Each benchmark takes a best-of-``repeats`` timing to shrug off host
 scheduling noise.  ``--smoke`` shrinks the workloads to CI size.
@@ -31,6 +36,7 @@ from __future__ import annotations
 import contextlib
 import gc
 import json
+import os
 import platform
 import time
 from typing import Any, Iterator
@@ -44,6 +50,7 @@ __all__ = [
     "bench_kpromoted",
     "bench_ycsb_a",
     "bench_trace",
+    "bench_sweep",
     "run_suite",
     "write_results",
 ]
@@ -229,6 +236,48 @@ def bench_trace(
     }
 
 
+def bench_sweep(
+    *,
+    pages: int = 2000,
+    ops: int = 40_000,
+    policies: tuple[str, ...] = ("static", "multiclock", "nimble", "autotiering-cpm"),
+    workers: int = 2,
+    seed: int = 42,
+) -> dict[str, Any]:
+    """Sequential vs sharded execution of a policy grid.
+
+    Both paths go through :func:`run_policies`; ``identical`` asserts
+    the merged parallel results equal the sequential ones field for
+    field, which is the determinism property the orchestrator's merge
+    rests on.
+    """
+    from repro.experiments.common import run_policies
+
+    def factory() -> ZipfWorkload:
+        return ZipfWorkload(pages, ops, seed=seed, write_ratio=0.2)
+
+    config = _config(seed)
+    start = time.perf_counter()
+    sequential = run_policies(factory, config, policies)
+    sequential_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_policies(factory, config, policies, workers=workers)
+    parallel_s = time.perf_counter() - start
+    identical = {p: r.to_dict() for p, r in sequential.items()} == {
+        p: r.to_dict() for p, r in parallel.items()
+    }
+    return {
+        "cells": len(policies),
+        "ops_per_cell": ops,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "sequential_s": round(sequential_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(sequential_s / parallel_s, 2) if parallel_s > 0 else 0.0,
+        "identical": identical,
+    }
+
+
 def run_suite(*, smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
     """Run all benchmarks; smoke mode uses CI-sized workloads."""
     if smoke:
@@ -236,11 +285,13 @@ def run_suite(*, smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
         kpromoted = bench_kpromoted(pages=1000, warm_ops=10_000, runs=30)
         ycsb = bench_ycsb_a(n_records=2_000, ops=5_000)
         trace = bench_trace(30_000, pages=2000, repeats=max(1, min(repeats, 2)))
+        sweep = bench_sweep(pages=800, ops=8_000, policies=("static", "multiclock"))
     else:
         touch = bench_touch(repeats=repeats)
         kpromoted = bench_kpromoted()
         ycsb = bench_ycsb_a()
         trace = bench_trace(repeats=repeats)
+        sweep = bench_sweep()
     return {
         "meta": {
             "mode": "smoke" if smoke else "full",
@@ -251,6 +302,7 @@ def run_suite(*, smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
         "kpromoted": kpromoted,
         "ycsb_a": ycsb,
         "trace": trace,
+        "sweep": sweep,
     }
 
 
@@ -284,5 +336,14 @@ def render(results: dict[str, Any]) -> str:
             f"  overhead {trace['overhead']:.3f}x"
             f"  ({trace['events_emitted']:,} events)"
             f"  identical={trace['identical']}"
+        )
+    sweep = results.get("sweep")
+    if sweep is not None:
+        lines.append(
+            f"sweep      {sweep['cells']} cells sequential {sweep['sequential_s']}s"
+            f"  {sweep['workers']} workers {sweep['parallel_s']}s"
+            f"  speedup {sweep['speedup']:.2f}x"
+            f"  ({sweep['cpu_count']} core(s))"
+            f"  identical={sweep['identical']}"
         )
     return "\n".join(lines)

@@ -19,6 +19,11 @@ Commands:
 * ``trace`` — run a workload with the kernel-style tracepoint layer
   armed: tail the event stream, print per-event summaries, export
   NDJSON / perfetto JSON, and audit counters against the trace.
+* ``sweep`` — shard a policy × workload × seed grid across crash-
+  isolated worker processes (``--workers``), with per-cell retry,
+  ``--timeout-s`` kills, and a resumable manifest (``--resume``);
+  writes a deterministic ``SWEEP_report.json`` whose bytes do not
+  depend on the worker count.
 
 Operator errors (unknown policy, impossible sizing, running out of
 simulated memory) exit with a one-line message, not a traceback.
@@ -77,25 +82,24 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
 WORKLOADS = ("zipf", "uniform", "seqscan", "shifting-hotset")
 
 
+def _workload_spec(args: argparse.Namespace, kind: str, seed: int | None = None) -> dict:
+    """The declarative form of one ``--workload`` choice — the same
+    description the sweep runners build cells from."""
+    return {
+        "kind": kind,
+        "pages": args.pages,
+        "ops": args.ops,
+        "seed": args.seed if seed is None else seed,
+        "write_ratio": args.write_ratio,
+    }
+
+
 def _workload_builders(args: argparse.Namespace) -> dict[str, Callable]:
-    from repro.workloads.synthetic import (
-        SequentialScanWorkload,
-        ShiftingHotSetWorkload,
-        UniformWorkload,
-        ZipfWorkload,
-    )
+    from repro.sweep.runners import build_workload
 
     return {
-        "zipf": lambda: ZipfWorkload(args.pages, args.ops, seed=args.seed,
-                                     write_ratio=args.write_ratio),
-        "uniform": lambda: UniformWorkload(args.pages, args.ops, seed=args.seed,
-                                           write_ratio=args.write_ratio),
-        "seqscan": lambda: SequentialScanWorkload(args.pages, args.ops, seed=args.seed,
-                                                  write_ratio=args.write_ratio),
-        "shifting-hotset": lambda: ShiftingHotSetWorkload(
-            args.pages, args.ops, seed=args.seed, write_ratio=args.write_ratio,
-            phase_ops=max(1, args.ops // 4),
-        ),
+        kind: (lambda kind=kind: build_workload(_workload_spec(args, kind)))
+        for kind in WORKLOADS
     }
 
 
@@ -192,6 +196,35 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--trace-capacity", type=int, default=None,
                          help="arm tracing with this per-node ring capacity "
                               "and audit every cell")
+    chaos_p.add_argument("--workers", type=int, default=1,
+                         help="shard the matrix across this many crash-"
+                              "isolated worker processes")
+
+    sweep_p = sub.add_parser(
+        "sweep", help="shard a policy × workload × seed grid across workers"
+    )
+    _add_machine_args(sweep_p)
+    _add_workload_args(sweep_p)
+    sweep_p.add_argument("--policies",
+                         default="static,multiclock,nimble,autotiering-cpm,autotiering-opm",
+                         help="comma-separated policies (default: the Fig 5 set)")
+    sweep_p.add_argument("--workloads", default=None,
+                         help="comma-separated workloads (default: --workload)")
+    sweep_p.add_argument("--seeds", default=None,
+                         help="comma-separated seeds (default: --seed)")
+    sweep_p.add_argument("--workers", type=int, default=1,
+                         help="worker processes; cells are crash-isolated")
+    sweep_p.add_argument("--timeout-s", type=float, default=None,
+                         help="kill a cell after this many host seconds "
+                              "(counts as a failed attempt)")
+    sweep_p.add_argument("--max-attempts", type=int, default=3,
+                         help="attempts per cell before it is recorded as failed")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="skip cells already completed in the manifest")
+    sweep_p.add_argument("--manifest", default=None,
+                         help="checkpoint path (default: <out>.manifest.json)")
+    sweep_p.add_argument("--out", default=None,
+                         help="report path (default SWEEP_report.json)")
 
     trace_p = sub.add_parser(
         "trace", help="run a workload with tracepoints armed"
@@ -326,12 +359,113 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         _build_config(args),
         check_interval_s=args.interval,
         trace_capacity=args.trace_capacity,
+        workers=args.workers,
     )
     out = args.out or DEFAULT_REPORT
     write_report(report, out)
     print(render_report(report))
     print(f"report written to {out}")
     return 0 if report.all_clean else 1
+
+
+DEFAULT_SWEEP_REPORT = "SWEEP_report.json"
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.run import RunResult
+    from repro.sweep import SweepCell, SweepSpec, run_sweep
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    workload_names = (
+        [w.strip() for w in args.workloads.split(",") if w.strip()]
+        if args.workloads
+        else [args.workload]
+    )
+    unknown = [w for w in workload_names if w not in WORKLOADS]
+    if unknown:
+        raise ValueError(
+            f"unknown workload(s) {', '.join(unknown)}; choose from {', '.join(WORKLOADS)}"
+        )
+    try:
+        seeds = (
+            [int(s.strip()) for s in args.seeds.split(",") if s.strip()]
+            if args.seeds
+            else [args.seed]
+        )
+    except ValueError:
+        raise ValueError(
+            f"invalid --seeds {args.seeds!r}: must be comma-separated integers"
+        ) from None
+
+    cells = []
+    for policy in policies:
+        for workload_name in workload_names:
+            for seed in seeds:
+                cells.append(
+                    SweepCell(
+                        id=f"{policy}/{workload_name}/s{seed}",
+                        runner="run-workload",
+                        params={
+                            "policy": policy,
+                            "workload": _workload_spec(args, workload_name, seed),
+                            "config": {
+                                "dram_pages": args.dram_pages,
+                                "pm_pages": args.pm_pages,
+                                "swap_pages": args.swap_pages,
+                                "interval": args.interval,
+                                "seed": seed,
+                            },
+                        },
+                    )
+                )
+    spec = SweepSpec(name="repro-sweep", cells=tuple(cells))
+    out = args.out or DEFAULT_SWEEP_REPORT
+    manifest = args.manifest or f"{out}.manifest.json"
+    result = run_sweep(
+        spec,
+        workers=args.workers,
+        timeout_s=args.timeout_s,
+        max_attempts=args.max_attempts,
+        manifest_path=manifest,
+        resume=args.resume,
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+    )
+
+    # The report is deterministic: cells in grid order, no attempt
+    # counts or host timings (those live in the manifest), so the bytes
+    # are independent of --workers and of scheduling.
+    report = {
+        "grid": {
+            "policies": policies,
+            "workloads": workload_names,
+            "seeds": seeds,
+        },
+        "cells": [
+            {
+                "id": o.cell.id,
+                "status": o.status,
+                **({"result": o.payload} if o.ok else {"error": o.error}),
+            }
+            for o in result.outcomes
+        ],
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    for o in result.outcomes:
+        if o.ok:
+            r = RunResult.from_dict(o.payload)
+            print(f"{o.cell.id:>40}  {r.throughput_ops:>12,.0f} ops/s  "
+                  f"{100 * r.dram_access_fraction:5.1f}% DRAM")
+        else:
+            print(f"{o.cell.id:>40}  FAILED: {o.error}")
+    done = sum(1 for o in result.outcomes if o.ok)
+    print(f"{done}/{len(result.outcomes)} cells done "
+          f"({result.workers} worker(s)); report written to {out}")
+    return 0 if result.ok else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -389,6 +523,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_check(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "trace":
         return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

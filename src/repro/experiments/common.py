@@ -14,6 +14,7 @@ workload sizes up for higher-fidelity runs.
 
 from __future__ import annotations
 
+import math
 import os
 from typing import Callable
 
@@ -39,10 +40,38 @@ EVALUATED_POLICIES = ("static", "multiclock", "nimble", "autotiering-cpm", "auto
 """The Fig 5/6 comparison set, in the paper's order."""
 
 
+# Validated REPRO_SCALE factor, keyed by the raw env string so a test
+# (or a long-lived process) that changes the variable is still honoured.
+_scale_cache: tuple[str, float] | None = None
+
+
+def _scale_factor() -> float:
+    """Validate REPRO_SCALE once per value and cache the factor.
+
+    A malformed value (``REPRO_SCALE=fast``, zero, negative, nan, inf)
+    is an operator mistake: it raises a ``ValueError`` that the CLI
+    turns into its one-line ``error:`` exit instead of a traceback.
+    """
+    global _scale_cache
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    if _scale_cache is not None and _scale_cache[0] == raw:
+        return _scale_cache[1]
+    try:
+        factor = float(raw)
+    except ValueError:
+        factor = math.nan
+    if not math.isfinite(factor) or factor <= 0.0:
+        raise ValueError(
+            f"invalid REPRO_SCALE={raw!r}: must be a finite positive number "
+            "(e.g. REPRO_SCALE=2.0 doubles workload sizes)"
+        )
+    _scale_cache = (raw, factor)
+    return factor
+
+
 def scale(n: int) -> int:
     """Scale a workload size by the REPRO_SCALE environment variable."""
-    factor = float(os.environ.get("REPRO_SCALE", "1.0"))
-    return max(1, int(n * factor))
+    return max(1, int(n * _scale_factor()))
 
 
 def scaled_config(
@@ -90,12 +119,46 @@ def run_policies(
     workload_factory: Callable[[], Workload],
     config: SimulationConfig,
     policies: tuple[str, ...] = EVALUATED_POLICIES,
+    *,
+    workers: int = 1,
 ) -> dict[str, RunResult]:
-    """Run a fresh workload instance under each policy."""
-    return {
-        policy: run_workload(workload_factory(), config, policy=policy)
-        for policy in policies
-    }
+    """Run a fresh workload instance under each policy.
+
+    ``workers > 1`` shards the policies across crash-isolated worker
+    processes via :mod:`repro.sweep`; cells are merged by policy name in
+    the requested order, so the result is identical to the sequential
+    run (each cell builds its own machine either way).  A cell that
+    keeps failing after the pool's retries raises, matching the
+    sequential path's behaviour of propagating the first error.
+    """
+    if workers <= 1:
+        return {
+            policy: run_workload(workload_factory(), config, policy=policy)
+            for policy in policies
+        }
+    from repro.sweep import SweepCell, SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        name="run_policies",
+        cells=tuple(
+            SweepCell(
+                id=policy,
+                runner="policy-factory",
+                params={
+                    "policy": policy,
+                    "factory": workload_factory,
+                    "config": config,
+                },
+            )
+            for policy in policies
+        ),
+    )
+    outcome = run_sweep(spec, workers=workers)
+    if not outcome.ok:
+        detail = "; ".join(f"{o.cell.id}: {o.error}" for o in outcome.failures)
+        raise RuntimeError(f"run_policies sweep cells failed: {detail}")
+    payloads = outcome.payloads()
+    return {policy: RunResult.from_dict(payloads[policy]) for policy in policies}
 
 
 def run_ycsb_sequence(
@@ -108,11 +171,17 @@ def run_ycsb_sequence(
     seed: int = 42,
     phases: tuple[str, ...] = EXECUTION_SEQUENCE,
 ) -> dict[str, RunResult]:
-    """The paper's prescribed sequence on one machine: Load, A..W, D."""
+    """The paper's prescribed sequence on one machine: Load, A..W, D.
+
+    The warm-up Load phase's result is returned under the ``"load"``
+    key — its promotions and faults are part of the story sequence
+    reports tell — while the paper-phase keys (``"A"`` ... ``"D"``)
+    stay exactly as before for existing callers.
+    """
     machine = Machine(config, policy)
     session = YCSBSession(n_records, value_size=value_size, seed=seed)
-    run_workload(session.load_phase(), config, machine=machine)
     results: dict[str, RunResult] = {}
+    results["load"] = run_workload(session.load_phase(), config, machine=machine)
     for name in phases:
         results[name] = run_workload(
             session.phase(name, ops=ops_per_phase), config, machine=machine

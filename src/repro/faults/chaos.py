@@ -111,6 +111,25 @@ class ChaosCell:
             data["trace_audit"] = self.trace_audit
         return data
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ChaosCell":
+        """Rebuild a cell from :meth:`to_dict` output — the sweep-worker
+        wire format.  ``from_dict(x.to_dict())`` round-trips exactly, so
+        a parallel matrix merges bit-identically to a sequential one."""
+        return cls(
+            policy=data["policy"],
+            workload=data["workload"],
+            completed=data["completed"],
+            oom_killed=data["oom_killed"],
+            error=data["error"],
+            elapsed_ns=data["elapsed_ns"],
+            accesses=data["accesses"],
+            violations=data["violations"],
+            violation_details=tuple(data["violation_details"]),
+            counters=dict(data["counters"]),
+            trace_audit=data.get("trace_audit"),
+        )
+
 
 @dataclass(frozen=True)
 class ChaosReport:
@@ -151,6 +170,7 @@ def run_chaos(
     *,
     check_interval_s: float = 0.005,
     trace_capacity: int | None = None,
+    workers: int = 1,
 ) -> ChaosReport:
     """Run the matrix; every cell gets a fresh machine and a fresh fault
     schedule, so cells are independent and individually reproducible.
@@ -158,19 +178,72 @@ def run_chaos(
     ``trace_capacity`` arms the tracepoint layer on every cell (ring
     capacity per node) and runs the lifecycle auditor after each run;
     audit mismatches mark the cell dirty.
+
+    ``workers > 1`` shards the matrix across crash-isolated worker
+    processes (:mod:`repro.sweep`).  Determinism property 3 is what
+    makes this safe: each cell is a pure function of (plan, cell,
+    config), so the merge — keyed by (policy, workload) in matrix
+    order — is bit-identical to the sequential run.  A worker that dies
+    outright even after retries becomes an uncompleted cell in the
+    report (``completed=False``), never a sweep abort.
     """
+    grid = [
+        (policy, workload_name, build)
+        for policy in policies
+        for workload_name, build in workloads.items()
+    ]
+    if workers <= 1:
+        cells = [
+            _run_cell(
+                policy, workload_name, build(), plan, config,
+                check_interval_s, trace_capacity,
+            )
+            for policy, workload_name, build in grid
+        ]
+        return ChaosReport(plan=plan, cells=tuple(cells))
+
+    from repro.sweep import SweepCell, SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        name="run_chaos",
+        cells=tuple(
+            SweepCell(
+                id=f"{policy}/{workload_name}",
+                runner="chaos-cell",
+                params={
+                    "policy": policy,
+                    "workload_name": workload_name,
+                    "build": build,
+                    "plan": plan,
+                    "config": config,
+                    "check_interval_s": check_interval_s,
+                    "trace_capacity": trace_capacity,
+                },
+            )
+            for policy, workload_name, build in grid
+        ),
+    )
+    outcome = run_sweep(spec, workers=workers)
     cells = []
-    for policy in policies:
-        for workload_name, build in workloads.items():
+    for (policy, workload_name, _), cell_outcome in zip(grid, outcome.outcomes):
+        if cell_outcome.ok:
+            cells.append(ChaosCell.from_dict(cell_outcome.payload))
+        else:
+            # The chaos runner catches everything a simulation can
+            # raise, so only a hard worker death lands here; keep the
+            # never-abort contract by reporting it as a dirty cell.
             cells.append(
-                _run_cell(
-                    policy,
-                    workload_name,
-                    build(),
-                    plan,
-                    config,
-                    check_interval_s,
-                    trace_capacity,
+                ChaosCell(
+                    policy=policy,
+                    workload=workload_name,
+                    completed=False,
+                    oom_killed=False,
+                    error=f"sweep worker failed: {cell_outcome.error}",
+                    elapsed_ns=0,
+                    accesses=0,
+                    violations=0,
+                    violation_details=(),
+                    counters={},
                 )
             )
     return ChaosReport(plan=plan, cells=tuple(cells))

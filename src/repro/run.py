@@ -23,10 +23,14 @@ __all__ = ["RunResult", "run_workload"]
 class RunResult:
     """Outcome of one ``(workload, policy, config)`` simulation.
 
-    ``operations`` is the workload's own operation count when the access
-    stream marks ``op_boundary``; for streams that never do, it falls
-    back to the raw access count and ``ops_fallback`` is True, so
-    throughput numbers can be told apart from real operation rates.
+    ``operations`` is the workload's own operation count when the run is
+    *operation-marked* — the stream carried an ``op_boundary`` or the
+    workload declares :attr:`~repro.workloads.base.Workload.marks_op_boundaries`.
+    Only unmarked streams (raw page traces) fall back to the access
+    count, with ``ops_fallback`` True so throughput numbers can be told
+    apart from real operation rates.  A marked phase that completes zero
+    operations reports ``operations == 0`` — not a silent switch to
+    accesses/s.
     """
 
     workload: str
@@ -87,6 +91,39 @@ class RunResult:
             "retries_exhausted": self.counters.get("migrate.retries_exhausted", 0),
         }
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form; round-trips via :meth:`from_dict`.
+
+        This is the sweep-worker wire format, so it must stay a pure
+        function of the dataclass fields (no derived values, no host
+        facts) for parallel runs to merge byte-identically.
+        """
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "operations": self.operations,
+            "accesses": self.accesses,
+            "elapsed_ns": self.elapsed_ns,
+            "app_ns": self.app_ns,
+            "system_ns": self.system_ns,
+            "counters": dict(sorted(self.counters.items())),
+            "ops_fallback": self.ops_fallback,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        return cls(
+            workload=data["workload"],
+            policy=data["policy"],
+            operations=data["operations"],
+            accesses=data["accesses"],
+            elapsed_ns=data["elapsed_ns"],
+            app_ns=data["app_ns"],
+            system_ns=data["system_ns"],
+            counters=dict(data["counters"]),
+            ops_fallback=data["ops_fallback"],
+        )
+
     def summary(self) -> str:
         """One-line human-readable result."""
         return (
@@ -125,11 +162,17 @@ def run_workload(
     start_app = machine.clock.app_ns
     start_system = machine.clock.system_ns
     start_counters = machine.stats.snapshot()
+    # "Saw any op boundary" is tracked explicitly rather than inferred
+    # from operations truthiness, and a workload may declare that it
+    # marks boundaries: a marked phase that happens to complete zero
+    # operations must not be mislabelled as a fallback run.
     if batch:
         accesses, operations = machine.touch_batch(workload.accesses())
+        saw_op_boundary = operations > 0
     else:
         operations = 0
         accesses = 0
+        saw_op_boundary = False
         for access in workload.accesses():
             machine.touch(
                 access.process, access.vpage, is_write=access.is_write, lines=access.lines
@@ -137,6 +180,8 @@ def run_workload(
             accesses += 1
             if access.op_boundary:
                 operations += 1
+                saw_op_boundary = True
+    marked = saw_op_boundary or workload.marks_op_boundaries
     end_counters = machine.stats.snapshot()
     deltas = {
         key: end_counters.get(key, 0) - start_counters.get(key, 0)
@@ -145,11 +190,11 @@ def run_workload(
     return RunResult(
         workload=workload.name,
         policy=machine.policy.name,
-        operations=operations or accesses,
+        operations=operations if marked else accesses,
         accesses=accesses,
         elapsed_ns=machine.clock.now_ns - start_ns,
         app_ns=machine.clock.app_ns - start_app,
         system_ns=machine.clock.system_ns - start_system,
         counters=deltas,
-        ops_fallback=operations == 0,
+        ops_fallback=not marked,
     )

@@ -1,0 +1,29 @@
+"""``repro.sweep`` — parallel sweep orchestration with crash isolation.
+
+Shards an arbitrary (policy × workload × seed × config) cell grid
+across worker processes and merges results deterministically: cell ids
+key the merge, spec order keys the output, and payloads round-trip
+through JSON in the workers, so a parallel sweep over deterministic
+cells is byte-identical to the sequential run.  See DESIGN.md §7.
+"""
+
+from repro.sweep.manifest import Manifest
+from repro.sweep.pool import (
+    DEFAULT_MAX_ATTEMPTS,
+    CellOutcome,
+    SweepResult,
+    run_sweep,
+)
+from repro.sweep.spec import SweepCell, SweepSpec, register_runner, resolve_runner
+
+__all__ = [
+    "SweepCell",
+    "SweepSpec",
+    "CellOutcome",
+    "SweepResult",
+    "Manifest",
+    "run_sweep",
+    "register_runner",
+    "resolve_runner",
+    "DEFAULT_MAX_ATTEMPTS",
+]

@@ -1,0 +1,93 @@
+"""Resumable checkpoint file for sweep runs.
+
+The manifest records, per cell id, whether the cell completed (with its
+payload) or exhausted its retries (with the last error).  It is written
+atomically after every cell reaches a final state, so a sweep killed at
+any point can be resumed with ``--resume``: completed cells are loaded
+from the manifest and skipped, failed and never-started cells run
+again.
+
+The manifest carries the spec's fingerprint; resuming against a grid
+that no longer matches is an operator error, reported as a one-line
+``ValueError`` rather than silently merging results from two different
+experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["Manifest"]
+
+_VERSION = 1
+
+
+class Manifest:
+    """Checkpoint book for one sweep run; no-op when ``path`` is None."""
+
+    def __init__(self, path: str | None, spec: SweepSpec,
+                 cells: dict[str, dict[str, Any]] | None = None) -> None:
+        self.path = path
+        self.spec_name = spec.name
+        self.fingerprint = spec.fingerprint()
+        self.cells: dict[str, dict[str, Any]] = cells or {}
+
+    @classmethod
+    def load(cls, path: str | None, spec: SweepSpec) -> "Manifest":
+        """Load a manifest for resuming; an absent file is an empty book."""
+        if path is None or not os.path.exists(path):
+            return cls(path, spec)
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        fingerprint = data.get("fingerprint", "")
+        if fingerprint != spec.fingerprint():
+            raise ValueError(
+                f"manifest {path} was written for a different sweep "
+                f"(fingerprint {fingerprint or '<missing>'}, expected "
+                f"{spec.fingerprint()}); delete it or drop --resume"
+            )
+        return cls(path, spec, dict(data.get("cells", {})))
+
+    @property
+    def completed(self) -> dict[str, Any]:
+        """Payloads of cells already done — the ones a resume skips."""
+        return {
+            cell_id: entry.get("payload")
+            for cell_id, entry in self.cells.items()
+            if entry.get("status") == "done"
+        }
+
+    def record_done(self, cell_id: str, attempts: int, payload: Any) -> None:
+        self.cells[cell_id] = {
+            "status": "done",
+            "attempts": attempts,
+            "payload": payload,
+        }
+        self._flush()
+
+    def record_failed(self, cell_id: str, attempts: int, error: str) -> None:
+        self.cells[cell_id] = {
+            "status": "failed",
+            "attempts": attempts,
+            "error": error,
+        }
+        self._flush()
+
+    def _flush(self) -> None:
+        if self.path is None:
+            return
+        blob = {
+            "version": _VERSION,
+            "spec": self.spec_name,
+            "fingerprint": self.fingerprint,
+            "cells": self.cells,
+        }
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(blob, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.path)

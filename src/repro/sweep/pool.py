@@ -1,0 +1,245 @@
+"""The crash-isolated worker pool behind every parallel sweep.
+
+Each cell runs in its *own* child process (process-per-cell, not a
+long-lived worker pool): the cells here are whole simulations, so fork
+cost is noise, and per-cell processes are what buy the isolation
+properties the experiment layer needs:
+
+* **crash isolation** — a worker that raises, hard-exits, or is killed
+  (OOM killer, signal) costs only its own cell; the sweep never aborts.
+* **bounded retry** — a failed attempt (crash *or* timeout) is requeued
+  up to ``max_attempts``; a cell that keeps failing is recorded as a
+  failed outcome and the rest of the grid still completes.
+* **timeouts** — a cell past ``timeout_s`` is terminated (SIGTERM, then
+  SIGKILL) and treated as a failed attempt.
+* **deterministic merge** — results are keyed by cell id and reported
+  in spec order, so worker scheduling never leaks into the output.  A
+  parallel sweep over deterministic cells is byte-identical to the
+  sequential run; payloads round-trip through JSON in the worker, so
+  the merged values are exactly what a report file would contain.
+
+Workers hand results back through per-attempt JSON files (written to a
+scratch directory, atomically renamed).  A missing or unparsable result
+file *is* the crash signal — nothing about the protocol requires the
+child to die politely.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection
+from typing import Any, Callable
+
+from repro.sweep.manifest import Manifest
+from repro.sweep.spec import SweepCell, SweepSpec, resolve_runner
+
+__all__ = ["CellOutcome", "SweepResult", "run_sweep", "DEFAULT_MAX_ATTEMPTS"]
+
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """Final state of one cell after isolation, retries and merge."""
+
+    cell: SweepCell
+    status: str  # "done" | "failed"
+    attempts: int  # attempts consumed this run (0 when resumed)
+    payload: Any = None
+    error: str = ""
+    resumed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "done"
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All outcomes, in spec order regardless of completion order."""
+
+    spec: SweepSpec
+    outcomes: tuple[CellOutcome, ...]
+    workers: int
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def failures(self) -> tuple[CellOutcome, ...]:
+        return tuple(o for o in self.outcomes if not o.ok)
+
+    def payloads(self) -> dict[str, Any]:
+        return {o.cell.id: o.payload for o in self.outcomes if o.ok}
+
+
+def _child_entry(runner_key: str, params: dict, result_path: str) -> None:
+    """Worker body: run the cell, write ``{ok, payload|error}`` atomically.
+
+    Exceptions are *reported*, not re-raised — the parent decides about
+    retries.  A child that dies before the ``os.replace`` lands simply
+    leaves no result file, which the parent reads as a crash.
+    """
+    try:
+        payload = resolve_runner(runner_key)(params)
+        blob: dict[str, Any] = {"ok": True, "payload": payload}
+    except BaseException as exc:  # noqa: BLE001 - isolation boundary
+        blob = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    tmp = f"{result_path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(blob, fh, sort_keys=True)
+    os.replace(tmp, result_path)
+
+
+@dataclass
+class _Running:
+    proc: Any
+    cell: SweepCell
+    attempt: int
+    deadline: float | None
+    result_path: str
+
+
+def _kill(proc: Any) -> None:
+    proc.terminate()
+    proc.join(1.0)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(5.0)
+
+
+def _harvest(rec: _Running) -> tuple[bool, Any, str]:
+    """Classify a finished worker: (ok, payload, error)."""
+    if not os.path.exists(rec.result_path):
+        code = rec.proc.exitcode
+        if code is not None and code < 0:
+            return False, None, f"worker killed by signal {-code}"
+        return False, None, f"worker crashed without a result (exit code {code})"
+    try:
+        with open(rec.result_path, "r", encoding="utf-8") as fh:
+            blob = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return False, None, f"unreadable worker result: {exc}"
+    if blob.get("ok"):
+        return True, blob.get("payload"), ""
+    return False, None, str(blob.get("error", "worker reported failure"))
+
+
+def _context() -> Any:
+    """Prefer fork so cell params may hold arbitrary objects (factories,
+    configs); under spawn-only hosts params must be picklable."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 1,
+    timeout_s: float | None = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    manifest_path: str | None = None,
+    resume: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Execute every cell of ``spec`` across ``workers`` processes.
+
+    Always completes: per-cell failures (exceptions, hard crashes,
+    timeouts) are retried up to ``max_attempts`` and then recorded as
+    failed outcomes.  With ``manifest_path`` set, every final cell state
+    is checkpointed; ``resume=True`` loads the manifest and skips cells
+    already done (failed cells run again).
+    """
+    workers = max(1, int(workers))
+    max_attempts = max(1, int(max_attempts))
+    note = progress or (lambda msg: None)
+
+    prior = (
+        Manifest.load(manifest_path, spec)
+        if (resume and manifest_path)
+        else Manifest(None, spec)
+    )
+    book = Manifest(manifest_path, spec, dict(prior.cells) if resume else None)
+
+    outcomes: dict[str, CellOutcome] = {}
+    pending: deque[tuple[SweepCell, int]] = deque()
+    done_before = prior.completed
+    for cell in spec.cells:
+        if cell.id in done_before:
+            attempts = prior.cells[cell.id].get("attempts", 1)
+            outcomes[cell.id] = CellOutcome(
+                cell=cell, status="done", attempts=0,
+                payload=done_before[cell.id], resumed=True,
+            )
+            note(f"{cell.id}: resumed from manifest (done in {attempts} attempt(s))")
+        else:
+            pending.append((cell, 1))
+
+    ctx = _context()
+    serial = 0
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-") as scratch:
+        running: dict[Any, _Running] = {}
+        while pending or running:
+            while pending and len(running) < workers:
+                cell, attempt = pending.popleft()
+                serial += 1
+                result_path = os.path.join(scratch, f"cell-{serial}.json")
+                proc = ctx.Process(
+                    target=_child_entry,
+                    args=(cell.runner, cell.params, result_path),
+                    name=f"sweep:{cell.id}",
+                    daemon=True,
+                )
+                proc.start()
+                deadline = time.monotonic() + timeout_s if timeout_s else None
+                running[proc.sentinel] = _Running(proc, cell, attempt, deadline, result_path)
+
+            deadlines = [r.deadline for r in running.values() if r.deadline is not None]
+            wait_s = max(0.0, min(deadlines) - time.monotonic()) if deadlines else None
+            ready = set(connection.wait(list(running), timeout=wait_s))
+            now = time.monotonic()
+
+            finished: list[tuple[_Running, bool]] = []
+            for sentinel, rec in list(running.items()):
+                if sentinel in ready:
+                    finished.append((rec, False))
+                    del running[sentinel]
+                elif rec.deadline is not None and now >= rec.deadline:
+                    finished.append((rec, True))
+                    del running[sentinel]
+
+            for rec, timed_out in finished:
+                if timed_out:
+                    _kill(rec.proc)
+                    ok, payload, error = False, None, f"timeout after {timeout_s}s"
+                else:
+                    rec.proc.join()
+                    ok, payload, error = _harvest(rec)
+                if os.path.exists(rec.result_path):
+                    os.unlink(rec.result_path)
+                cell = rec.cell
+                if ok:
+                    outcomes[cell.id] = CellOutcome(cell, "done", rec.attempt, payload)
+                    book.record_done(cell.id, rec.attempt, payload)
+                    note(f"{cell.id}: done (attempt {rec.attempt})")
+                elif rec.attempt < max_attempts:
+                    note(f"{cell.id}: attempt {rec.attempt} failed ({error}); retrying")
+                    pending.append((cell, rec.attempt + 1))
+                else:
+                    outcomes[cell.id] = CellOutcome(cell, "failed", rec.attempt, None, error)
+                    book.record_failed(cell.id, rec.attempt, error)
+                    note(f"{cell.id}: FAILED after {rec.attempt} attempt(s): {error}")
+
+    return SweepResult(
+        spec=spec,
+        outcomes=tuple(outcomes[cell.id] for cell in spec.cells),
+        workers=workers,
+    )

@@ -1,0 +1,142 @@
+"""Builtin cell runners: how one sweep cell executes inside a worker.
+
+Two families:
+
+* **Declarative** (``run-workload``) — params are plain JSON (workload
+  kind + sizes, config sizes), so the cell is portable across processes
+  and restarts; this is what ``repro sweep`` emits and what makes
+  ``--resume`` meaningful.  The builders here are the single source of
+  truth the CLI also uses for its own ``--workload`` flags.
+* **Factory** (``policy-factory``, ``chaos-cell``) — params carry live
+  objects (workload factories, :class:`SimulationConfig`,
+  :class:`FaultPlan`) by fork inheritance; used by
+  ``run_policies(workers=N)`` and ``run_chaos(workers=N)`` so their
+  public signatures stay unchanged.
+
+``flaky`` exists for the test suite and the CI smoke: a deterministic
+marker-file-gated runner that crashes or hangs until its marker exists,
+which is how "a worker died and was retried" is exercised without
+randomness.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable
+
+from repro.run import run_workload
+from repro.sim.config import DaemonConfig, SimulationConfig
+from repro.sweep.spec import register_runner
+from repro.workloads.base import Workload
+from repro.workloads.synthetic import (
+    SequentialScanWorkload,
+    ShiftingHotSetWorkload,
+    UniformWorkload,
+    ZipfWorkload,
+)
+
+__all__ = ["WORKLOAD_KINDS", "build_workload", "build_config"]
+
+#: The declarative workload vocabulary, shared with the CLI's
+#: ``--workload`` choices.  Order is the canonical presentation order.
+WORKLOAD_KINDS: dict[str, Callable[..., Workload]] = {
+    "zipf": ZipfWorkload,
+    "uniform": UniformWorkload,
+    "seqscan": SequentialScanWorkload,
+    "shifting-hotset": ShiftingHotSetWorkload,
+}
+
+
+def build_workload(spec: dict[str, Any]) -> Workload:
+    """Instantiate a workload from a JSON description.
+
+    ``spec`` keys: ``kind`` (one of :data:`WORKLOAD_KINDS`), ``pages``,
+    ``ops``, ``seed``, ``write_ratio``.
+    """
+    kind = spec.get("kind")
+    if kind not in WORKLOAD_KINDS:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; choose from {', '.join(WORKLOAD_KINDS)}"
+        )
+    kwargs: dict[str, Any] = {
+        "seed": spec.get("seed", 42),
+        "write_ratio": spec.get("write_ratio", 0.0),
+    }
+    ops = spec["ops"]
+    if kind == "shifting-hotset":
+        kwargs["phase_ops"] = spec.get("phase_ops", max(1, ops // 4))
+    return WORKLOAD_KINDS[kind](spec["pages"], ops, **kwargs)
+
+
+def build_config(spec: dict[str, Any]) -> SimulationConfig:
+    """Build a machine config from a JSON description (CLI sizing keys)."""
+    interval = spec.get("interval", 0.005)
+    return SimulationConfig(
+        dram_pages=(spec["dram_pages"],),
+        pm_pages=(spec["pm_pages"],),
+        swap_pages=spec.get("swap_pages", 1 << 28),
+        daemons=DaemonConfig(
+            kpromoted_interval_s=interval,
+            kswapd_interval_s=interval / 2,
+            hint_scan_interval_s=interval,
+        ),
+        seed=spec.get("seed", 42),
+    )
+
+
+@register_runner("run-workload")
+def run_workload_cell(params: dict[str, Any]) -> dict[str, Any]:
+    """Declarative cell: fresh machine, one workload, one policy."""
+    config = build_config(params["config"])
+    workload = build_workload(params["workload"])
+    result = run_workload(workload, config, policy=params["policy"])
+    return result.to_dict()
+
+
+@register_runner("policy-factory")
+def policy_factory_cell(params: dict[str, Any]) -> dict[str, Any]:
+    """Factory cell for ``run_policies(workers=N)``: params carry the
+    live workload factory and config across the fork."""
+    result = run_workload(
+        params["factory"](), params["config"], policy=params["policy"]
+    )
+    return result.to_dict()
+
+
+@register_runner("chaos-cell")
+def chaos_cell(params: dict[str, Any]) -> dict[str, Any]:
+    """One chaos-matrix cell, exactly as the sequential loop runs it."""
+    from repro.faults.chaos import _run_cell
+
+    cell = _run_cell(
+        params["policy"],
+        params["workload_name"],
+        params["build"](),
+        params["plan"],
+        params["config"],
+        params["check_interval_s"],
+        params.get("trace_capacity"),
+    )
+    return cell.to_dict()
+
+
+@register_runner("flaky")
+def flaky_cell(params: dict[str, Any]) -> Any:
+    """Deterministic misbehaviour for tests and the CI smoke.
+
+    Until ``marker`` exists the cell fails in the requested ``mode``
+    (``exit`` hard-exits past any exception handling, ``hang`` sleeps
+    until the pool's timeout kills it), creating the marker first so the
+    *next* attempt succeeds.  With no marker it fails every attempt.
+    """
+    marker = params.get("marker")
+    if marker is not None and os.path.exists(marker):
+        return params.get("payload", "recovered")
+    if marker is not None:
+        with open(marker, "w", encoding="utf-8"):
+            pass
+    if params.get("mode", "exit") == "hang":
+        time.sleep(params.get("hang_s", 3600.0))
+        return "woke before the timeout fired"
+    os._exit(params.get("exit_code", 17))

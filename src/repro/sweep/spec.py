@@ -1,0 +1,109 @@
+"""Cell grid descriptions for the sweep orchestrator.
+
+A sweep is a list of independent *cells* — one (policy × workload ×
+seed × config) point each — plus the name of a registered *runner* that
+knows how to execute one cell in a worker process and return a
+JSON-serialisable payload.  Experiments (:func:`run_policies`), the
+chaos matrix (:func:`run_chaos`) and the CLI all express their grids as
+a :class:`SweepSpec`, so they share one pool, one retry policy and one
+manifest format.
+
+Runners are looked up by name in a registry rather than pickled,
+because the lookup must also work inside a worker that was forked (or
+spawned) before the parent decided which cell it would run.  Cell
+``params`` are passed to the worker by fork inheritance, so they may
+hold arbitrary objects (workload factories, configs); grids that want
+resumable manifests should keep them JSON-serialisable, which is what
+the CLI's declarative cells do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "SweepCell",
+    "SweepSpec",
+    "register_runner",
+    "resolve_runner",
+]
+
+_REGISTRY: dict[str, Callable[[dict], Any]] = {}
+
+
+def register_runner(name: str) -> Callable[[Callable[[dict], Any]], Callable[[dict], Any]]:
+    """Register a cell runner under ``name``.
+
+    A runner takes the cell's ``params`` dict and returns a
+    JSON-serialisable payload; it runs inside a worker process, so a
+    hard crash (signal, ``os._exit``) costs only its own cell.
+    """
+
+    def deco(fn: Callable[[dict], Any]) -> Callable[[dict], Any]:
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def resolve_runner(name: str) -> Callable[[dict], Any]:
+    """Look up a runner, loading the builtin set on first use."""
+    # The builtins self-register on import; lazy so that importing the
+    # spec layer (and unpickling cells in spawned workers) stays cheap.
+    import repro.sweep.runners  # noqa: F401
+
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sweep runner {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of work in a sweep grid."""
+
+    id: str
+    runner: str
+    params: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named, ordered cell grid.
+
+    The cell order is the *canonical output order*: merged results are
+    always reported in spec order, never in worker completion order,
+    which is what keeps a parallel sweep byte-identical to a sequential
+    one.
+    """
+
+    name: str
+    cells: tuple[SweepCell, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for cell in self.cells:
+            if cell.id in seen:
+                raise ValueError(f"duplicate sweep cell id {cell.id!r}")
+            seen.add(cell.id)
+
+    def fingerprint(self) -> str:
+        """Stable digest of the grid, used to match manifests on resume.
+
+        Cells whose params are not JSON-serialisable (factory-based API
+        grids) contribute only their id and runner name — resume still
+        works, it just cannot detect a silently changed factory.
+        """
+        parts = [self.name]
+        for cell in self.cells:
+            try:
+                blob = json.dumps(cell.params, sort_keys=True)
+            except TypeError:
+                blob = "<non-portable-params>"
+            parts.append(f"{cell.id}\x00{cell.runner}\x00{blob}")
+        return hashlib.sha256("\x01".join(parts).encode("utf-8")).hexdigest()[:16]

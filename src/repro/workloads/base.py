@@ -43,6 +43,13 @@ class Workload(abc.ABC):
 
     name: str = "workload"
 
+    #: True when this workload's stream marks operation completions with
+    #: ``op_boundary``.  The runner uses it to keep a phase that
+    #: completes zero operations labelled as a real (zero-op) result
+    #: instead of falling back to accesses/s; raw page traces leave it
+    #: False and rely on markers observed in the stream.
+    marks_op_boundaries: bool = False
+
     @abc.abstractmethod
     def setup(self, machine: Machine) -> None:
         """Create processes and map regions; called once before the stream."""

@@ -69,6 +69,8 @@ PROFILES: dict[str, MotivationProfile] = {
 class MotivationWorkload(Workload):
     """Segmented access generator over the three page populations."""
 
+    marks_op_boundaries = True
+
     def __init__(
         self,
         profile: MotivationProfile | str,

@@ -31,6 +31,9 @@ _BATCH = 4096
 class _SingleProcessWorkload(Workload):
     """Common setup: one process with one anonymous region."""
 
+    # _emit marks every access as an operation completion.
+    marks_op_boundaries = True
+
     def __init__(
         self,
         pages: int,

@@ -43,6 +43,9 @@ class TraceRecorder(Workload):
     def __init__(self, inner: Workload, path: str | Path) -> None:
         self.inner = inner
         self.path = Path(path)
+        # The tee is transparent: boundary semantics are the inner
+        # workload's.
+        self.marks_op_boundaries = inner.marks_op_boundaries
         self.name = f"record[{inner.name}]"
         self._processes: list[Process] = []
         self._machine: Machine | None = None

@@ -171,6 +171,8 @@ class YCSBSession:
 class YCSBLoadPhase(Workload):
     """Insert every record sequentially — the footprint-defining phase."""
 
+    marks_op_boundaries = True
+
     def __init__(self, session: YCSBSession) -> None:
         self.session = session
         self.name = "ycsb-load"
@@ -201,6 +203,8 @@ class YCSBLoadPhase(Workload):
 
 class YCSBPhase(Workload):
     """One execution-phase workload (A, B, C, D, F or W)."""
+
+    marks_op_boundaries = True
 
     def __init__(self, session: YCSBSession, label: str, mix: _Mix, ops: int) -> None:
         if ops <= 0:

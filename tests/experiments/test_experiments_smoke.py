@@ -57,8 +57,11 @@ def test_run_ycsb_sequence_returns_all_phases():
     results = run_ycsb_sequence(
         "static", config, n_records=300, ops_per_phase=200, phases=("A", "C")
     )
-    assert set(results) == {"A", "C"}
-    assert all(r.operations == 200 for r in results.values())
+    # The warm-up Load phase is reported too; paper-phase keys unchanged.
+    assert set(results) == {"load", "A", "C"}
+    assert all(results[phase].operations == 200 for phase in ("A", "C"))
+    assert results["load"].operations == 300  # one insert per record
+    assert not results["load"].ops_fallback
 
 
 def test_fig1_smoke():

@@ -1,0 +1,53 @@
+"""REPRO_SCALE validation: operator mistakes get one clean line, valid
+values are cached and applied."""
+
+import pytest
+
+from repro.experiments.common import scale
+
+
+def test_default_scale_is_identity(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert scale(100) == 100
+
+
+def test_valid_scale_applies(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "2.5")
+    assert scale(100) == 250
+
+
+def test_scale_floors_at_one(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.001")
+    assert scale(10) == 1
+
+
+@pytest.mark.parametrize("bad", ["fast", "", "0", "-1", "nan", "inf", "-inf", "1e999"])
+def test_malformed_scale_is_one_clean_error(monkeypatch, bad):
+    monkeypatch.setenv("REPRO_SCALE", bad)
+    with pytest.raises(ValueError, match="invalid REPRO_SCALE"):
+        scale(100)
+
+
+def test_factor_is_cached_per_value(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "3")
+    assert scale(10) == 30
+    # A changed value is revalidated, not served from the stale cache.
+    monkeypatch.setenv("REPRO_SCALE", "4")
+    assert scale(10) == 40
+    monkeypatch.setenv("REPRO_SCALE", "oops")
+    with pytest.raises(ValueError):
+        scale(10)
+
+
+def test_cli_routes_bad_scale_through_error_path(monkeypatch, capsys):
+    """The CLI contract from PR 2: operator mistakes exit 2 with one
+    ``error:`` line, never a traceback."""
+    from repro.cli import main as cli_main
+
+    monkeypatch.setenv("REPRO_SCALE", "fast")
+    rc = cli_main(["experiment", "fig5"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "invalid REPRO_SCALE" in err
+    assert "Traceback" not in err

@@ -1,0 +1,187 @@
+"""Pool-level properties: crash isolation, retry bounds, timeouts,
+manifest resume, and the scheduling-independent merge."""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    Manifest,
+    SweepCell,
+    SweepSpec,
+    register_runner,
+    run_sweep,
+)
+
+
+def declarative_cells(policies, ops=2000, pages=300, seed=42):
+    return tuple(
+        SweepCell(
+            id=f"{policy}/zipf/s{seed}",
+            runner="run-workload",
+            params={
+                "policy": policy,
+                "workload": {
+                    "kind": "zipf", "pages": pages, "ops": ops,
+                    "seed": seed, "write_ratio": 0.0,
+                },
+                "config": {
+                    "dram_pages": 128, "pm_pages": 1024,
+                    "interval": 0.002, "seed": seed,
+                },
+            },
+        )
+        for policy in policies
+    )
+
+
+def test_parallel_merge_equals_sequential():
+    spec = SweepSpec("grid", declarative_cells(("static", "multiclock", "nimble")))
+    sequential = run_sweep(spec, workers=1)
+    parallel = run_sweep(spec, workers=2)
+    assert sequential.ok and parallel.ok
+    assert [o.cell.id for o in parallel.outcomes] == [o.cell.id for o in sequential.outcomes]
+    assert parallel.payloads() == sequential.payloads()
+
+
+def test_worker_crash_is_retried_and_heals(tmp_path):
+    marker = str(tmp_path / "crash.marker")
+    spec = SweepSpec(
+        "crash",
+        (
+            SweepCell("boom", "flaky",
+                      {"marker": marker, "mode": "exit", "payload": "recovered"}),
+            *declarative_cells(("static",)),
+        ),
+    )
+    result = run_sweep(spec, workers=2)
+    assert result.ok
+    boom = result.outcomes[0]
+    assert boom.payload == "recovered"
+    assert boom.attempts == 2  # first attempt hard-exited, second succeeded
+
+
+def test_persistent_crash_records_failed_cell_without_aborting(tmp_path):
+    spec = SweepSpec(
+        "persistent",
+        (
+            SweepCell("always-boom", "flaky", {"mode": "exit"}),  # no marker: fails forever
+            *declarative_cells(("static",)),
+        ),
+    )
+    result = run_sweep(spec, workers=2, max_attempts=2)
+    assert not result.ok
+    failed = result.outcomes[0]
+    assert failed.status == "failed"
+    assert failed.attempts == 2
+    assert "signal" in failed.error or "crashed" in failed.error
+    # The rest of the grid still completed.
+    assert result.outcomes[1].ok
+
+
+def test_timeout_kills_the_cell_and_retries(tmp_path):
+    marker = str(tmp_path / "hang.marker")
+    spec = SweepSpec(
+        "hang",
+        (SweepCell("sleepy", "flaky",
+                   {"marker": marker, "mode": "hang", "payload": "woke"}),),
+    )
+    result = run_sweep(spec, workers=1, timeout_s=0.5)
+    assert result.ok
+    assert result.outcomes[0].attempts == 2
+    assert result.outcomes[0].payload == "woke"
+
+
+def test_timeout_exhaustion_is_a_failed_cell():
+    spec = SweepSpec("hang-forever", (SweepCell("sleepy", "flaky", {"mode": "hang"}),))
+    result = run_sweep(spec, workers=1, timeout_s=0.3, max_attempts=1)
+    assert not result.ok
+    assert result.outcomes[0].status == "failed"
+    assert "timeout" in result.outcomes[0].error
+
+
+@register_runner("test-count-invocations")
+def _count_invocations(params):
+    # Appends one line per execution — proof of whether a resume re-ran us.
+    with open(params["log"], "a", encoding="utf-8") as fh:
+        fh.write("ran\n")
+    return params["value"]
+
+
+def _invocations(log_path):
+    try:
+        with open(log_path, "r", encoding="utf-8") as fh:
+            return len(fh.readlines())
+    except FileNotFoundError:
+        return 0
+
+
+def test_resume_skips_completed_cells(tmp_path):
+    log = str(tmp_path / "invocations.log")
+    manifest = str(tmp_path / "manifest.json")
+    spec = SweepSpec(
+        "resumable",
+        tuple(
+            SweepCell(f"cell{i}", "test-count-invocations", {"log": log, "value": i})
+            for i in range(3)
+        ),
+    )
+    first = run_sweep(spec, workers=2, manifest_path=manifest)
+    assert first.ok
+    assert _invocations(log) == 3
+
+    resumed = run_sweep(spec, workers=2, manifest_path=manifest, resume=True)
+    assert resumed.ok
+    assert _invocations(log) == 3  # nothing re-ran
+    assert all(o.resumed for o in resumed.outcomes)
+    assert resumed.payloads() == first.payloads()
+
+
+def test_resume_reruns_failed_cells(tmp_path):
+    manifest = str(tmp_path / "manifest.json")
+    marker = str(tmp_path / "later.marker")
+    spec = SweepSpec(
+        "heal-on-resume",
+        (SweepCell("boom", "flaky",
+                   {"marker": marker, "mode": "exit", "payload": "recovered"}),),
+    )
+    first = run_sweep(spec, workers=1, max_attempts=1, manifest_path=manifest)
+    assert not first.ok  # single attempt crashed (and planted the marker)
+
+    resumed = run_sweep(spec, workers=1, max_attempts=1,
+                        manifest_path=manifest, resume=True)
+    assert resumed.ok
+    assert resumed.outcomes[0].payload == "recovered"
+    data = json.loads(open(manifest, encoding="utf-8").read())
+    assert data["cells"]["boom"]["status"] == "done"
+
+
+def test_resume_rejects_a_manifest_from_another_grid(tmp_path):
+    manifest = str(tmp_path / "manifest.json")
+    spec_a = SweepSpec("grid", declarative_cells(("static",)))
+    spec_b = SweepSpec("grid", declarative_cells(("multiclock",)))
+    run_sweep(spec_a, manifest_path=manifest)
+    with pytest.raises(ValueError, match="different sweep"):
+        run_sweep(spec_b, manifest_path=manifest, resume=True)
+
+
+def test_duplicate_cell_ids_rejected():
+    cell = declarative_cells(("static",))[0]
+    with pytest.raises(ValueError, match="duplicate"):
+        SweepSpec("dup", (cell, cell))
+
+
+def test_unknown_runner_is_a_failed_cell_not_an_abort():
+    spec = SweepSpec("bogus", (SweepCell("x", "no-such-runner", {}),))
+    result = run_sweep(spec, max_attempts=1)
+    assert not result.ok
+    assert "unknown sweep runner" in result.outcomes[0].error
+
+
+def test_manifest_roundtrip(tmp_path):
+    manifest = str(tmp_path / "m.json")
+    spec = SweepSpec("grid", declarative_cells(("static",)))
+    book = Manifest(manifest, spec)
+    book.record_done("static/zipf/s42", 1, {"throughput": 1})
+    loaded = Manifest.load(manifest, spec)
+    assert loaded.completed == {"static/zipf/s42": {"throughput": 1}}

@@ -49,6 +49,8 @@ class _NoBoundaryWorkload(UniformWorkload):
     """A stream that never marks op_boundary (e.g. a raw page trace)."""
 
     name = "no-boundary"
+    # Deliberately strips the markers its parent class declares.
+    marks_op_boundaries = False
 
     def accesses(self):
         for access in super().accesses():
@@ -76,6 +78,33 @@ def test_ops_fallback_false_for_marked_streams(batch):
     )
     assert not result.ops_fallback
     assert result.operations == 300
+
+
+class _ZeroOpWorkload(UniformWorkload):
+    """Marks op boundaries in general, but this phase completes none —
+    e.g. a sequence phase cut off mid-operation."""
+
+    name = "zero-op"
+
+    def accesses(self):
+        for access in super().accesses():
+            yield type(access)(
+                access.process, access.vpage, is_write=access.is_write, lines=access.lines
+            )
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_zero_op_phase_of_marked_workload_is_not_a_fallback(batch):
+    """A boundary-marking workload with zero completed operations must
+    report operations == 0, not silently switch to accesses/s."""
+    assert _ZeroOpWorkload.marks_op_boundaries  # inherited declaration
+    result = run_workload(
+        _ZeroOpWorkload(pages=100, ops=300), CONFIG, policy="static", batch=batch
+    )
+    assert not result.ops_fallback
+    assert result.operations == 0
+    assert result.accesses == 300
+    assert result.throughput_ops == 0.0
 
 
 def test_unknown_policy_name():
