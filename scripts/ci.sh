@@ -56,4 +56,26 @@ echo "== invariant checker against a clean run =="
 python -m repro check --workload shifting-hotset --pages 800 --ops 6000 \
     --dram-pages 256 --pm-pages 2048 --interval 0.002 --strict
 
+echo "== metrics smoke (stat -> prometheus -> html dashboard -> nop check) =="
+METRICS_TMP="$(mktemp -d)"
+METRICS_ARGS=(--workload zipf --pages 600 --ops 4000
+              --dram-pages 256 --pm-pages 2048 --interval 0.002)
+python -m repro stat "${METRICS_ARGS[@]}" | grep -q node0_nr_free_pages
+python -m repro stat "${METRICS_ARGS[@]}" --prometheus \
+    | grep -q '^repro_nr_free_pages{node="0",tier="DRAM"}'
+python -m repro stat "${METRICS_ARGS[@]}" --json \
+    | python -c "import json,sys; s=json.load(sys.stdin); assert s['meta']['samples']>0"
+python -m repro report "${METRICS_ARGS[@]}" --html \
+    --out "$METRICS_TMP/REPORT.html" >/dev/null
+grep -q "<svg" "$METRICS_TMP/REPORT.html"
+python - <<'PYEOF'
+from repro.bench import bench_metrics
+
+result = bench_metrics(20_000, pages=1500, repeats=1)
+assert result["identical"], "metrics-armed run diverged from metrics-off"
+assert result["samples"] > 0 and result["observations"] > 0, result
+print(f"metrics are a measured nop: {result['samples']} samples, "
+      f"{result['observations']} observations, identical=True")
+PYEOF
+
 echo "CI OK"

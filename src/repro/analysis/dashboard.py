@@ -1,0 +1,381 @@
+"""Single-file HTML run dashboard (``repro report --html``).
+
+:func:`build_dashboard` turns a :func:`~repro.metrics.exposition.build_snapshot`
+dict — plus the run's :class:`~repro.run.RunResult` and any
+``SWEEP_report.json`` / ``CHAOS_report.json`` content — into one
+self-contained HTML document: inline CSS, inline SVG, no scripts, no
+external assets, so the file can be mailed or archived next to the
+report JSONs it renders.
+
+Theme notes: every colour lives in CSS custom properties on
+``.viz-root`` with a ``prefers-color-scheme: dark`` override, so the
+same markup serves both modes; chart series take palette slots in fixed
+order (node 0 is always slot 1); text renders in ink tokens, never in
+series colours.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.analysis.svg import MAX_SERIES, bar_chart, format_si, line_chart
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.run import RunResult
+
+__all__ = ["build_dashboard"]
+
+_NANOS = 1_000_000_000
+
+_SERIES_LIGHT = (
+    "#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+    "#e87ba4", "#008300", "#4a3aa7", "#e34948",
+)
+_SERIES_DARK = (
+    "#3987e5", "#d95926", "#199e70", "#c98500",
+    "#d55181", "#008300", "#9085e9", "#e66767",
+)
+
+
+def _palette_vars(colors: tuple[str, ...]) -> str:
+    return "".join(
+        f"--series-{i + 1}:{color};" for i, color in enumerate(colors)
+    )
+
+
+_CSS = f"""
+.viz-root {{
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --text-muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --good: #006300; --critical: #d03b3b;
+  {_palette_vars(_SERIES_LIGHT)}
+  margin: 0; background: var(--page); color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px; line-height: 1.45;
+}}
+@media (prefers-color-scheme: dark) {{
+  .viz-root {{
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --text-muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+    --good: #0ca30c; --critical: #d03b3b;
+    {_palette_vars(_SERIES_DARK)}
+  }}
+}}
+main {{ max-width: 1100px; margin: 0 auto; padding: 24px 20px 48px; }}
+h1 {{ font-size: 22px; margin: 0 0 4px; }}
+h2 {{ font-size: 16px; margin: 28px 0 8px; }}
+h3 {{ font-size: 13px; font-weight: 600; margin: 0 0 6px;
+     color: var(--text-secondary); }}
+.meta, footer {{ color: var(--text-muted); font-size: 12px; }}
+footer {{ margin-top: 32px; }}
+.card {{ background: var(--surface-1); border: 1px solid var(--border);
+        border-radius: 8px; padding: 14px 16px; }}
+.charts {{ display: grid; gap: 12px;
+          grid-template-columns: repeat(auto-fit, minmax(330px, 1fr)); }}
+.tiles {{ display: grid; gap: 12px; margin-top: 12px;
+         grid-template-columns: repeat(auto-fit, minmax(150px, 1fr)); }}
+.tile .v {{ font-size: 24px; font-weight: 600; }}
+.tile .l {{ color: var(--text-muted); font-size: 12px; }}
+.legend {{ display: flex; flex-wrap: wrap; gap: 4px 14px; margin: 0 0 6px;
+          color: var(--text-secondary); font-size: 12px; }}
+.legend .item {{ display: inline-flex; align-items: center; gap: 5px; }}
+.swatch {{ width: 10px; height: 10px; border-radius: 2px; display: inline-block; }}
+.note {{ color: var(--text-muted); font-size: 12px; margin: 8px 0; }}
+table {{ border-collapse: collapse; font-variant-numeric: tabular-nums;
+        font-size: 13px; }}
+th, td {{ padding: 4px 12px 4px 0; border-bottom: 1px solid var(--grid);
+         text-align: left; }}
+th {{ color: var(--text-muted); font-weight: 500; }}
+td.num, th.num {{ text-align: right; }}
+details {{ margin: 8px 0; }}
+summary {{ cursor: pointer; color: var(--text-secondary); font-size: 13px; }}
+.ok {{ color: var(--good); }}
+.bad {{ color: var(--critical); font-weight: 600; }}
+svg {{ width: 100%; height: auto; display: block; }}
+svg .grid {{ stroke: var(--grid); stroke-width: 1; }}
+svg .axis {{ stroke: var(--axis); stroke-width: 1; }}
+svg text.tick {{ fill: var(--text-muted); font-size: 11px;
+                font-family: inherit; font-variant-numeric: tabular-nums; }}
+svg text.val {{ fill: var(--text-secondary); font-size: 11px;
+               font-family: inherit; font-variant-numeric: tabular-nums; }}
+svg .line {{ fill: none; stroke-width: 2; stroke-linejoin: round;
+            stroke-linecap: round; }}
+svg .pt {{ fill: transparent; }}
+svg .bar {{ fill: var(--series-1); }}
+""" + "".join(
+    f"svg .line.series-{i} {{ stroke: var(--series-{i}); }} "
+    f".swatch.series-{i} {{ background: var(--series-{i}); }}\n"
+    for i in range(1, MAX_SERIES + 1)
+)
+
+
+def _node_label(node_id: int, nodes_meta: Mapping[str, Any]) -> str:
+    if node_id == -1:
+        return "machine"
+    tier = nodes_meta.get(str(node_id), {}).get("tier", "?")
+    return f"node {node_id} ({tier})"
+
+
+def _legend(labels: list[str]) -> str:
+    """Legend box — present whenever a chart carries two or more series."""
+    if len(labels) < 2:
+        return ""
+    items = "".join(
+        f'<span class="item"><span class="swatch series-{i + 1}"></span>'
+        f"{escape(label)}</span>"
+        for i, label in enumerate(labels[:MAX_SERIES])
+    )
+    return f'<div class="legend">{items}</div>'
+
+
+def _tiles(result: "RunResult") -> str:
+    tiles = (
+        (f"{result.throughput_ops:,.0f}", "ops / virtual second"),
+        (f"{result.elapsed_seconds:.3f}s", "virtual time"),
+        (f"{100 * result.dram_access_fraction:.1f}%", "DRAM accesses"),
+        (f"{result.accesses:,}", "page accesses"),
+        (f"{result.promotions:,}", "promotions"),
+        (f"{result.demotions:,}", "demotions"),
+    )
+    cells = "".join(
+        f'<div class="card tile"><div class="v">{escape(value)}</div>'
+        f'<div class="l">{escape(label)}</div></div>'
+        for value, label in tiles
+    )
+    header = (
+        f"{escape(result.workload)} on {escape(result.policy)}"
+        + (" (throughput from raw accesses)" if result.ops_fallback else "")
+    )
+    return f'<p class="meta">{header}</p><div class="tiles">{cells}</div>'
+
+
+def _series_from_windows(windows: list[Mapping[str, Any]]) -> list[tuple[float, float | None]]:
+    return [(point["start_s"], point["value"]) for point in windows]
+
+
+def _gauge_section(snapshot: Mapping[str, Any]) -> str:
+    gauges: Mapping[str, Any] = snapshot.get("gauges", {})
+    nodes_meta = snapshot["meta"]["nodes"]
+    cards = []
+    for name, per_node in gauges.items():
+        node_ids = sorted(per_node, key=int)
+        if len(node_ids) > MAX_SERIES:
+            node_ids = node_ids[:MAX_SERIES]
+        labels = [_node_label(int(node_id), nodes_meta) for node_id in node_ids]
+        series = [
+            (label, _series_from_windows(per_node[node_id]["windows"]))
+            for label, node_id in zip(labels, node_ids)
+        ]
+        chart = line_chart(series, unit=" pages")
+        cards.append(
+            f'<div class="card"><h3>{escape(name)}</h3>'
+            f"{_legend(labels)}{chart}</div>"
+        )
+    if not cards:
+        return '<p class="note">no gauge samples (sampler never fired).</p>'
+    last_rows = []
+    for name, per_node in gauges.items():
+        for node_id in sorted(per_node, key=int):
+            last_rows.append(
+                f"<tr><td>{escape(name)}</td>"
+                f"<td>{escape(_node_label(int(node_id), nodes_meta))}</td>"
+                f'<td class="num">{format_si(per_node[node_id]["last"])}</td></tr>'
+            )
+    table = (
+        "<details><summary>gauge table (last sampled values)</summary>"
+        '<table><tr><th>gauge</th><th>node</th><th class="num">last</th></tr>'
+        f"{''.join(last_rows)}</table></details>"
+    )
+    return f'<div class="charts">{"".join(cards)}</div>{table}'
+
+
+def _event_section(snapshot: Mapping[str, Any]) -> str:
+    events: Mapping[str, Any] = snapshot.get("events", {})
+    nodes_meta = snapshot["meta"]["nodes"]
+    cards = []
+    for name, per_node in events.items():
+        node_ids = sorted(per_node, key=int)[:MAX_SERIES]
+        labels = [_node_label(int(node_id), nodes_meta) for node_id in node_ids]
+        series = [
+            (label, _series_from_windows(per_node[node_id]))
+            for label, node_id in zip(labels, node_ids)
+        ]
+        chart = line_chart(series, unit=" pages/window")
+        cards.append(
+            f'<div class="card"><h3>{escape(name)} per window</h3>'
+            f"{_legend(labels)}{chart}</div>"
+        )
+    if not cards:
+        return '<p class="note">no reclaim activity recorded.</p>'
+    return f'<div class="charts">{"".join(cards)}</div>'
+
+
+def _hist_section(snapshot: Mapping[str, Any]) -> str:
+    histograms: Mapping[str, Any] = snapshot.get("histograms", {})
+    cards = []
+    empty = []
+    for name, data in histograms.items():
+        if not data["count"]:
+            empty.append(name)
+            continue
+        bars = [
+            (format_si(bucket["le"]), bucket["count"])
+            for bucket in data["buckets"]
+        ]
+        mean = data["sum"] / data["count"]
+        unit = data.get("unit", "")
+        caption = (
+            f'{data["count"]:,} samples, mean {format_si(mean)}{unit}, '
+            f'max {format_si(data["max"])}{unit}'
+        )
+        cards.append(
+            f'<div class="card"><h3>{escape(name)}</h3>'
+            f'<p class="meta">{escape(caption)}</p>'
+            f"{bar_chart(bars, unit=unit)}</div>"
+        )
+    parts = []
+    if cards:
+        parts.append(f'<div class="charts">{"".join(cards)}</div>')
+    if empty:
+        parts.append(
+            f'<p class="note">no samples: {escape(", ".join(sorted(empty)))}.</p>'
+        )
+    if not parts:
+        parts.append('<p class="note">no histograms registered.</p>')
+    return "".join(parts)
+
+
+def _counters_section(snapshot: Mapping[str, Any]) -> str:
+    counters: Mapping[str, int] = snapshot.get("counters", {})
+    rows = "".join(
+        f'<tr><td>{escape(name)}</td><td class="num">{value:,}</td></tr>'
+        for name, value in counters.items()
+    )
+    return (
+        f"<details><summary>counters ({len(counters)})</summary>"
+        f'<table><tr><th>counter</th><th class="num">value</th></tr>'
+        f"{rows}</table></details>"
+    )
+
+
+def _sweep_section(sweep: Mapping[str, Any]) -> str:
+    rows = []
+    for cell in sweep.get("cells", []):
+        if "result" in cell:
+            result = cell["result"]
+            elapsed = result["elapsed_ns"] or 1
+            throughput = result["operations"] * _NANOS / elapsed
+            total = result["counters"].get("accesses.total", 0)
+            dram = result["counters"].get("accesses.dram", 0)
+            fraction = 100 * dram / total if total else 0.0
+            rows.append(
+                f"<tr><td>{escape(cell['id'])}</td>"
+                f'<td class="ok">✓ {escape(cell["status"])}</td>'
+                f'<td class="num">{throughput:,.0f}</td>'
+                f'<td class="num">{fraction:.1f}%</td></tr>'
+            )
+        else:
+            rows.append(
+                f"<tr><td>{escape(cell['id'])}</td>"
+                f'<td class="bad">✗ {escape(cell["status"])}</td>'
+                f'<td colspan="2">{escape(str(cell.get("error", "")))}</td></tr>'
+            )
+    return (
+        '<div class="card"><table><tr><th>cell</th><th>status</th>'
+        '<th class="num">ops/s</th><th class="num">DRAM</th></tr>'
+        f"{''.join(rows)}</table></div>"
+    )
+
+
+def _chaos_section(chaos: Mapping[str, Any]) -> str:
+    rows = []
+    for cell in chaos.get("cells", []):
+        audit = cell.get("trace_audit")
+        clean = (
+            cell["completed"]
+            and cell["violations"] == 0
+            and not (audit and audit.get("mismatches"))
+        )
+        if clean:
+            status = '<td class="ok">✓ clean</td>'
+        elif cell["oom_killed"]:
+            status = '<td class="bad">✗ OOM</td>'
+        else:
+            status = '<td class="bad">✗ DIRTY</td>'
+        counters = cell["counters"]
+        rows.append(
+            f"<tr><td>{escape(cell['policy'])} × {escape(cell['workload'])}</td>"
+            f"{status}"
+            f'<td class="num">{counters.get("faults.copy_failures_injected", 0):,}</td>'
+            f'<td class="num">{counters.get("migrate.retries", 0):,}</td>'
+            f'<td class="num">{counters.get("migrate.retry_succeeded", 0):,}</td>'
+            f'<td class="num">{cell["violations"]:,}</td></tr>'
+        )
+    verdict = (
+        '<p class="meta ok">✓ all cells clean</p>'
+        if chaos.get("all_clean")
+        else '<p class="meta bad">✗ failures present</p>'
+    )
+    return (
+        f'{verdict}<div class="card"><table>'
+        '<tr><th>cell</th><th>status</th><th class="num">copy faults</th>'
+        '<th class="num">retries</th><th class="num">healed</th>'
+        '<th class="num">violations</th></tr>'
+        f"{''.join(rows)}</table></div>"
+    )
+
+
+def build_dashboard(
+    snapshot: Mapping[str, Any],
+    result: "RunResult | None" = None,
+    *,
+    sweep: Mapping[str, Any] | None = None,
+    chaos: Mapping[str, Any] | None = None,
+    title: str = "MULTI-CLOCK run report",
+) -> str:
+    """Render the dashboard; returns a complete HTML document string."""
+    meta = snapshot["meta"]
+    elapsed_s = meta["now_ns"] / _NANOS
+    header_meta = (
+        f"{elapsed_s:.3f}s virtual time · {meta['samples']} gauge samples "
+        f"every {meta['sample_interval_s']}s · {meta['window_seconds']}s windows"
+    )
+    sections = [
+        "<header>",
+        f"<h1>{escape(title)}</h1>",
+        f'<p class="meta">{escape(header_meta)}</p>',
+        "</header>",
+    ]
+    if result is not None:
+        sections.append(_tiles(result))
+    sections.append("<h2>Memory gauges</h2>")
+    sections.append(_gauge_section(snapshot))
+    sections.append("<h2>Reclaim activity</h2>")
+    sections.append(_event_section(snapshot))
+    sections.append("<h2>Latency distributions</h2>")
+    sections.append(_hist_section(snapshot))
+    sections.append("<h2>Counters</h2>")
+    sections.append(_counters_section(snapshot))
+    if sweep is not None:
+        sections.append("<h2>Sweep report</h2>")
+        sections.append(_sweep_section(sweep))
+    if chaos is not None:
+        sections.append("<h2>Chaos report</h2>")
+        sections.append(_chaos_section(chaos))
+    sections.append("<footer>generated by repro report --html</footer>")
+    body = "\n".join(sections)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<title>{escape(title)}</title>\n"
+        f"<style>{_CSS}</style>\n"
+        '</head>\n<body class="viz-root">\n<main>\n'
+        f"{body}\n"
+        "</main>\n</body>\n</html>\n"
+    )

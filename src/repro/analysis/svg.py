@@ -1,0 +1,243 @@
+"""Dependency-free inline-SVG chart builders for the HTML dashboard.
+
+The builders emit *classed* SVG — ``.grid``, ``.axis``, ``.tick``,
+``.line.series-N``, ``.bar`` — and leave every colour to the embedding
+document's stylesheet, so one chart definition follows the page's light
+and dark themes for free.  Mark conventions: 2px lines, bars with
+4px-rounded data ends anchored to the baseline, a single left axis,
+recessive hairline grid, sparse muted tick labels, and native
+``<title>`` tooltips on every mark as the hover layer.
+"""
+
+from __future__ import annotations
+
+import math
+from html import escape
+from typing import Sequence
+
+__all__ = ["line_chart", "bar_chart", "format_si", "MAX_SERIES"]
+
+#: Categorical palette slots available to one chart.  Callers must fold
+#: or facet beyond this — slots are assigned in fixed order, never cycled.
+MAX_SERIES = 8
+
+_M_LEFT = 54.0
+_M_RIGHT = 12.0
+_M_TOP = 14.0
+_M_BOTTOM = 26.0
+
+
+def format_si(value: float) -> str:
+    """Compact tick label: ``1200`` → ``1.2k``, ``3.4e6`` → ``3.4M``."""
+    if math.isnan(value) or math.isinf(value):
+        return "?"
+    sign = "-" if value < 0 else ""
+    magnitude = abs(value)
+    for cut, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if magnitude >= cut:
+            text = f"{magnitude / cut:.1f}".rstrip("0").rstrip(".")
+            return f"{sign}{text}{suffix}"
+    if magnitude == int(magnitude):
+        return f"{sign}{int(magnitude)}"
+    return f"{sign}{magnitude:.2f}".rstrip("0").rstrip(".")
+
+
+def _c(value: float) -> str:
+    """Coordinate formatting: one decimal, no trailing ``.0``."""
+    return f"{value:.1f}".rstrip("0").rstrip(".")
+
+
+def _nice_step(span: float, target_ticks: int = 4) -> float:
+    """A 1/2/2.5/5×10^k step giving roughly ``target_ticks`` divisions."""
+    raw = span / max(target_ticks, 1)
+    if raw <= 0:
+        return 1.0
+    magnitude = 10.0 ** math.floor(math.log10(raw))
+    for multiple in (1.0, 2.0, 2.5, 5.0, 10.0):
+        if multiple * magnitude >= raw:
+            return multiple * magnitude
+    return 10.0 * magnitude
+
+
+def _ticks(lo: float, hi: float, target: int = 4) -> list[float]:
+    step = _nice_step(hi - lo, target)
+    first = math.ceil(lo / step) * step
+    out = []
+    value = first
+    while value <= hi + step * 1e-9:
+        out.append(0.0 if abs(value) < step * 1e-9 else value)
+        value += step
+    return out
+
+
+def _empty(width: float, height: float, message: str = "no data") -> str:
+    return (
+        f'<svg viewBox="0 0 {_c(width)} {_c(height)}" role="img">'
+        f'<text class="tick" x="{_c(width / 2)}" y="{_c(height / 2)}" '
+        f'text-anchor="middle">{escape(message)}</text></svg>'
+    )
+
+
+def line_chart(
+    series: Sequence[tuple[str, Sequence[tuple[float, float | None]]]],
+    *,
+    width: float = 620,
+    height: float = 200,
+    unit: str = "",
+    x_unit: str = "s",
+) -> str:
+    """Multi-series line chart; ``None`` values break the line (gaps).
+
+    ``series`` is ``[(label, [(x, y_or_None), ...]), ...]`` with x in
+    virtual seconds.  At most :data:`MAX_SERIES` series are drawn, in
+    slot order.
+    """
+    series = list(series)[:MAX_SERIES]
+    finite = [
+        (x, y) for _, points in series for x, y in points if y is not None
+    ]
+    if not finite:
+        return _empty(width, height)
+    xs = [x for x, _ in finite]
+    ys = [y for _, y in finite]
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    y_lo = min(0.0, min(ys))
+    y_hi = max(0.0, max(ys))
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    plot_w = width - _M_LEFT - _M_RIGHT
+    plot_h = height - _M_TOP - _M_BOTTOM
+
+    def sx(x: float) -> float:
+        return _M_LEFT + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return _M_TOP + (y_hi - y) / (y_hi - y_lo) * plot_h
+
+    parts = [f'<svg viewBox="0 0 {_c(width)} {_c(height)}" role="img">']
+    for tick in _ticks(y_lo, y_hi):
+        y = sy(tick)
+        parts.append(
+            f'<line class="grid" x1="{_c(_M_LEFT)}" y1="{_c(y)}" '
+            f'x2="{_c(width - _M_RIGHT)}" y2="{_c(y)}"/>'
+        )
+        parts.append(
+            f'<text class="tick" x="{_c(_M_LEFT - 6)}" y="{_c(y + 3.5)}" '
+            f'text-anchor="end">{format_si(tick)}</text>'
+        )
+    baseline = sy(0.0)
+    parts.append(
+        f'<line class="axis" x1="{_c(_M_LEFT)}" y1="{_c(baseline)}" '
+        f'x2="{_c(width - _M_RIGHT)}" y2="{_c(baseline)}"/>'
+    )
+    for tick in _ticks(x_lo, x_hi):
+        if tick < x_lo or tick > x_hi:
+            continue
+        x = sx(tick)
+        parts.append(
+            f'<text class="tick" x="{_c(x)}" y="{_c(height - 8)}" '
+            f'text-anchor="middle">{format_si(tick)}{escape(x_unit)}</text>'
+        )
+    hover: list[str] = []
+    for index, (label, points) in enumerate(series):
+        slot = index + 1
+        segments: list[str] = []
+        run: list[str] = []
+        for x, y in points:
+            if y is None:
+                if run:
+                    segments.append("M" + " L".join(run))
+                    run = []
+                continue
+            run.append(f"{_c(sx(x))},{_c(sy(y))}")
+            hover.append(
+                f'<circle class="pt" cx="{_c(sx(x))}" cy="{_c(sy(y))}" r="8">'
+                f"<title>{escape(label)} @ {format_si(x)}{escape(x_unit)}: "
+                f"{format_si(y)}{escape(unit)}</title></circle>"
+            )
+        if run:
+            segments.append("M" + " L".join(run))
+        if segments:
+            parts.append(
+                f'<path class="line series-{slot}" d="{" ".join(segments)}"/>'
+            )
+    parts.extend(hover)
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _bar_path(x: float, top: float, w: float, h: float, r: float = 4.0) -> str:
+    """A bar anchored to the baseline with a rounded data end (the top)."""
+    r = min(r, w / 2, h)
+    if r <= 0.1:
+        return f"M{_c(x)},{_c(top + h)} v{_c(-h)} h{_c(w)} v{_c(h)} Z"
+    return (
+        f"M{_c(x)},{_c(top + h)} v{_c(-(h - r))} q0,{_c(-r)} {_c(r)},{_c(-r)} "
+        f"h{_c(w - 2 * r)} q{_c(r)},0 {_c(r)},{_c(r)} v{_c(h - r)} Z"
+    )
+
+
+def bar_chart(
+    bars: Sequence[tuple[str, float]],
+    *,
+    width: float = 620,
+    height: float = 200,
+    unit: str = "",
+    max_x_labels: int = 6,
+) -> str:
+    """Single-series bar chart: ``[(label, value), ...]`` left to right.
+
+    Bars sit 2px apart on the baseline; only the peak bar gets a direct
+    value label, x labels are thinned to ``max_x_labels``.
+    """
+    bars = list(bars)
+    if not bars or all(value <= 0 for _, value in bars):
+        return _empty(width, height, "no samples")
+    peak = max(value for _, value in bars)
+    plot_w = width - _M_LEFT - _M_RIGHT
+    plot_h = height - _M_TOP - _M_BOTTOM
+    slot_w = plot_w / len(bars)
+    bar_w = max(1.0, slot_w - 2.0)
+    baseline = _M_TOP + plot_h
+    parts = [f'<svg viewBox="0 0 {_c(width)} {_c(height)}" role="img">']
+    for tick in _ticks(0.0, peak):
+        y = _M_TOP + plot_h * (1.0 - tick / peak)
+        parts.append(
+            f'<line class="grid" x1="{_c(_M_LEFT)}" y1="{_c(y)}" '
+            f'x2="{_c(width - _M_RIGHT)}" y2="{_c(y)}"/>'
+        )
+        parts.append(
+            f'<text class="tick" x="{_c(_M_LEFT - 6)}" y="{_c(y + 3.5)}" '
+            f'text-anchor="end">{format_si(tick)}</text>'
+        )
+    parts.append(
+        f'<line class="axis" x1="{_c(_M_LEFT)}" y1="{_c(baseline)}" '
+        f'x2="{_c(width - _M_RIGHT)}" y2="{_c(baseline)}"/>'
+    )
+    label_stride = max(1, math.ceil(len(bars) / max_x_labels))
+    peak_index = max(range(len(bars)), key=lambda i: bars[i][1])
+    for index, (label, value) in enumerate(bars):
+        x = _M_LEFT + index * slot_w + (slot_w - bar_w) / 2
+        h = plot_h * value / peak
+        center = x + bar_w / 2
+        if value > 0:
+            parts.append(
+                f'<path class="bar" d="{_bar_path(x, baseline - h, bar_w, h)}">'
+                f"<title>{escape(label)}: {format_si(value)}{escape(unit)}"
+                "</title></path>"
+            )
+        if index % label_stride == 0:
+            parts.append(
+                f'<text class="tick" x="{_c(center)}" y="{_c(height - 8)}" '
+                f'text-anchor="middle">{escape(label)}</text>'
+            )
+        if index == peak_index:
+            parts.append(
+                f'<text class="val" x="{_c(center)}" '
+                f'y="{_c(baseline - h - 4)}" text-anchor="middle">'
+                f"{format_si(value)}</text>"
+            )
+    parts.append("</svg>")
+    return "".join(parts)

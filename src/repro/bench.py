@@ -26,6 +26,11 @@ benchmarks, written to ``BENCH_perf.json``:
   wall times, the speedup, the host's CPU count (the speedup is only
   expected to exceed 1 on multi-core hosts), and an ``identical`` flag
   asserting the merged results equal the sequential ones exactly.
+* ``metrics`` — the metrics registry's cost: the same ``multiclock``
+  run with metrics off versus armed.  Reports both throughputs, the
+  overhead ratio, and an ``identical`` flag asserting the armed run's
+  counters and virtual clocks match the metrics-off run bit for bit
+  (the cost-free sampler / guarded-sites nop property, measured).
 
 Each benchmark takes a best-of-``repeats`` timing to shrug off host
 scheduling noise.  ``--smoke`` shrinks the workloads to CI size.
@@ -51,6 +56,7 @@ __all__ = [
     "bench_ycsb_a",
     "bench_trace",
     "bench_sweep",
+    "bench_metrics",
     "run_suite",
     "write_results",
 ]
@@ -236,6 +242,58 @@ def bench_trace(
     }
 
 
+def bench_metrics(
+    ops: int = 100_000, *, pages: int = 4000, repeats: int = 3, seed: int = 42
+) -> dict[str, Any]:
+    """Metrics off vs armed on an identical multiclock run.
+
+    The armed run carries the ``vmstat_sampler`` daemon, gauge series,
+    and the six hot-path histograms; ``identical`` asserts none of that
+    moved a counter or the virtual clocks (the metrics-off/metrics-on
+    bit-identity the instrumentation guards promise).
+    """
+
+    def run_once(armed: bool) -> tuple[Machine, float, Any]:
+        workload = ZipfWorkload(pages, ops, seed=seed, write_ratio=0.2)
+        machine = Machine(_config(seed), "multiclock")
+        # Dense sampling (1ms virtual) so short benchmark runs still
+        # exercise the cost-free sampler daemon inside the identity check.
+        registry = (
+            machine.enable_metrics(sample_interval_s=0.001) if armed else None
+        )
+        workload.setup(machine)
+        stream = list(workload.accesses())
+        with _gc_paused():
+            start = time.perf_counter()
+            machine.touch_batch(stream)
+            elapsed = time.perf_counter() - start
+        return machine, elapsed, registry
+
+    off_best = on_best = float("inf")
+    for _ in range(max(1, repeats)):
+        machine, elapsed, _ = run_once(armed=False)
+        off_best = min(off_best, elapsed)
+    off_state = _machine_state(machine)
+    for _ in range(max(1, repeats)):
+        machine, elapsed, registry = run_once(armed=True)
+        on_best = min(on_best, elapsed)
+    on_state = _machine_state(machine)
+
+    off_ops = ops / off_best
+    on_ops = ops / on_best
+    return {
+        "ops": ops,
+        "pages": pages,
+        "repeats": repeats,
+        "off_ops_per_sec": round(off_ops),
+        "on_ops_per_sec": round(on_ops),
+        "overhead": round(off_ops / on_ops, 3),
+        "samples": registry.samples,
+        "observations": sum(h.count for h in registry.histograms.values()),
+        "identical": off_state == on_state,
+    }
+
+
 def bench_sweep(
     *,
     pages: int = 2000,
@@ -286,12 +344,14 @@ def run_suite(*, smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
         ycsb = bench_ycsb_a(n_records=2_000, ops=5_000)
         trace = bench_trace(30_000, pages=2000, repeats=max(1, min(repeats, 2)))
         sweep = bench_sweep(pages=800, ops=8_000, policies=("static", "multiclock"))
+        metrics = bench_metrics(30_000, pages=2000, repeats=max(1, min(repeats, 2)))
     else:
         touch = bench_touch(repeats=repeats)
         kpromoted = bench_kpromoted()
         ycsb = bench_ycsb_a()
         trace = bench_trace(repeats=repeats)
         sweep = bench_sweep()
+        metrics = bench_metrics(repeats=repeats)
     return {
         "meta": {
             "mode": "smoke" if smoke else "full",
@@ -303,6 +363,7 @@ def run_suite(*, smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
         "ycsb_a": ycsb,
         "trace": trace,
         "sweep": sweep,
+        "metrics": metrics,
     }
 
 
@@ -345,5 +406,15 @@ def render(results: dict[str, Any]) -> str:
             f"  speedup {sweep['speedup']:.2f}x"
             f"  ({sweep['cpu_count']} core(s))"
             f"  identical={sweep['identical']}"
+        )
+    metrics = results.get("metrics")
+    if metrics is not None:
+        lines.append(
+            f"metrics    off {metrics['off_ops_per_sec']:>10,} ops/s"
+            f"  armed {metrics['on_ops_per_sec']:>10,} ops/s"
+            f"  overhead {metrics['overhead']:.3f}x"
+            f"  ({metrics['samples']:,} samples,"
+            f" {metrics['observations']:,} observations)"
+            f"  identical={metrics['identical']}"
         )
     return "\n".join(lines)

@@ -24,6 +24,14 @@ Commands:
   ``--timeout-s`` kills, and a resumable manifest (``--resume``);
   writes a deterministic ``SWEEP_report.json`` whose bytes do not
   depend on the worker count.
+* ``stat`` — run a workload with the metrics registry armed and print a
+  one-shot snapshot: ``/proc/vmstat``-style ``name value`` lines by
+  default, ``--prometheus`` text exposition, pure ``--json``, or a
+  ``--windows`` per-window gauge table; ``--node`` narrows to one node.
+* ``report`` — run a workload with metrics armed and write a single
+  self-contained HTML dashboard (``--html``, inline SVG, no external
+  assets), folding in ``SWEEP_report.json`` / ``CHAOS_report.json``
+  when present.
 
 Operator errors (unknown policy, impossible sizing, running out of
 simulated memory) exit with a one-line message, not a traceback.
@@ -225,6 +233,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="checkpoint path (default: <out>.manifest.json)")
     sweep_p.add_argument("--out", default=None,
                          help="report path (default SWEEP_report.json)")
+
+    stat_p = sub.add_parser(
+        "stat", help="run a workload with metrics armed, print a snapshot"
+    )
+    _add_machine_args(stat_p)
+    _add_workload_args(stat_p)
+    stat_p.add_argument("--node", type=int, default=None,
+                        help="restrict gauges to one node id (-1 = machine)")
+    stat_p.add_argument("--json", action="store_true",
+                        help="print the full snapshot as JSON (nothing else)")
+    stat_p.add_argument("--prometheus", action="store_true",
+                        help="print the Prometheus text exposition")
+    stat_p.add_argument("--windows", action="store_true",
+                        help="print per-window gauge tables, vmstat -n style")
+
+    report_p = sub.add_parser(
+        "report", help="run a workload with metrics armed, write an HTML dashboard"
+    )
+    _add_machine_args(report_p)
+    _add_workload_args(report_p)
+    report_p.add_argument("--html", action="store_true",
+                          help="emit the HTML dashboard (the default and only "
+                               "format; flag kept for forward compatibility)")
+    report_p.add_argument("--out", default="REPORT.html",
+                          help="output path (default REPORT.html)")
+    report_p.add_argument("--sweep", default=None, metavar="PATH",
+                          help="SWEEP_report.json to embed "
+                               "(default: auto-detect in cwd)")
+    report_p.add_argument("--chaos", default=None, metavar="PATH",
+                          help="CHAOS_report.json to embed "
+                               "(default: auto-detect in cwd)")
+    report_p.add_argument("--title", default=None,
+                          help="dashboard title (default: workload on policy)")
 
     trace_p = sub.add_parser(
         "trace", help="run a workload with tracepoints armed"
@@ -468,6 +509,112 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _run_with_metrics(args: argparse.Namespace):
+    """Build a machine, arm metrics, drive the workload; returns both."""
+    machine = Machine(_build_config(args), args.policy)
+    registry = machine.enable_metrics()
+    result = run_workload(_build_workload(args), machine.config, machine=machine)
+    return machine, registry, result
+
+
+def _cmd_stat(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.report import render_table
+
+    _, registry, result = _run_with_metrics(args)
+    if args.node is not None and args.node not in registry.gauge_nodes():
+        raise ValueError(
+            f"unknown node {args.node}; sampled nodes: "
+            f"{', '.join(str(n) for n in registry.gauge_nodes())}"
+        )
+    if args.json:
+        snapshot = registry.to_json()
+        if args.node is not None:
+            node_key = str(args.node)
+            for section in ("gauges", "events"):
+                snapshot[section] = {
+                    name: {node_key: per_node[node_key]}
+                    for name, per_node in snapshot[section].items()
+                    if node_key in per_node
+                }
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    if args.prometheus:
+        sys.stdout.write(registry.to_prometheus())
+        return 0
+    print(result.summary())
+    if args.windows:
+        snapshot = registry.to_json()
+        nodes = (
+            [args.node] if args.node is not None
+            else sorted(
+                {int(n) for per in snapshot["gauges"].values() for n in per}
+            )
+        )
+        for node_id in nodes:
+            node_key = str(node_id)
+            names = [
+                name for name, per in snapshot["gauges"].items()
+                if node_key in per
+            ]
+            if not names:
+                continue
+            windows: dict[int, dict[str, object]] = {}
+            for name in names:
+                for point in snapshot["gauges"][name][node_key]["windows"]:
+                    row = windows.setdefault(
+                        point["window"], {"start_s": point["start_s"]}
+                    )
+                    row[name] = point["value"]
+            rows = [
+                [window_id, row["start_s"]]
+                + [
+                    "-" if row.get(name) is None else f"{row[name]:.1f}"
+                    for name in names
+                ]
+                for window_id, row in sorted(windows.items())
+            ]
+            label = "machine" if node_id == -1 else f"node {node_id}"
+            print(f"\n{label}:")
+            print(render_table(["window", "start_s", *names], rows))
+        return 0
+    sys.stdout.write(registry.to_vmstat(args.node))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.analysis.dashboard import build_dashboard
+
+    def load_report(path: str | None, default: str):
+        if path is None:
+            path = default if os.path.exists(default) else None
+            if path is None:
+                return None
+        elif not os.path.exists(path):
+            raise ValueError(f"report file not found: {path}")
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+
+    _, registry, result = _run_with_metrics(args)
+    sweep = load_report(args.sweep, DEFAULT_SWEEP_REPORT)
+    from repro.faults.chaos import DEFAULT_REPORT as DEFAULT_CHAOS_REPORT
+
+    chaos = load_report(args.chaos, DEFAULT_CHAOS_REPORT)
+    title = args.title or f"{result.workload} on {result.policy}"
+    html = build_dashboard(
+        registry.to_json(), result, sweep=sweep, chaos=chaos, title=title
+    )
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(html)
+    print(result.summary())
+    print(f"dashboard written to {args.out}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.trace import (
         audit_machine,
@@ -525,6 +672,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_chaos(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "stat":
+        return _cmd_stat(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "trace":
         return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -122,5 +122,7 @@ class DemotionDaemon:
                     result.deactivated += 1
                     if tr is not None:
                         tr.trace_kswapd_recycle_promote(self.node.node_id, page.pfn)
+                    if system.metrics is not None:
+                        system.metrics.note_promote_drop(page.pfn)
         result.system_ns = system.hardware.scan_ns(result.scanned)
         return result

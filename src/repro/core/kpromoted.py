@@ -133,6 +133,10 @@ class KPromoted:
                     system.trace.trace_mm_promote_list_add(
                         self.node.node_id, page.pfn, "kpromoted"
                     )
+                if system.metrics is not None:
+                    system.metrics.note_promote_list_add(
+                        page.pfn, system.clock.now_ns
+                    )
             else:
                 page.set(PageFlags.REFERENCED)
                 active.rotate_to_head(page)
@@ -167,6 +171,8 @@ class KPromoted:
                         self.node.node_id, page.pfn,
                         "top_tier" if not can_go_up else "stale",
                     )
+                if system.metrics is not None:
+                    system.metrics.note_promote_drop(page.pfn)
                 continue
             if self.policy.promote_page(page):
                 result.promoted += 1
@@ -180,5 +186,7 @@ class KPromoted:
                 result.deactivated += 1
                 if tr is not None:
                     tr.trace_kpromoted_recycle(self.node.node_id, page.pfn, "no_room")
+                if system.metrics is not None:
+                    system.metrics.note_promote_drop(page.pfn)
         result.system_ns = system.hardware.scan_ns(result.scanned)
         return result

@@ -56,6 +56,10 @@ class MultiClockPolicy(TieringPolicy):
         self._c_promote_list_adds.n += 1
         if self.system.trace is not None:
             self.system.trace.trace_mm_promote_list_add(node.node_id, page.pfn, "hook")
+        if self.system.metrics is not None:
+            self.system.metrics.note_promote_list_add(
+                page.pfn, self.system.clock.now_ns
+            )
 
     def mark_page_accessed(self, page: Page) -> None:
         mark_page_accessed(self.system, page, on_second_reference=self.second_reference_hook)

@@ -55,8 +55,10 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["FaultInjector", "install_faults"]
 
 #: daemons fault injection must never interfere with: the injector's own
-#: window edges, and the invariant checker observing the damage.
-_PROTECTED_PREFIXES = ("fault/", "debug_vm")
+#: window edges, the invariant checker observing the damage, and the
+#: metrics sampler (jittering an observer would also draw RNG, shifting
+#: the fault stream between metrics-armed and metrics-off runs).
+_PROTECTED_PREFIXES = ("fault/", "debug_vm", "vmstat_sampler")
 
 
 class FaultInjector:

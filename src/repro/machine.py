@@ -99,6 +99,50 @@ class Machine:
         system.migrator.trace = tracer
         return tracer
 
+    def enable_metrics(
+        self,
+        *,
+        sample_interval_s: float | None = None,
+        window_seconds: float | None = None,
+    ) -> "object":
+        """Install a :class:`~repro.metrics.registry.MetricsRegistry`.
+
+        Arms the per-node gauge sampler (a ``cost_free`` daemon — it
+        observes, so it charges nothing to the virtual clock) and wires
+        the histogram sinks onto the system, the migration engine and the
+        backing store.  One registry per machine; enabling twice raises.
+        Defaults: sampling at the kswapd cadence, windows at the paper's
+        ``stats_window_s``.  Returns the registry.
+        """
+        from repro.metrics.registry import MetricsRegistry
+        from repro.metrics.sampler import VmstatSampler
+        from repro.sim.events import Daemon
+
+        system = self.system
+        if system.metrics is not None:
+            raise RuntimeError("metrics are already enabled on this machine")
+        config = system.config
+        interval = (
+            config.daemons.kswapd_interval_s
+            if sample_interval_s is None
+            else sample_interval_s
+        )
+        registry = MetricsRegistry(
+            system,
+            window_seconds=(
+                config.stats_window_s if window_seconds is None else window_seconds
+            ),
+            sample_interval_s=interval,
+        )
+        sampler = VmstatSampler(system, registry)
+        self.scheduler.register(
+            Daemon(sampler.name, interval, sampler.run, cost_free=True)
+        )
+        system.metrics = registry
+        system.migrator.metrics = registry
+        system.backing.metrics = registry
+        return registry
+
     def install_invariant_checker(
         self, interval_s: float = 0.005, *, strict: bool = False
     ) -> "object":
@@ -146,6 +190,10 @@ class Machine:
         reaccess_horizon = system._reaccess_horizon_ns
         c_reaccessed = system._c_promoted_reaccessed
         record_reaccess = stats.series["promoted_reaccessed_window"].record
+        metrics = system.metrics
+        record_reaccess_delay = (
+            metrics.reaccess_delay.record if metrics is not None else None
+        )
         mark_accessed = policy.mark_page_accessed
         on_access = policy.on_access
         # Policies that keep the base-class defaults get the cheap forms:
@@ -267,9 +315,12 @@ class Machine:
             if awaiting:
                 # Inlined MemorySystem._note_reaccess against the local time.
                 promoted_at = awaiting.pop(page.pfn, None)
-                if promoted_at is not None and now - promoted_at <= reaccess_horizon:
-                    c_reaccessed.n += 1
-                    record_reaccess(promoted_at)
+                if promoted_at is not None:
+                    if record_reaccess_delay is not None:
+                        record_reaccess_delay(now - promoted_at)
+                    if now - promoted_at <= reaccess_horizon:
+                        c_reaccessed.n += 1
+                        record_reaccess(promoted_at)
             if not skip_on_access:
                 clock._now_ns = now
                 clock._app_ns += app_accum

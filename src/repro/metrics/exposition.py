@@ -1,0 +1,202 @@
+"""Text exposition of a :class:`~repro.metrics.registry.MetricsRegistry`.
+
+Three formats, matching the three audiences:
+
+* :func:`render_vmstat` — ``/proc/vmstat``-style ``name value`` lines,
+  for eyeballs and shell pipelines;
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` metadata, labelled samples, cumulative
+  histogram ``_bucket``/``_sum``/``_count`` families), for scrapers;
+* :func:`build_snapshot` — a JSON-ready dict, for ``repro stat --json``
+  and the HTML dashboard.
+
+All three read only the registry and the machine's counter snapshot, so
+rendering is a pure function of the finished run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.metrics.registry import GAUGE_NAMES, MACHINE_NODE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.registry import MetricsRegistry
+
+__all__ = [
+    "render_vmstat",
+    "render_prometheus",
+    "build_snapshot",
+    "sanitize_metric_name",
+    "escape_label_value",
+]
+
+PROM_PREFIX = "repro_"
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted counter name onto the Prometheus name grammar."""
+    return name.replace(".", "_").replace("-", "_").replace("/", "_")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-format rules."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    """Integer-looking floats print as integers, vmstat style."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+# -- /proc/vmstat ------------------------------------------------------------
+
+
+def render_vmstat(registry: "MetricsRegistry", node: int | None = None) -> str:
+    """``name value`` lines: counters, per-node gauges, histogram moments.
+
+    ``node`` restricts the gauge rows to one node id (counters and
+    histograms are machine-wide and always printed).
+    """
+    lines: list[str] = []
+    for name, value in sorted(registry.system.stats.snapshot().items()):
+        lines.append(f"{sanitize_metric_name(name)} {value}")
+    for name in GAUGE_NAMES:
+        for node_id in registry.gauge_nodes():
+            if node is not None and node_id != node:
+                continue
+            value = registry.gauge_last.get((name, node_id))
+            if value is None:
+                continue
+            prefix = "" if node_id == MACHINE_NODE else f"node{node_id}_"
+            lines.append(f"{prefix}{name} {_fmt(value)}")
+    for hist in registry.histograms.values():
+        lines.append(f"{hist.name}_count {hist.count}")
+        lines.append(f"{hist.name}_sum {hist.total}")
+    return "\n".join(lines) + "\n"
+
+
+# -- Prometheus text format --------------------------------------------------
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """Prometheus text exposition of the whole registry."""
+    system = registry.system
+    out: list[str] = []
+
+    def family(name: str, kind: str, help_text: str) -> None:
+        out.append(f"# HELP {name} {help_text}")
+        out.append(f"# TYPE {name} {kind}")
+
+    for raw_name, value in sorted(system.stats.snapshot().items()):
+        name = PROM_PREFIX + sanitize_metric_name(raw_name) + "_total"
+        family(name, "counter", f"simulator counter {raw_name}")
+        out.append(f"{name} {value}")
+
+    node_tiers = {
+        node.node_id: node.tier.name for node in system.nodes.values()
+    }
+    for gauge_name in GAUGE_NAMES:
+        samples = []
+        for node_id in registry.gauge_nodes():
+            value = registry.gauge_last.get((gauge_name, node_id))
+            if value is None:
+                continue
+            if node_id == MACHINE_NODE:
+                labels = ""
+            else:
+                tier = escape_label_value(node_tiers.get(node_id, "?"))
+                labels = f'{{node="{node_id}",tier="{tier}"}}'
+            samples.append(f"{PROM_PREFIX}{gauge_name}{labels} {_fmt(value)}")
+        if samples:
+            family(
+                PROM_PREFIX + gauge_name, "gauge",
+                f"last sampled {gauge_name} per node",
+            )
+            out.extend(samples)
+
+    for hist in registry.histograms.values():
+        name = PROM_PREFIX + hist.name
+        family(name, "histogram", hist.help or hist.name)
+        for upper, cumulative in hist.cumulative_buckets():
+            out.append(f'{name}_bucket{{le="{upper}"}} {cumulative}')
+        out.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+        out.append(f"{name}_sum {hist.total}")
+        out.append(f"{name}_count {hist.count}")
+
+    return "\n".join(out) + "\n"
+
+
+# -- JSON snapshot -----------------------------------------------------------
+
+
+def _series_points(series) -> list[dict[str, object]]:
+    points = []
+    for point in series.totals():
+        points.append(
+            {
+                "window": point.window_id,
+                "start_s": point.start_seconds,
+                "value": None if math.isnan(point.value) else point.value,
+                "samples": point.samples,
+            }
+        )
+    return points
+
+
+def _series_means(series) -> list[dict[str, object]]:
+    points = []
+    for point in series.means():
+        points.append(
+            {
+                "window": point.window_id,
+                "start_s": point.start_seconds,
+                "value": None if math.isnan(point.value) else point.value,
+                "samples": point.samples,
+            }
+        )
+    return points
+
+
+def build_snapshot(registry: "MetricsRegistry") -> dict[str, object]:
+    """Everything the registry knows, as JSON-serialisable primitives."""
+    system = registry.system
+    gauges: dict[str, dict[str, object]] = {}
+    for name in GAUGE_NAMES:
+        per_node: dict[str, object] = {}
+        for node_id in registry.gauge_nodes():
+            if (name, node_id) not in registry.gauges:
+                continue
+            per_node[str(node_id)] = {
+                "last": registry.gauge_last[(name, node_id)],
+                "windows": _series_means(registry.gauges[(name, node_id)]),
+            }
+        if per_node:
+            gauges[name] = per_node
+    events: dict[str, dict[str, object]] = {}
+    for (name, node_id), series in sorted(registry.events.items()):
+        events.setdefault(name, {})[str(node_id)] = _series_points(series)
+    return {
+        "meta": {
+            "now_ns": system.clock.now_ns,
+            "samples": registry.samples,
+            "sample_interval_s": registry.sample_interval_s,
+            "window_seconds": registry.window_seconds,
+            "nodes": {
+                str(node.node_id): {
+                    "tier": node.tier.name,
+                    "capacity_pages": node.capacity_pages,
+                }
+                for node in system.nodes.values()
+            },
+        },
+        "counters": dict(sorted(system.stats.snapshot().items())),
+        "gauges": gauges,
+        "events": events,
+        "histograms": {
+            name: hist.to_dict() for name, hist in registry.histograms.items()
+        },
+    }

@@ -1,0 +1,198 @@
+"""The metrics registry — the simulator's ``/proc/vmstat`` + histograms.
+
+One :class:`MetricsRegistry` per machine, installed by
+``Machine.enable_metrics()``.  It owns three kinds of state, all kept
+*outside* the :class:`~repro.sim.stats.StatsBook` so arming metrics never
+changes the counter key sets or values a metrics-off run produces:
+
+* **gauges** — per-node occupancy values sampled by the ``vmstat_sampler``
+  daemon into :class:`~repro.sim.stats.WindowedSeries` (free frames, LRU
+  list lengths, watermark distance, promote-list depth, swap occupancy);
+* **latency histograms** — :class:`~repro.metrics.histogram.Log2Histogram`
+  instances fed from the hot paths (promotion latency, page age at
+  demotion, time-to-first-reaccess, migration retry backoff, direct-
+  reclaim stall, swap residency);
+* **event series** — windowed vmscan activity (``pgscan`` / ``pgsteal`` /
+  ``pgdeactivate``), the classic vmstat reclaim counters over time.
+
+Every instrumentation site guards on ``<sink>.metrics is None``, the
+same nop discipline the tracepoint layer uses, so the metrics-off access
+path is bit-identical to a build without this package.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.metrics.histogram import Log2Histogram
+from repro.sim.stats import WindowedSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mm.system import MemorySystem
+
+__all__ = ["MetricsRegistry", "HISTOGRAM_SPECS", "GAUGE_NAMES", "EVENT_NAMES"]
+
+#: (attribute, metric name, help text) for every predeclared histogram.
+HISTOGRAM_SPECS: tuple[tuple[str, str, str], ...] = (
+    ("promotion_latency", "promotion_latency_ns",
+     "virtual ns from PagePromote (promote-list add) to the migration "
+     "committing the page into DRAM"),
+    ("demotion_age", "demotion_page_age_ns",
+     "page age (now - born_ns) at the moment of demotion to a lower tier"),
+    ("reaccess_delay", "reaccess_delay_ns",
+     "virtual ns from a promotion to the page's first re-access"),
+    ("migrate_backoff", "migrate_backoff_ns",
+     "virtual-time backoff charged between migration retry attempts"),
+    ("reclaim_stall", "reclaim_stall_ns",
+     "virtual ns an allocation stalled in synchronous direct reclaim"),
+    ("swap_residency", "swap_residency_ns",
+     "virtual ns a swapped-out page spent in the swap area before its "
+     "major refault"),
+)
+
+#: Per-node gauges the vmstat sampler records, in exposition order.
+GAUGE_NAMES: tuple[str, ...] = (
+    "nr_free_pages",
+    "nr_inactive_anon",
+    "nr_active_anon",
+    "nr_inactive_file",
+    "nr_active_file",
+    "nr_promote_pages",
+    "nr_unevictable",
+    "watermark_low_distance",
+    "nr_swap_used",
+)
+
+#: Windowed vmscan event series (recorded per node).
+EVENT_NAMES: tuple[str, ...] = ("pgscan", "pgsteal", "pgdeactivate")
+
+#: Node id used for machine-wide gauges (swap lives on no NUMA node).
+MACHINE_NODE = -1
+
+
+class MetricsRegistry:
+    """Gauges, histograms and event series for one machine."""
+
+    def __init__(
+        self,
+        system: "MemorySystem",
+        *,
+        window_seconds: float,
+        sample_interval_s: float,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError("metrics window must be positive")
+        if sample_interval_s <= 0:
+            raise ValueError("sample interval must be positive")
+        self.system = system
+        self.window_seconds = float(window_seconds)
+        self.sample_interval_s = float(sample_interval_s)
+        self.samples = 0
+        self.histograms: dict[str, Log2Histogram] = {}
+        for attr, name, help_text in HISTOGRAM_SPECS:
+            hist = Log2Histogram(name, help_text)
+            setattr(self, attr, hist)
+            self.histograms[name] = hist
+        # (gauge name, node id) -> sampled series; insertion-ordered by
+        # the sampler's first pass, which walks nodes in id order.
+        self.gauges: dict[tuple[str, int], WindowedSeries] = {}
+        self.gauge_last: dict[tuple[str, int], float] = {}
+        self.events: dict[tuple[str, int], WindowedSeries] = {}
+        # PagePromote latency tracking: pfn -> virtual ns the page joined
+        # a promote list.  Commit pops it; recycling drops it.
+        self._promote_pending: dict[int, int] = {}
+        # Swap residency: (pid, vpage) -> virtual ns of the swap-out.
+        self._swap_out_at: dict[tuple[int, int], int] = {}
+
+    # -- typed accessors (set in __init__ via HISTOGRAM_SPECS) --------------
+    promotion_latency: Log2Histogram
+    demotion_age: Log2Histogram
+    reaccess_delay: Log2Histogram
+    migrate_backoff: Log2Histogram
+    reclaim_stall: Log2Histogram
+    swap_residency: Log2Histogram
+
+    # -- gauges --------------------------------------------------------------
+
+    def set_gauge(self, name: str, node_id: int, now_ns: int, value: float) -> None:
+        """Record one sampled gauge value into its windowed series."""
+        key = (name, node_id)
+        series = self.gauges.get(key)
+        if series is None:
+            series = self.gauges[key] = WindowedSeries(self.window_seconds)
+        series.record(now_ns, value)
+        self.gauge_last[key] = value
+
+    def gauge_nodes(self) -> list[int]:
+        """Node ids that have at least one sampled gauge, sorted."""
+        return sorted({node_id for (_, node_id) in self.gauges})
+
+    # -- vmscan event series -------------------------------------------------
+
+    def note_vmscan(
+        self, node_id: int, now_ns: int, *, scanned: int, stolen: int, deactivated: int
+    ) -> None:
+        """Account one list scan's activity (pgscan/pgsteal/pgdeactivate)."""
+        for name, value in (
+            ("pgscan", scanned),
+            ("pgsteal", stolen),
+            ("pgdeactivate", deactivated),
+        ):
+            if not value:
+                continue
+            key = (name, node_id)
+            series = self.events.get(key)
+            if series is None:
+                series = self.events[key] = WindowedSeries(self.window_seconds)
+            series.record(now_ns, value)
+
+    # -- promotion latency ---------------------------------------------------
+
+    def note_promote_list_add(self, pfn: int, now_ns: int) -> None:
+        """A page joined a promote list (PagePromote set)."""
+        self._promote_pending.setdefault(pfn, now_ns)
+
+    def note_promote_drop(self, pfn: int) -> None:
+        """A promote-list page was recycled without being promoted."""
+        self._promote_pending.pop(pfn, None)
+
+    def note_promote_commit(self, pfn: int, now_ns: int) -> None:
+        """A promotion committed; record its promote-list latency."""
+        added_at = self._promote_pending.pop(pfn, None)
+        if added_at is not None:
+            self.promotion_latency.record(now_ns - added_at)
+
+    @property
+    def promote_pending(self) -> int:
+        """Pages currently tracked between PagePromote and commit."""
+        return len(self._promote_pending)
+
+    # -- swap residency --------------------------------------------------------
+
+    def note_swap_out(self, process_id: int, vpage: int) -> None:
+        self._swap_out_at[(process_id, vpage)] = self.system.clock.now_ns
+
+    def note_swap_in(self, process_id: int, vpage: int) -> None:
+        out_at = self._swap_out_at.pop((process_id, vpage), None)
+        if out_at is not None:
+            self.swap_residency.record(self.system.clock.now_ns - out_at)
+
+    # -- exposition ------------------------------------------------------------
+
+    def to_vmstat(self, node: int | None = None) -> str:
+        """``/proc/vmstat``-format text dump (``name value`` lines)."""
+        from repro.metrics.exposition import render_vmstat
+
+        return render_vmstat(self, node)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format."""
+        from repro.metrics.exposition import render_prometheus
+
+        return render_prometheus(self)
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-serialisable snapshot of every metric."""
+        from repro.metrics.exposition import build_snapshot
+
+        return build_snapshot(self)

@@ -1,0 +1,81 @@
+"""The ``vmstat_sampler`` daemon — periodic gauge sampling.
+
+Gauges are *states*, not events: free-frame counts, LRU list lengths and
+swap occupancy only mean anything as a time series of observations.  The
+sampler is a virtual-clock daemon that reads each node's occupancy on
+every wakeup and records it into the registry's windowed series, the way
+``vmstat <interval>`` polls ``/proc/vmstat``.
+
+The daemon is registered ``cost_free``: it observes, so it must charge
+nothing to the virtual clock — otherwise arming metrics would perturb
+the run it is measuring and break the off/on bit-identity guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.metrics.registry import MACHINE_NODE, MetricsRegistry
+from repro.mm.lruvec import ListKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mm.system import MemorySystem
+
+__all__ = ["VmstatSampler", "SAMPLER_NAME"]
+
+SAMPLER_NAME = "vmstat_sampler"
+
+
+class VmstatSampler:
+    """Reads per-node occupancy gauges into the registry."""
+
+    def __init__(self, system: "MemorySystem", registry: MetricsRegistry) -> None:
+        self.system = system
+        self.registry = registry
+
+    @property
+    def name(self) -> str:
+        return SAMPLER_NAME
+
+    def run(self, now_ns: int) -> int:
+        """One sampling pass; always returns 0 ns of system work."""
+        registry = self.registry
+        set_gauge = registry.set_gauge
+        for node in self.system.nodes.values():
+            nid = node.node_id
+            lruvec = node.lruvec
+            set_gauge("nr_free_pages", nid, now_ns, node.free_pages)
+            set_gauge(
+                "nr_inactive_anon", nid, now_ns,
+                len(lruvec.list_for(ListKind.INACTIVE, True)),
+            )
+            set_gauge(
+                "nr_active_anon", nid, now_ns,
+                len(lruvec.list_for(ListKind.ACTIVE, True)),
+            )
+            set_gauge(
+                "nr_inactive_file", nid, now_ns,
+                len(lruvec.list_for(ListKind.INACTIVE, False)),
+            )
+            set_gauge(
+                "nr_active_file", nid, now_ns,
+                len(lruvec.list_for(ListKind.ACTIVE, False)),
+            )
+            set_gauge(
+                "nr_promote_pages", nid, now_ns,
+                len(lruvec.list_for(ListKind.PROMOTE, True))
+                + len(lruvec.list_for(ListKind.PROMOTE, False)),
+            )
+            set_gauge(
+                "nr_unevictable", nid, now_ns,
+                len(lruvec.list_for(ListKind.UNEVICTABLE)),
+            )
+            set_gauge(
+                "watermark_low_distance", nid, now_ns,
+                node.free_pages - node.watermarks.low_pages,
+            )
+        set_gauge(
+            "nr_swap_used", MACHINE_NODE, now_ns, self.system.backing.swapped_pages
+        )
+        registry.samples += 1
+        return 0

@@ -88,6 +88,8 @@ class MigrationEngine:
         self._backoff_base_ns = hardware.latency.migrate_backoff_ns
         # Tracepoint sink, installed by Machine.enable_tracing.
         self.trace = None
+        # Metrics registry, installed by Machine.enable_metrics.
+        self.metrics = None
 
     def node_of(self, page: Page) -> NumaNode:
         return self._nodes[page.node_id]
@@ -178,9 +180,12 @@ class MigrationEngine:
                 if dest_full_budget <= 0:
                     break
                 dest_full_budget -= 1
-                self._clock.advance_system(4 * backoff_ns)  # congestion wait
+                delay_ns = 4 * backoff_ns  # congestion wait
             else:
-                self._clock.advance_system(backoff_ns)
+                delay_ns = backoff_ns
+            self._clock.advance_system(delay_ns)
+            if self.metrics is not None:
+                self.metrics.migrate_backoff.record(delay_ns)
             backoff_ns = min(backoff_ns * 2, 512 * self._backoff_base_ns)
             self._c_retries.n += 1
             outcome = self.migrate(page, dest)
@@ -197,11 +202,17 @@ class MigrationEngine:
             page.last_promoted_ns = self._clock.now_ns
             if "promotions_window" in self._stats.series:
                 self._stats.record("promotions_window", self._clock.now_ns)
+            if self.metrics is not None:
+                # PagePromote -> commit latency; a no-op for pages that
+                # were promoted without passing through a promote list.
+                self.metrics.note_promote_commit(page.pfn, self._clock.now_ns)
             if self.on_promote is not None:
                 self.on_promote(page)
         elif dest.tier > source.tier:
             self._c_demotions.n += 1
             if "demotions_window" in self._stats.series:
                 self._stats.record("demotions_window", self._clock.now_ns)
+            if self.metrics is not None:
+                self.metrics.demotion_age.record(self._clock.now_ns - page.born_ns)
         else:
             self._c_lateral.n += 1

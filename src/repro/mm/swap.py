@@ -29,6 +29,8 @@ class BackingStore:
         self.file_refaults = 0
         # Tracepoint sink, installed by Machine.enable_tracing.
         self.trace = None
+        # Metrics registry, installed by Machine.enable_metrics.
+        self.metrics = None
 
     @property
     def swapped_pages(self) -> int:
@@ -54,6 +56,8 @@ class BackingStore:
         self.swap_outs += 1
         if self.trace is not None:
             self.trace.trace_mm_swap_out(process_id, vpage)
+        if self.metrics is not None:
+            self.metrics.note_swap_out(process_id, vpage)
 
     def is_swapped(self, process_id: int, vpage: int) -> bool:
         return (process_id, vpage) in self._swapped
@@ -76,6 +80,8 @@ class BackingStore:
         self.swap_ins += 1
         if self.trace is not None:
             self.trace.trace_mm_swap_in(process_id, vpage)
+        if self.metrics is not None:
+            self.metrics.note_swap_in(process_id, vpage)
 
     def writeback_file(self) -> None:
         """Account a file page dropped (clean) or written back (dirty)."""

@@ -101,6 +101,9 @@ class MemorySystem:
         # Tracepoint sink; None means tracing is compiled out and every
         # emission site is a single failed identity check.
         self.trace = None
+        # Metrics registry; None means metrics are compiled out — the
+        # same nop discipline as tracing, enforced at every site below.
+        self.metrics = None
 
     # -- wiring -------------------------------------------------------------
 
@@ -199,6 +202,8 @@ class MemorySystem:
         promoted_at = self._awaiting_reaccess.pop(page.pfn, None)
         if promoted_at is None:
             return
+        if self.metrics is not None:
+            self.metrics.reaccess_delay.record(self.clock.now_ns - promoted_at)
         if self.clock.now_ns - promoted_at <= self._reaccess_horizon_ns:
             self._c_promoted_reaccessed.n += 1
             self.stats.record("promoted_reaccessed_window", promoted_at)
@@ -247,7 +252,12 @@ class MemorySystem:
             except MemoryError:
                 self.stats.inc("alloc.direct_reclaim")
                 self._c_oom_stalls.n += 1
+                stall_start_ns = self.clock.now_ns
                 freed = self.policy.direct_reclaim()
+                if self.metrics is not None:
+                    self.metrics.reclaim_stall.record(
+                        self.clock.now_ns - stall_start_ns
+                    )
                 if freed <= 0:
                     self._oom("reclaim freed nothing")
         if result is None:

@@ -171,6 +171,11 @@ def deactivate_excess_active(
             if tr is not None:
                 tr.trace_mm_lru_deactivate(node.node_id, page.pfn, "vmscan")
     result.system_ns = system.hardware.scan_ns(result.scanned)
+    if system.metrics is not None:
+        system.metrics.note_vmscan(
+            node.node_id, system.clock.now_ns,
+            scanned=result.scanned, stolen=0, deactivated=result.deactivated,
+        )
     return result
 
 
@@ -242,6 +247,13 @@ def shrink_inactive_list(
             # keeps making progress instead of stalling on the same tail.
             inactive.rotate_to_head(page)
     result.system_ns += system.hardware.scan_ns(result.scanned)
+    if system.metrics is not None:
+        system.metrics.note_vmscan(
+            node.node_id, system.clock.now_ns,
+            scanned=result.scanned,
+            stolen=result.demoted + result.evicted,
+            deactivated=0,
+        )
     return result
 
 

@@ -34,6 +34,12 @@ class Daemon:
     ``one_shot=True`` makes the daemon a timer instead: it fires once,
     ``interval_s`` after registration, and is not rescheduled.  The fault
     injector uses these for the edges of its fault windows.
+
+    ``cost_free=True`` exempts the daemon from the scheduler's fixed
+    per-wakeup charge: pure *observers* (the vmstat metrics sampler) must
+    not perturb the virtual clock, or arming them would break the
+    metrics-off bit-identity guarantee.  Simulated kernel threads keep
+    the default and pay their wakeup cost.
     """
 
     def __init__(
@@ -44,6 +50,7 @@ class Daemon:
         *,
         enabled: bool = True,
         one_shot: bool = False,
+        cost_free: bool = False,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"daemon {name!r} needs a positive interval")
@@ -52,6 +59,7 @@ class Daemon:
         self.body = body
         self.enabled = enabled
         self.one_shot = one_shot
+        self.cost_free = cost_free
         self.wakeups = 0
 
     def __repr__(self) -> str:
@@ -119,7 +127,9 @@ class DaemonScheduler:
             deadline, __, daemon = heapq.heappop(self._heap)
             if daemon.enabled:
                 daemon.wakeups += 1
-                work_ns = daemon.body(self._clock.now_ns) + self._wakeup_cost_ns
+                work_ns = daemon.body(self._clock.now_ns)
+                if not daemon.cost_free:
+                    work_ns += self._wakeup_cost_ns
                 if work_ns:
                     self._clock.advance_system(work_ns)
                     charged += work_ns

@@ -81,7 +81,19 @@ class WindowedSeries:
         self._counts: dict[int, int] = defaultdict(int)
 
     def record(self, time_ns: int, value: float = 1.0) -> None:
-        """Add ``value`` to the window containing ``time_ns``."""
+        """Add ``value`` to the window containing ``time_ns``.
+
+        Negative timestamps are rejected: the virtual clock starts at
+        zero, and a negative ``time_ns`` would floor-divide to a negative
+        window id that ``_dense``'s ``range(last + 1)`` silently drops
+        from :meth:`totals`/:meth:`means` — the event would be recorded
+        but never reported.
+        """
+        if time_ns < 0:
+            raise ValueError(
+                f"cannot record at negative virtual time {time_ns}ns; "
+                "windowed series start at t=0"
+            )
         window_id = time_ns // self.window_ns
         self._sums[window_id] += value
         self._counts[window_id] += 1
@@ -162,10 +174,22 @@ class StatsBook:
         return self.snapshot()
 
     def make_series(self, name: str, window_seconds: float) -> WindowedSeries:
-        """Create (or return the existing) windowed series called ``name``."""
-        if name not in self.series:
-            self.series[name] = WindowedSeries(window_seconds)
-        return self.series[name]
+        """Create (or return the existing) windowed series called ``name``.
+
+        Asking for an existing name with a *different* window width is an
+        error: silently returning the old series would bucket the
+        caller's events on a width it never asked for.
+        """
+        existing = self.series.get(name)
+        if existing is None:
+            existing = self.series[name] = WindowedSeries(window_seconds)
+        elif existing.window_seconds != float(window_seconds):
+            raise ValueError(
+                f"series {name!r} already exists with window "
+                f"{existing.window_seconds}s, cannot remake it with "
+                f"{window_seconds}s"
+            )
+        return existing
 
     def record(self, name: str, time_ns: int, value: float = 1.0) -> None:
         """Record into an existing series; raises KeyError if absent."""

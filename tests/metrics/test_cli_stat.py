@@ -1,0 +1,118 @@
+"""CLI tests for ``repro stat`` and ``repro report``."""
+
+import json
+
+from repro.cli import main
+
+ARGS = [
+    "--workload", "zipf", "--pages", "600", "--ops", "6000",
+    "--dram-pages", "256", "--pm-pages", "2048", "--interval", "0.002",
+]
+
+
+def test_stat_prints_vmstat_lines(capsys):
+    assert main(["stat", *ARGS]) == 0
+    out = capsys.readouterr().out
+    assert "zipf on multiclock" in out
+    assert "node0_nr_free_pages" in out
+    assert "demotion_page_age_ns_count" in out
+    for line in out.splitlines()[1:]:  # skip the summary line
+        name, _, value = line.partition(" ")
+        float(value)
+
+
+def test_stat_json_is_pure_json_on_stdout(capsys):
+    assert main(["stat", *ARGS, "--json"]) == 0
+    out = capsys.readouterr().out
+    snapshot = json.loads(out)  # the whole stdout parses — no summary line
+    assert snapshot["meta"]["samples"] > 0
+    assert "nr_free_pages" in snapshot["gauges"]
+    assert snapshot["histograms"]["demotion_page_age_ns"]["count"] > 0
+
+
+def test_stat_json_node_filter(capsys):
+    assert main(["stat", *ARGS, "--json", "--node", "1"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    for per_node in snapshot["gauges"].values():
+        assert set(per_node) == {"1"}
+    # Counters stay machine-wide.
+    assert snapshot["counters"]
+
+
+def test_stat_unknown_node_is_an_operator_error(capsys):
+    assert main(["stat", *ARGS, "--node", "9"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "9" in err
+
+
+def test_stat_prometheus(capsys):
+    assert main(["stat", *ARGS, "--prometheus"]) == 0
+    out = capsys.readouterr().out
+    assert "# HELP repro_nr_free_pages" in out
+    assert "# TYPE repro_nr_free_pages gauge" in out
+    assert 'repro_nr_free_pages{node="0",tier="DRAM"}' in out
+    assert 'repro_demotion_page_age_ns_bucket{le="+Inf"}' in out
+
+
+def test_stat_windows_table(capsys):
+    assert main(["stat", *ARGS, "--windows", "--node", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "node 0:" in out
+    assert "window" in out
+    assert "nr_free_pages" in out
+    assert "machine:" not in out  # --node narrowed the tables
+
+
+def test_report_writes_a_self_contained_dashboard(tmp_path, capsys):
+    out_path = tmp_path / "dash.html"
+    assert main(["report", *ARGS, "--html", "--out", str(out_path)]) == 0
+    html = out_path.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<svg" in html
+    assert str(out_path) in capsys.readouterr().out
+
+
+def test_report_embeds_sweep_and_chaos_reports(tmp_path, capsys):
+    sweep = tmp_path / "SWEEP_report.json"
+    sweep.write_text(json.dumps({
+        "grid": {"policies": ["static"], "workloads": ["zipf"], "seeds": [7]},
+        "cells": [{
+            "id": "static/zipf/s7", "status": "done",
+            "result": {
+                "workload": "zipf", "policy": "static", "operations": 100,
+                "accesses": 100, "elapsed_ns": 10**6, "app_ns": 10**6,
+                "system_ns": 0, "ops_fallback": False,
+                "counters": {"accesses.total": 100, "accesses.dram": 60},
+            },
+        }],
+    }))
+    chaos = tmp_path / "CHAOS_report.json"
+    chaos.write_text(json.dumps({
+        "all_clean": True,
+        "plan": {"seed": 7, "events": []},
+        "cells": [{
+            "policy": "multiclock", "workload": "zipf", "completed": True,
+            "oom_killed": False, "error": None, "elapsed_ns": 10**6,
+            "accesses": 100, "violations": 0, "violation_details": [],
+            "counters": {"migrate.retries": 3, "migrate.retry_succeeded": 3},
+        }],
+    }))
+    out_path = tmp_path / "dash.html"
+    assert main([
+        "report", *ARGS, "--out", str(out_path),
+        "--sweep", str(sweep), "--chaos", str(chaos),
+    ]) == 0
+    html = out_path.read_text()
+    assert "Sweep report" in html
+    assert "static/zipf/s7" in html
+    assert "Chaos report" in html
+    assert "all cells clean" in html
+
+
+def test_report_missing_sweep_path_is_an_operator_error(tmp_path, capsys):
+    assert main([
+        "report", *ARGS, "--out", str(tmp_path / "x.html"),
+        "--sweep", str(tmp_path / "nope.json"),
+    ]) == 2
+    assert capsys.readouterr().err.startswith("error:")

@@ -1,0 +1,179 @@
+"""SVG chart builders and the self-contained HTML dashboard."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.dashboard import build_dashboard
+from repro.analysis.svg import bar_chart, format_si, line_chart
+from repro.machine import Machine
+from repro.run import run_workload
+from repro.sim.config import DaemonConfig, SimulationConfig
+from repro.workloads.synthetic import ZipfWorkload
+
+
+# -- svg primitives ----------------------------------------------------------
+
+
+def test_format_si():
+    assert format_si(0) == "0"
+    assert format_si(950) == "950"
+    assert format_si(1200) == "1.2k"
+    assert format_si(3_400_000) == "3.4M"
+    assert format_si(2_000_000_000) == "2G"
+    assert format_si(-1500) == "-1.5k"
+    assert format_si(float("nan")) == "?"
+
+
+def test_line_chart_is_valid_svg_with_one_path_per_series():
+    svg = line_chart([
+        ("node 0", [(0.0, 10.0), (1.0, 20.0), (2.0, 15.0)]),
+        ("node 1", [(0.0, 5.0), (1.0, None), (2.0, 8.0)]),
+    ])
+    root = ET.fromstring(svg)
+    assert root.tag == "svg"
+    paths = svg.count('class="line series-')
+    assert paths == 2
+    assert 'series-1' in svg and 'series-2' in svg
+    # The None gap splits node 1's path into two M segments.
+    second = re.search(r'class="line series-2" d="([^"]+)"', svg).group(1)
+    assert second.count("M") == 2
+
+
+def test_line_chart_handles_negative_values():
+    svg = line_chart([("wm", [(0.0, -5.0), (1.0, 5.0)])])
+    ET.fromstring(svg)
+    assert "-5" in svg  # a tick below zero is labelled
+
+
+def test_line_chart_empty_series_says_no_data():
+    svg = line_chart([("n", [(0.0, None)])])
+    assert "no data" in svg
+
+
+def test_bar_chart_is_valid_svg_with_rounded_bars_and_tooltips():
+    svg = bar_chart([("1", 3), ("3", 10), ("7", 5)])
+    ET.fromstring(svg)
+    assert svg.count('class="bar"') == 3
+    assert "<title>3: 10</title>" in svg
+    # Rounded data end: bar paths use quadratic corner curves.
+    assert "q" in re.search(r'class="bar" d="([^"]+)"', svg).group(1)
+
+
+def test_bar_chart_labels_only_the_peak():
+    svg = bar_chart([("a", 1), ("b", 9), ("c", 2)])
+    assert svg.count('class="val"') == 1
+    assert ">9</text>" in svg
+
+
+# -- the dashboard -----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def run_artifacts():
+    config = SimulationConfig(
+        dram_pages=(256,),
+        pm_pages=(2048,),
+        swap_pages=1 << 20,
+        daemons=DaemonConfig(
+            kpromoted_interval_s=0.002,
+            kswapd_interval_s=0.001,
+            hint_scan_interval_s=0.002,
+        ),
+        seed=7,
+    )
+    machine = Machine(config, "multiclock")
+    registry = machine.enable_metrics()
+    result = run_workload(
+        ZipfWorkload(1500, 30_000, seed=7, write_ratio=0.2),
+        machine.config,
+        machine=machine,
+    )
+    return registry.to_json(), result
+
+
+def test_dashboard_is_one_self_contained_document(run_artifacts):
+    snapshot, result = run_artifacts
+    html = build_dashboard(snapshot, result)
+    assert html.startswith("<!DOCTYPE html>")
+    assert html.rstrip().endswith("</html>")
+    # Self-contained: no scripts, no external fetches of any kind.
+    assert "<script" not in html
+    assert not re.search(r'\b(?:src|href)\s*=', html)
+    assert "http://" not in html and "https://" not in html
+    assert "url(" not in html
+    assert "@import" not in html
+
+
+def test_dashboard_renders_gauges_and_at_least_three_histograms(run_artifacts):
+    snapshot, result = run_artifacts
+    html = build_dashboard(snapshot, result)
+    hist_section = html.split("Latency distributions")[1].split("<h2>")[0]
+    assert hist_section.count("<svg") >= 3
+    gauge_section = html.split("Memory gauges")[1].split("<h2>")[0]
+    assert gauge_section.count("<svg") >= len(snapshot["gauges"]) - 1
+    # Multi-node gauges carry a legend naming nodes by tier.
+    assert 'class="legend"' in gauge_section
+    assert "node 0 (DRAM)" in gauge_section
+    assert "node 1 (PM)" in gauge_section
+
+
+def test_dashboard_svgs_are_well_formed(run_artifacts):
+    snapshot, result = run_artifacts
+    html = build_dashboard(snapshot, result)
+    svgs = re.findall(r"<svg.*?</svg>", html, re.S)
+    assert svgs
+    for svg in svgs:
+        ET.fromstring(svg)
+
+
+def test_dashboard_theme_uses_custom_properties(run_artifacts):
+    snapshot, result = run_artifacts
+    html = build_dashboard(snapshot, result)
+    assert "--series-1" in html
+    assert "prefers-color-scheme: dark" in html
+    assert "var(--surface-1)" in html
+
+
+def test_dashboard_summary_tiles_show_the_run(run_artifacts):
+    snapshot, result = run_artifacts
+    html = build_dashboard(snapshot, result, title="my run")
+    assert "<title>my run</title>" in html
+    assert "ops / virtual second" in html
+    assert f"{result.promotions:,}" in html
+    assert "zipf on multiclock" in html
+
+
+def test_dashboard_lists_empty_histograms_instead_of_charting_them(run_artifacts):
+    snapshot, result = run_artifacts
+    empty = [
+        name for name, data in snapshot["histograms"].items()
+        if not data["count"]
+    ]
+    if not empty:
+        pytest.skip("every histogram has samples in this run")
+    html = build_dashboard(snapshot, result)
+    assert "no samples:" in html
+
+
+def test_dashboard_escapes_untrusted_labels(run_artifacts):
+    snapshot, result = run_artifacts
+    sweep = {
+        "cells": [{
+            "id": "<img src=x>", "status": "failed",
+            "error": "<script>alert(1)</script>",
+        }],
+    }
+    html = build_dashboard(snapshot, result, sweep=sweep)
+    assert "<img" not in html
+    assert "<script>" not in html
+    assert "&lt;img" in html
+
+
+def test_dashboard_without_result_or_reports_still_renders(run_artifacts):
+    snapshot, _ = run_artifacts
+    html = build_dashboard(snapshot)
+    assert "Memory gauges" in html
+    assert "Sweep report" not in html
+    assert "Chaos report" not in html

@@ -1,0 +1,197 @@
+"""Exposition format grammar: vmstat lines, Prometheus text, JSON."""
+
+import json
+import re
+
+import pytest
+
+from repro.machine import Machine
+from repro.metrics import escape_label_value, sanitize_metric_name
+from repro.run import run_workload
+from repro.sim.config import DaemonConfig, SimulationConfig
+from repro.workloads.synthetic import ZipfWorkload
+
+
+@pytest.fixture(scope="module")
+def registry():
+    config = SimulationConfig(
+        dram_pages=(256,),
+        pm_pages=(2048,),
+        swap_pages=1 << 20,
+        daemons=DaemonConfig(
+            kpromoted_interval_s=0.002,
+            kswapd_interval_s=0.001,
+            hint_scan_interval_s=0.002,
+        ),
+        seed=7,
+    )
+    machine = Machine(config, "multiclock")
+    reg = machine.enable_metrics()
+    run_workload(
+        ZipfWorkload(1500, 20_000, seed=7, write_ratio=0.2),
+        machine.config,
+        machine=machine,
+    )
+    return reg
+
+
+# -- helpers -----------------------------------------------------------------
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+
+
+def parse_prometheus(text):
+    """Minimal Prometheus text-format parser.
+
+    Returns ``{family: {"help": ..., "type": ..., "samples": [(name,
+    labels, value), ...]}}`` and enforces the line grammar: HELP before
+    TYPE before samples, every sample's family already declared.
+    """
+    families = {}
+    current = None
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert METRIC_NAME.match(name), name
+            assert name not in families, f"duplicate HELP for {name}"
+            families[name] = {"help": help_text, "type": None, "samples": []}
+            current = name
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert name == current, "TYPE must follow its own HELP"
+            assert families[name]["type"] is None, f"duplicate TYPE for {name}"
+            assert kind in ("counter", "gauge", "histogram"), kind
+            families[name]["type"] = kind
+        else:
+            match = SAMPLE_LINE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            name = match["name"]
+            base = re.sub(r"_(bucket|sum|count|total)$", "", name)
+            family = name if name in families else base
+            assert family in families, f"sample {name} before metadata"
+            assert families[family]["type"] is not None
+            labels = {}
+            if match["labels"]:
+                for pair in re.finditer(
+                    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"',
+                    match["labels"],
+                ):
+                    labels[pair.group(1)] = pair.group(2)
+            families[family]["samples"].append(
+                (name, labels, match["value"])
+            )
+    return families
+
+
+# -- /proc/vmstat ------------------------------------------------------------
+
+
+def test_vmstat_is_name_value_lines(registry):
+    text = registry.to_vmstat()
+    assert text.endswith("\n")
+    for line in text.rstrip("\n").split("\n"):
+        name, _, value = line.partition(" ")
+        assert METRIC_NAME.match(name), line
+        float(value)  # parses as a number
+
+
+def test_vmstat_node_filter_keeps_only_that_nodes_gauges(registry):
+    text = registry.to_vmstat(0)
+    assert "node0_nr_free_pages" in text
+    assert "node1_nr_free_pages" not in text
+    # Counters and histogram moments are machine-wide, still present.
+    assert "kswapd_runs" in text
+    assert "promotion_latency_ns_count" in text
+
+
+# -- Prometheus --------------------------------------------------------------
+
+
+def test_prometheus_grammar_and_metadata_ordering(registry):
+    families = parse_prometheus(registry.to_prometheus())
+    assert families  # parser enforced HELP->TYPE->samples en route
+    counters = [f for f, v in families.items() if v["type"] == "counter"]
+    assert counters and all(name.endswith("_total") for name in counters)
+    assert any(v["type"] == "gauge" for v in families.values())
+    assert any(v["type"] == "histogram" for v in families.values())
+
+
+def test_prometheus_gauges_carry_node_and_tier_labels(registry):
+    families = parse_prometheus(registry.to_prometheus())
+    gauge = families["repro_nr_free_pages"]
+    nodes = {s[1]["node"]: s[1]["tier"] for s in gauge["samples"]}
+    assert nodes["0"] == "DRAM"
+    assert nodes["1"] == "PM"
+
+
+def test_prometheus_histogram_buckets_are_cumulative_and_complete(registry):
+    families = parse_prometheus(registry.to_prometheus())
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        buckets = [s for s in family["samples"] if s[0] == f"{name}_bucket"]
+        assert buckets[-1][1]["le"] == "+Inf"
+        counts = [int(s[2]) for s in buckets]
+        assert counts == sorted(counts), f"{name} buckets not monotonic"
+        les = [float(s[1]["le"]) for s in buckets[:-1]]
+        assert les == sorted(les)
+        count_sample = next(
+            s for s in family["samples"] if s[0] == f"{name}_count"
+        )
+        assert int(count_sample[2]) == counts[-1]
+        assert any(s[0] == f"{name}_sum" for s in family["samples"])
+
+
+def test_prometheus_has_real_latency_data(registry):
+    families = parse_prometheus(registry.to_prometheus())
+    count = next(
+        int(s[2])
+        for s in families["repro_demotion_page_age_ns"]["samples"]
+        if s[0] == "repro_demotion_page_age_ns_count"
+    )
+    assert count > 0
+
+
+# -- name / label hygiene ----------------------------------------------------
+
+
+def test_sanitize_metric_name():
+    assert sanitize_metric_name("kswapd.pages-scanned/0") == "kswapd_pages_scanned_0"
+
+
+def test_escape_label_value_round_trips():
+    raw = 'tier "A"\\B\nend'
+    escaped = escape_label_value(raw)
+    assert "\n" not in escaped
+    # Unescape the three escapes in reverse and recover the original.
+    unescaped = (
+        escaped.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+    assert unescaped == raw
+
+
+# -- JSON --------------------------------------------------------------------
+
+
+def test_snapshot_round_trips_through_json(registry):
+    snapshot = registry.to_json()
+    restored = json.loads(json.dumps(snapshot))
+    assert restored == snapshot
+    assert set(restored) == {"meta", "counters", "gauges", "events", "histograms"}
+    assert restored["meta"]["samples"] == registry.samples
+    assert restored["counters"] == dict(
+        sorted(registry.system.stats.snapshot().items())
+    )
+    free = restored["gauges"]["nr_free_pages"]["0"]
+    assert free["windows"], "windowed gauge series present"
+    for histogram in restored["histograms"].values():
+        assert histogram["count"] == sum(
+            bucket["count"] for bucket in histogram["buckets"]
+        )

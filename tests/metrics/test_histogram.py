@@ -1,0 +1,95 @@
+"""Log2Histogram bucketing, moments, and serialisation."""
+
+import math
+
+import pytest
+
+from repro.metrics.histogram import Log2Histogram
+
+
+def test_bucket_indexing_follows_bit_length():
+    hist = Log2Histogram("t")
+    for value, bucket in ((0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4)):
+        before = hist.buckets.get(bucket, 0)
+        hist.record(value)
+        assert hist.buckets[bucket] == before + 1
+
+
+def test_bucket_bounds_partition_the_integers():
+    previous_upper = -1
+    for index in range(12):
+        lo = Log2Histogram.bucket_lower_bound(index)
+        hi = Log2Histogram.bucket_upper_bound(index)
+        assert lo == previous_upper + 1
+        assert hi >= lo
+        previous_upper = hi
+
+
+def test_exact_moments_survive_bucketing():
+    hist = Log2Histogram("t")
+    values = [0, 1, 5, 5, 1000, 12345]
+    for value in values:
+        hist.record(value)
+    assert hist.count == len(values) == len(hist)
+    assert hist.total == sum(values)
+    assert hist.mean == pytest.approx(sum(values) / len(values))
+    assert hist.min_value == 0
+    assert hist.max_value == 12345
+
+
+def test_rejects_negative_values():
+    hist = Log2Histogram("t")
+    with pytest.raises(ValueError, match="negative"):
+        hist.record(-1)
+    assert hist.count == 0
+
+
+def test_dense_buckets_fill_gaps():
+    hist = Log2Histogram("t")
+    hist.record(1)
+    hist.record(1024)  # bit_length 11
+    dense = hist.dense_buckets()
+    assert [index for index, _ in dense] == list(range(12))
+    assert sum(count for _, count in dense) == 2
+
+
+def test_cumulative_buckets_are_monotonic_and_end_at_count():
+    hist = Log2Histogram("t")
+    for value in (1, 2, 2, 9, 9, 9, 500):
+        hist.record(value)
+    cumulative = hist.cumulative_buckets()
+    uppers = [upper for upper, _ in cumulative]
+    counts = [count for _, count in cumulative]
+    assert uppers == sorted(uppers)
+    assert counts == sorted(counts)
+    assert counts[-1] == hist.count
+
+
+def test_quantiles_land_in_the_right_bucket():
+    hist = Log2Histogram("t")
+    for _ in range(99):
+        hist.record(10)
+    hist.record(100_000)
+    p50 = hist.quantile(0.5)
+    assert Log2Histogram.bucket_lower_bound(4) <= p50 <= Log2Histogram.bucket_upper_bound(4)
+    p999 = hist.quantile(0.999)
+    assert p999 > Log2Histogram.bucket_upper_bound(4)
+    assert math.isnan(Log2Histogram("empty").quantile(0.5))
+    with pytest.raises(ValueError, match="quantile"):
+        hist.quantile(1.5)
+
+
+def test_to_dict_round_trips_through_json():
+    import json
+
+    hist = Log2Histogram("lat", "help text", unit="ns")
+    for value in (3, 70, 70, 4096):
+        hist.record(value)
+    data = json.loads(json.dumps(hist.to_dict()))
+    assert data["name"] == "lat"
+    assert data["unit"] == "ns"
+    assert data["count"] == 4
+    assert data["sum"] == 3 + 70 + 70 + 4096
+    assert sum(bucket["count"] for bucket in data["buckets"]) == 4
+    les = [bucket["le"] for bucket in data["buckets"]]
+    assert les == sorted(les)

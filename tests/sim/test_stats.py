@@ -65,11 +65,32 @@ def test_empty_series():
     assert len(series) == 0
 
 
-def test_make_series_is_idempotent():
+def test_make_series_is_idempotent_for_matching_width():
     book = StatsBook()
     first = book.make_series("s", 1.0)
-    second = book.make_series("s", 2.0)
+    second = book.make_series("s", 1.0)
     assert first is second
+
+
+def test_make_series_rejects_width_mismatch():
+    """Silently returning the old series would bucket the caller's
+    events on a window width it never asked for."""
+    book = StatsBook()
+    book.make_series("s", 1.0)
+    with pytest.raises(ValueError, match="window"):
+        book.make_series("s", 2.0)
+    # The original series survives untouched.
+    assert book.make_series("s", 1.0).window_seconds == 1.0
+
+
+def test_record_rejects_negative_time():
+    """A negative time_ns floor-divides to a negative window id that the
+    dense range(last + 1) silently drops from totals()/means()."""
+    series = WindowedSeries(window_seconds=1.0)
+    with pytest.raises(ValueError, match="negative"):
+        series.record(-1, 1.0)
+    series.record(0, 1.0)  # t=0 stays legal
+    assert [p.value for p in series.totals()] == [1.0]
 
 
 def test_record_into_missing_series_raises():
