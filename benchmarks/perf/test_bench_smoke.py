@@ -38,3 +38,11 @@ def test_smoke_suite_writes_results(tmp_path):
     assert trace["identical"] is True
     assert trace["events_emitted"] > 0
     assert trace["overhead"] < 2.0, "tracepoint layer got expensive"
+    sweep = on_disk["sweep"]
+    # The pool shares workload construction across cells, so it must not
+    # lose to the naive sequential loop even on a single-core host; a
+    # warm-cache re-run serves every cell without forking anything.
+    assert sweep["identical"] is True
+    assert sweep["parallel_s"] <= sweep["sequential_s"], "pool lost to sequential"
+    assert sweep["cached_rerun_workers"] == 0
+    assert sweep["cached_rerun_seconds"] < sweep["parallel_s"]

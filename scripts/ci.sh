@@ -23,12 +23,13 @@ python -m repro chaos --policies multiclock,static --workload zipf \
 
 echo "== sweep smoke (2 workers == sequential; forced crash retried) =="
 SWEEP_TMP="$(mktemp -d)"
-python -m repro sweep --policies static,multiclock --workload zipf \
-    --pages 400 --ops 3000 --dram-pages 128 --pm-pages 1024 \
-    --interval 0.002 --workers 2 --out "$SWEEP_TMP/par.json" >/dev/null
-python -m repro sweep --policies static,multiclock --workload zipf \
-    --pages 400 --ops 3000 --dram-pages 128 --pm-pages 1024 \
-    --interval 0.002 --workers 1 --out "$SWEEP_TMP/seq.json" >/dev/null
+SWEEP_ARGS=(--policies static,multiclock --workload zipf
+            --pages 400 --ops 3000 --dram-pages 128 --pm-pages 1024
+            --interval 0.002)
+python -m repro sweep "${SWEEP_ARGS[@]}" --workers 2 \
+    --out "$SWEEP_TMP/par.json" >/dev/null 2>&1
+python -m repro sweep "${SWEEP_ARGS[@]}" --workers 1 --no-cache \
+    --out "$SWEEP_TMP/seq.json" >/dev/null 2>&1
 cmp "$SWEEP_TMP/par.json" "$SWEEP_TMP/seq.json"
 python - "$SWEEP_TMP" <<'PYEOF'
 import sys
@@ -43,6 +44,30 @@ result = run_sweep(spec, workers=2)
 assert result.ok and result.outcomes[0].attempts == 2, result.outcomes
 print("forced worker crash was retried and healed")
 PYEOF
+
+echo "== sweep perf smoke (pool beats sequential; cached re-run is free) =="
+python - <<'PYEOF'
+from repro.bench import bench_sweep
+
+r = bench_sweep(pages=800, ops=8_000, policies=("static", "multiclock"))
+assert r["identical"], f"pool results diverged from sequential: {r}"
+assert r["parallel_s"] <= r["sequential_s"], (
+    f"2-worker pool slower than sequential: {r}"
+)
+assert r["cached_rerun_workers"] == 0, (
+    f"cached re-run spawned child processes: {r}"
+)
+assert r["cached_rerun_seconds"] < r["parallel_s"], f"warm cache not faster: {r}"
+print(f"pool {r['parallel_s']}s vs sequential {r['sequential_s']}s "
+      f"(speedup {r['speedup']}x); cached re-run {r['cached_rerun_seconds']}s "
+      f"with 0 workers spawned")
+PYEOF
+cp "$SWEEP_TMP/par.json" "$SWEEP_TMP/par.first.json"
+python -m repro sweep "${SWEEP_ARGS[@]}" --workers 2 \
+    --out "$SWEEP_TMP/par.json" > "$SWEEP_TMP/rerun.out" 2>/dev/null
+grep -q "0 worker(s) spawned" "$SWEEP_TMP/rerun.out"
+cmp "$SWEEP_TMP/par.json" "$SWEEP_TMP/par.first.json"
+echo "cached CLI re-run: byte-identical report, zero workers spawned"
 
 echo "== trace smoke (run -> export -> audit) =="
 TRACE_TMP="$(mktemp -d)"

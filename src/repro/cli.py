@@ -231,6 +231,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip cells already completed in the manifest")
     sweep_p.add_argument("--manifest", default=None,
                          help="checkpoint path (default: <out>.manifest.json)")
+    sweep_p.add_argument("--cache", dest="cache", action="store_true",
+                         default=True,
+                         help="serve unchanged cells from the content-"
+                              "addressed result cache (default: on)")
+    sweep_p.add_argument("--no-cache", dest="cache", action="store_false",
+                         help="disable the result cache; every cell runs live")
+    sweep_p.add_argument("--cache-dir", default=None,
+                         help="result cache directory (default: <out>.cache)")
     sweep_p.add_argument("--out", default=None,
                          help="report path (default SWEEP_report.json)")
 
@@ -464,6 +472,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = SweepSpec(name="repro-sweep", cells=tuple(cells))
     out = args.out or DEFAULT_SWEEP_REPORT
     manifest = args.manifest or f"{out}.manifest.json"
+    cache_dir = (args.cache_dir or f"{out}.cache") if args.cache else None
     result = run_sweep(
         spec,
         workers=args.workers,
@@ -471,6 +480,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         manifest_path=manifest,
         resume=args.resume,
+        cache_dir=cache_dir,
         progress=lambda msg: print(f"  {msg}", file=sys.stderr),
     )
 
@@ -504,8 +514,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             print(f"{o.cell.id:>40}  FAILED: {o.error}")
     done = sum(1 for o in result.outcomes if o.ok)
+    cached = sum(1 for o in result.outcomes if o.cached)
     print(f"{done}/{len(result.outcomes)} cells done "
-          f"({result.workers} worker(s)); report written to {out}")
+          f"({cached} cached, {result.spawned_workers} worker(s) spawned); "
+          f"report written to {out}")
     return 0 if result.ok else 1
 
 

@@ -121,15 +121,19 @@ def run_policies(
     policies: tuple[str, ...] = EVALUATED_POLICIES,
     *,
     workers: int = 1,
+    progress: Callable[[str], None] | None = None,
 ) -> dict[str, RunResult]:
     """Run a fresh workload instance under each policy.
 
-    ``workers > 1`` shards the policies across crash-isolated worker
-    processes via :mod:`repro.sweep`; cells are merged by policy name in
-    the requested order, so the result is identical to the sequential
-    run (each cell builds its own machine either way).  A cell that
-    keeps failing after the pool's retries raises, matching the
-    sequential path's behaviour of propagating the first error.
+    ``workers > 1`` shards the policies across a pool of persistent,
+    crash-isolated worker processes via :mod:`repro.sweep`; ``progress``
+    receives the pool's streamed per-cell status lines.  Cells are
+    merged by policy name in the requested order, so the result is
+    identical to the sequential run (each cell builds its own machine
+    either way).  A cell that keeps failing after the pool's retries
+    raises, matching the sequential path's behaviour of propagating the
+    first error.  Factory cells carry live objects, so they are never
+    served from the sweep result cache.
     """
     if workers <= 1:
         return {
@@ -153,7 +157,7 @@ def run_policies(
             for policy in policies
         ),
     )
-    outcome = run_sweep(spec, workers=workers)
+    outcome = run_sweep(spec, workers=workers, progress=progress)
     if not outcome.ok:
         detail = "; ".join(f"{o.cell.id}: {o.error}" for o in outcome.failures)
         raise RuntimeError(f"run_policies sweep cells failed: {detail}")

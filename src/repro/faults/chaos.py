@@ -171,6 +171,7 @@ def run_chaos(
     check_interval_s: float = 0.005,
     trace_capacity: int | None = None,
     workers: int = 1,
+    progress: Callable[[str], None] | None = None,
 ) -> ChaosReport:
     """Run the matrix; every cell gets a fresh machine and a fresh fault
     schedule, so cells are independent and individually reproducible.
@@ -179,13 +180,16 @@ def run_chaos(
     capacity per node) and runs the lifecycle auditor after each run;
     audit mismatches mark the cell dirty.
 
-    ``workers > 1`` shards the matrix across crash-isolated worker
-    processes (:mod:`repro.sweep`).  Determinism property 3 is what
-    makes this safe: each cell is a pure function of (plan, cell,
-    config), so the merge — keyed by (policy, workload) in matrix
-    order — is bit-identical to the sequential run.  A worker that dies
-    outright even after retries becomes an uncompleted cell in the
-    report (``completed=False``), never a sweep abort.
+    ``workers > 1`` shards the matrix across a pool of persistent,
+    crash-isolated worker processes (:mod:`repro.sweep`); ``progress``
+    receives the pool's streamed per-cell status lines as cells finish.
+    Determinism property 3 is what makes the sharding safe: each cell
+    is a pure function of (plan, cell, config), so the merge — keyed by
+    (policy, workload) in matrix order — is bit-identical to the
+    sequential run.  A worker that dies outright even after retries
+    becomes an uncompleted cell in the report (``completed=False``),
+    never a sweep abort.  Chaos cells carry live objects (the workload
+    builders), so they are never served from the sweep result cache.
     """
     grid = [
         (policy, workload_name, build)
@@ -223,7 +227,7 @@ def run_chaos(
             for policy, workload_name, build in grid
         ),
     )
-    outcome = run_sweep(spec, workers=workers)
+    outcome = run_sweep(spec, workers=workers, progress=progress)
     cells = []
     for (policy, workload_name, _), cell_outcome in zip(grid, outcome.outcomes):
         if cell_outcome.ok:

@@ -353,6 +353,173 @@ class Machine:
         c_remote.n += acc_remote
         return n_accesses, n_operations
 
+    def touch_batch_array(
+        self,
+        process: Process,
+        batches: "Iterable[tuple[Iterable[int], Iterable[bool]]]",
+        *,
+        lines: int = 1,
+    ) -> tuple[int, int]:
+        """Drive a single-process numeric access stream through the hot path.
+
+        ``batches`` yields ``(vpages, writes)`` pairs (numpy arrays or
+        sequences); every access marks an operation boundary and touches
+        ``lines`` cache lines — the shape of every synthetic workload
+        stream.  Equivalent to :meth:`touch_batch` over the
+        :class:`~repro.workloads.base.PageAccess` objects those batches
+        would emit — faults, daemon wakeups, counters and clock advance
+        identically — but without materialising any access objects, which
+        is what lets the sweep pool replay one shared numeric stream
+        across many cells.  ``tests/perf/test_touch_batch_equivalence.py``
+        holds the two drivers bit-identical.
+        """
+        system = self.system
+        scheduler = self.scheduler
+        clock = system.clock
+        stats = system.stats
+        nodes = system.nodes
+        policy = system.policy
+        run_due = scheduler.run_due
+        slow_touch = system.touch
+        awaiting = system._awaiting_reaccess
+        reaccess_horizon = system._reaccess_horizon_ns
+        c_reaccessed = system._c_promoted_reaccessed
+        record_reaccess = stats.series["promoted_reaccessed_window"].record
+        metrics = system.metrics
+        record_reaccess_delay = (
+            metrics.reaccess_delay.record if metrics is not None else None
+        )
+        mark_accessed = policy.mark_page_accessed
+        on_access = policy.on_access
+        policy_cls = type(policy)
+        inline_charge = policy_cls.charge_access is TieringPolicy.charge_access
+        skip_on_access = policy_cls.on_access is TieringPolicy.on_access
+        charge_access = policy.charge_access
+        read_ns, write_ns = system.hardware.access_tables()
+        remote_mult = system.config.latency.remote_socket_multiplier
+        multi_socket = system.config.sockets > 1
+        node_list = [nodes[nid] for nid in range(len(nodes))]
+        node_read_ns = [read_ns[n.tier] for n in node_list]
+        node_write_ns = [write_ns[n.tier] for n in node_list]
+        faults_live = system.faults is not None
+        node_is_dram = [n.tier is MemoryTier.DRAM for n in node_list]
+        node_socket = [n.socket for n in node_list]
+        c_total = stats.counter("accesses.total")
+        c_dram = stats.counter("accesses.dram")
+        c_pm = stats.counter("accesses.pm")
+        c_remote = stats.counter("accesses.remote")
+        dirty_flag = PageFlags.DIRTY
+        n_accesses = 0
+        now = clock._now_ns
+        app_accum = 0
+        acc_total = acc_dram = acc_pm = acc_remote = 0
+        next_deadline = scheduler.next_deadline_ns
+        # One process for the whole stream: its page-table dict and home
+        # socket are hoisted once instead of re-checked per access.
+        pt_dict = process.page_table._entries
+        home_socket = process.home_socket
+        reg_start = reg_end = 0  # empty range: first access misses the cache
+        reg_supervised = False
+        for vpages, writes in batches:
+            vp_list = vpages.tolist() if hasattr(vpages, "tolist") else vpages
+            wr_list = writes.tolist() if hasattr(writes, "tolist") else writes
+            n_accesses += len(vp_list)
+            for vpage, is_write in zip(vp_list, wr_list):
+                try:
+                    pte = pt_dict[vpage]
+                except KeyError:
+                    pte = None
+                if pte is None or pte.poisoned:
+                    clock._now_ns = now
+                    clock._app_ns += app_accum
+                    c_total.n += acc_total
+                    c_dram.n += acc_dram
+                    c_pm.n += acc_pm
+                    c_remote.n += acc_remote
+                    app_accum = acc_total = acc_dram = acc_pm = acc_remote = 0
+                    slow_touch(process, vpage, is_write=is_write, lines=lines)
+                    now = clock._now_ns
+                    if next_deadline <= now:
+                        run_due()
+                        now = clock._now_ns
+                        next_deadline = scheduler.next_deadline_ns
+                        if faults_live:
+                            node_read_ns = [read_ns[n.tier] for n in node_list]
+                            node_write_ns = [write_ns[n.tier] for n in node_list]
+                    continue
+                if not reg_start <= vpage < reg_end:
+                    region = process.region_for(vpage)
+                    reg_start = region.start_vpage
+                    reg_end = region.end_vpage
+                    reg_supervised = region.supervised
+                pte.accessed = True
+                page = pte.page
+                if is_write:
+                    pte.dirty = True
+                    page.flags |= dirty_flag
+                nid = page.node_id
+                if inline_charge:
+                    access_ns = lines * (
+                        node_write_ns[nid] if is_write else node_read_ns[nid]
+                    )
+                else:
+                    clock._now_ns = now
+                    clock._app_ns += app_accum
+                    app_accum = 0
+                    access_ns = charge_access(page, is_write, lines)
+                    now = clock._now_ns
+                if multi_socket and node_socket[nid] != home_socket:
+                    access_ns = int(access_ns * remote_mult)
+                    acc_remote += 1
+                now += access_ns
+                app_accum += access_ns
+                acc_total += 1
+                if node_is_dram[nid]:
+                    acc_dram += 1
+                else:
+                    acc_pm += 1
+                if reg_supervised:
+                    mark_accessed(page)
+                if awaiting:
+                    promoted_at = awaiting.pop(page.pfn, None)
+                    if promoted_at is not None:
+                        if record_reaccess_delay is not None:
+                            record_reaccess_delay(now - promoted_at)
+                        if now - promoted_at <= reaccess_horizon:
+                            c_reaccessed.n += 1
+                            record_reaccess(promoted_at)
+                if not skip_on_access:
+                    clock._now_ns = now
+                    clock._app_ns += app_accum
+                    c_total.n += acc_total
+                    c_dram.n += acc_dram
+                    c_pm.n += acc_pm
+                    c_remote.n += acc_remote
+                    app_accum = acc_total = acc_dram = acc_pm = acc_remote = 0
+                    on_access(pte, is_write)
+                    now = clock._now_ns
+                if next_deadline <= now:
+                    clock._now_ns = now
+                    clock._app_ns += app_accum
+                    c_total.n += acc_total
+                    c_dram.n += acc_dram
+                    c_pm.n += acc_pm
+                    c_remote.n += acc_remote
+                    app_accum = acc_total = acc_dram = acc_pm = acc_remote = 0
+                    run_due()
+                    now = clock._now_ns
+                    next_deadline = scheduler.next_deadline_ns
+                    if faults_live:
+                        node_read_ns = [read_ns[n.tier] for n in node_list]
+                        node_write_ns = [write_ns[n.tier] for n in node_list]
+        clock._now_ns = now
+        clock._app_ns += app_accum
+        c_total.n += acc_total
+        c_dram.n += acc_dram
+        c_pm.n += acc_pm
+        c_remote.n += acc_remote
+        return n_accesses, n_accesses
+
     def drain_daemons(self) -> int:
         """Explicitly fire any overdue daemons (useful between phases)."""
         return self.scheduler.run_due()

@@ -16,7 +16,7 @@ from repro.sim.config import SimulationConfig
 from repro.sim.vclock import NANOS_PER_SECOND
 from repro.workloads.base import Workload
 
-__all__ = ["RunResult", "run_workload"]
+__all__ = ["RunResult", "run_workload", "run_numeric_stream"]
 
 
 @dataclass(frozen=True)
@@ -182,6 +182,53 @@ def run_workload(
                 operations += 1
                 saw_op_boundary = True
     marked = saw_op_boundary or workload.marks_op_boundaries
+    end_counters = machine.stats.snapshot()
+    deltas = {
+        key: end_counters.get(key, 0) - start_counters.get(key, 0)
+        for key in end_counters
+    }
+    return RunResult(
+        workload=workload.name,
+        policy=machine.policy.name,
+        operations=operations if marked else accesses,
+        accesses=accesses,
+        elapsed_ns=machine.clock.now_ns - start_ns,
+        app_ns=machine.clock.app_ns - start_app,
+        system_ns=machine.clock.system_ns - start_system,
+        counters=deltas,
+        ops_fallback=not marked,
+    )
+
+
+def run_numeric_stream(
+    workload: Workload,
+    config: SimulationConfig,
+    stream: list,
+    policy: str = "multiclock",
+) -> RunResult:
+    """Replay a pre-generated numeric access stream for ``workload``.
+
+    ``stream`` is a materialised list of ``(vpages, writes)`` batches —
+    the output of a synthetic workload's ``numeric_batches()`` — shared
+    read-only across many cells by the sweep pool so the (comparatively
+    expensive) stream construction happens once per grid instead of once
+    per cell.  ``workload`` still provides ``setup`` (process and region
+    creation against the fresh machine), its name, and the per-access
+    ``lines`` width; the result is bit-identical to
+    ``run_workload(workload, config, policy)`` because ``accesses()`` is
+    by definition the emission of exactly these batches.
+    """
+    machine = Machine(config, policy)
+    workload.setup(machine)
+    process = workload.process  # type: ignore[attr-defined]
+    start_ns = machine.clock.now_ns
+    start_app = machine.clock.app_ns
+    start_system = machine.clock.system_ns
+    start_counters = machine.stats.snapshot()
+    accesses, operations = machine.touch_batch_array(
+        process, stream, lines=workload.lines  # type: ignore[attr-defined]
+    )
+    marked = operations > 0 or workload.marks_op_boundaries
     end_counters = machine.stats.snapshot()
     deltas = {
         key: end_counters.get(key, 0) - start_counters.get(key, 0)

@@ -1,20 +1,28 @@
 """``repro.sweep`` — parallel sweep orchestration with crash isolation.
 
 Shards an arbitrary (policy × workload × seed × config) cell grid
-across worker processes and merges results deterministically: cell ids
-key the merge, spec order keys the output, and payloads round-trip
-through JSON in the workers, so a parallel sweep over deterministic
-cells is byte-identical to the sequential run.  See DESIGN.md §7.
+across a pool of persistent worker processes and merges results
+deterministically: cell ids key the merge, spec order keys the output,
+and payloads round-trip through JSON in the workers, so a parallel
+sweep over deterministic cells is byte-identical to the sequential run.
+A content-addressed result cache (keyed by per-cell fingerprint) makes
+re-runs of unchanged cells free.  See DESIGN.md §7.
 """
 
-from repro.sweep.manifest import Manifest
+from repro.sweep.manifest import Manifest, ResultCache
 from repro.sweep.pool import (
     DEFAULT_MAX_ATTEMPTS,
     CellOutcome,
     SweepResult,
     run_sweep,
 )
-from repro.sweep.spec import SweepCell, SweepSpec, register_runner, resolve_runner
+from repro.sweep.spec import (
+    SweepCell,
+    SweepSpec,
+    cell_fingerprint,
+    register_runner,
+    resolve_runner,
+)
 
 __all__ = [
     "SweepCell",
@@ -22,8 +30,10 @@ __all__ = [
     "CellOutcome",
     "SweepResult",
     "Manifest",
+    "ResultCache",
     "run_sweep",
     "register_runner",
     "resolve_runner",
+    "cell_fingerprint",
     "DEFAULT_MAX_ATTEMPTS",
 ]

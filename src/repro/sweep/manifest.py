@@ -1,16 +1,27 @@
-"""Resumable checkpoint file for sweep runs.
+"""Resumable checkpoint file and content-addressed result cache.
 
-The manifest records, per cell id, whether the cell completed (with its
-payload) or exhausted its retries (with the last error).  It is written
-atomically after every cell reaches a final state, so a sweep killed at
-any point can be resumed with ``--resume``: completed cells are loaded
-from the manifest and skipped, failed and never-started cells run
-again.
+Two persistence layers with different keys and lifetimes:
 
-The manifest carries the spec's fingerprint; resuming against a grid
-that no longer matches is an operator error, reported as a one-line
-``ValueError`` rather than silently merging results from two different
-experiments.
+* :class:`Manifest` — the resumable checkpoint for *one* sweep run.  It
+  records, per cell id, whether the cell completed (with its payload)
+  or exhausted its retries (with the last error), written atomically
+  after every cell reaches a final state.  A sweep killed at any point
+  can be resumed with ``--resume``: completed cells are loaded from the
+  manifest and skipped, failed and never-started cells run again.  The
+  manifest carries the spec's fingerprint; resuming against a grid that
+  no longer matches is an operator error, reported as a one-line
+  ``ValueError`` rather than silently merging results from two
+  different experiments.
+
+* :class:`ResultCache` — a cross-run memo keyed by each cell's *content
+  fingerprint* (:func:`~repro.sweep.spec.cell_fingerprint`: a digest of
+  runner + params, independent of grid name or cell id).  A re-run of
+  an unchanged cell returns its cached payload without spawning any
+  work, which is what makes incremental re-sweeps of large grids nearly
+  free.  Entries are written atomically by the *parent* after a cell's
+  payload is harvested — a worker dying mid-cell (crash, OOM kill,
+  timeout) can never leave a partial entry — and a corrupted or
+  truncated entry reads as a miss, never an abort.
 """
 
 from __future__ import annotations
@@ -21,7 +32,7 @@ from typing import Any
 
 from repro.sweep.spec import SweepSpec
 
-__all__ = ["Manifest"]
+__all__ = ["Manifest", "ResultCache"]
 
 _VERSION = 1
 
@@ -91,3 +102,50 @@ class Manifest:
             json.dump(blob, fh, indent=2, sort_keys=True)
             fh.write("\n")
         os.replace(tmp, self.path)
+
+
+class ResultCache:
+    """Content-addressed payload store: one JSON file per cell fingerprint.
+
+    Only *successful* payloads are stored — failures always re-run.
+    ``load`` validates that the entry parses and that its recorded
+    fingerprint matches the requested key, so a corrupted, truncated or
+    hand-edited file degrades to a cache miss (the cell runs live)
+    instead of poisoning a sweep.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """The cached entry for ``key``, or None on miss/corruption."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(entry, dict) or entry.get("fingerprint") != key:
+            return None
+        if "payload" not in entry:
+            return None
+        return entry
+
+    def store(
+        self, key: str, *, cell_id: str, attempts: int, payload: Any
+    ) -> None:
+        """Atomically persist a completed cell's payload under ``key``."""
+        entry = {
+            "fingerprint": key,
+            "cell_id": cell_id,
+            "attempts": attempts,
+            "payload": payload,
+        }
+        tmp = f"{self._path(key)}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self._path(key))

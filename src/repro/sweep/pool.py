@@ -1,43 +1,63 @@
-"""The crash-isolated worker pool behind every parallel sweep.
+"""The persistent, crash-isolated worker pool behind every parallel sweep.
 
-Each cell runs in its *own* child process (process-per-cell, not a
-long-lived worker pool): the cells here are whole simulations, so fork
-cost is noise, and per-cell processes are what buy the isolation
-properties the experiment layer needs:
+``run_sweep`` drives a grid of independent cells through N *long-lived*
+worker processes.  Workers are forked once per sweep (not once per cell
+— fork-per-cell cost was measured to make small-cell sweeps slower than
+sequential runs), inherit warm imports and any runner-prewarmed shared
+state (e.g. one read-only workload stream per distinct workload spec),
+then pull cell indices from their pipe and stream results back as they
+finish.  The isolation properties the experiment layer needs survive
+the pooling, now scoped per *worker*:
 
-* **crash isolation** — a worker that raises, hard-exits, or is killed
-  (OOM killer, signal) costs only its own cell; the sweep never aborts.
+* **crash isolation** — a worker that raises reports the error and
+  lives on; a worker that hard-exits or is killed (OOM killer, signal)
+  costs only its in-flight cell and is replaced by a fresh worker; the
+  sweep never aborts.
 * **bounded retry** — a failed attempt (crash *or* timeout) is requeued
-  up to ``max_attempts``; a cell that keeps failing is recorded as a
-  failed outcome and the rest of the grid still completes.
-* **timeouts** — a cell past ``timeout_s`` is terminated (SIGTERM, then
-  SIGKILL) and treated as a failed attempt.
+  at the *front* of the pending queue, up to ``max_attempts``, so a
+  flaky cell's retry does not wait behind every untried cell on a wide
+  grid; a cell that keeps failing is recorded as a failed outcome and
+  the rest of the grid still completes.
+* **timeouts** — a cell past ``timeout_s`` has its worker terminated
+  (SIGTERM, then SIGKILL) and is treated as a failed attempt; the error
+  records the actual wall time and attempt number, so a chaos report
+  can tell a slow cell from a hung one.
 * **deterministic merge** — results are keyed by cell id and reported
-  in spec order, so worker scheduling never leaks into the output.  A
-  parallel sweep over deterministic cells is byte-identical to the
-  sequential run; payloads round-trip through JSON in the worker, so
-  the merged values are exactly what a report file would contain.
+  in spec order, so worker scheduling never leaks into the output.
+  Payloads round-trip through JSON in the worker (``json.dumps`` on the
+  worker side of the pipe, ``json.loads`` on the parent side), so the
+  merged values are exactly what a report file would contain and a
+  parallel sweep over deterministic cells stays byte-identical to the
+  sequential run.
 
-Workers hand results back through per-attempt JSON files (written to a
-scratch directory, atomically renamed).  A missing or unparsable result
-file *is* the crash signal — nothing about the protocol requires the
-child to die politely.
+On top of the pool sits a **content-addressed result cache**
+(``cache_dir``): before any worker is spawned, each pending cell's
+fingerprint (:func:`~repro.sweep.spec.cell_fingerprint`) is looked up
+in the :class:`~repro.sweep.manifest.ResultCache`; hits are returned
+without spawning any work, so an unchanged grid re-runs with *zero*
+child processes.  Manifest resume takes precedence over the cache — the
+manifest records what *this* sweep already established, including
+attempt counts — and a corrupted cache entry degrades to a live run.
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
-import os
-import tempfile
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import connection
 from typing import Any, Callable
 
-from repro.sweep.manifest import Manifest
-from repro.sweep.spec import SweepCell, SweepSpec, resolve_runner
+from repro.sweep.manifest import Manifest, ResultCache
+from repro.sweep.spec import (
+    SweepCell,
+    SweepSpec,
+    cell_fingerprint,
+    resolve_prewarm,
+    resolve_runner,
+)
 
 __all__ = ["CellOutcome", "SweepResult", "run_sweep", "DEFAULT_MAX_ATTEMPTS"]
 
@@ -50,10 +70,11 @@ class CellOutcome:
 
     cell: SweepCell
     status: str  # "done" | "failed"
-    attempts: int  # attempts consumed this run (0 when resumed)
+    attempts: int  # total attempts the cell has consumed, across resumes
     payload: Any = None
     error: str = ""
-    resumed: bool = False
+    resumed: bool = False  # skipped because the manifest had it done
+    cached: bool = False  # payload served from the result cache
 
     @property
     def ok(self) -> bool:
@@ -67,6 +88,9 @@ class SweepResult:
     spec: SweepSpec
     outcomes: tuple[CellOutcome, ...]
     workers: int
+    #: Worker processes actually forked — 0 when every cell was resumed
+    #: from the manifest or served from the result cache.
+    spawned_workers: int = 0
 
     @property
     def ok(self) -> bool:
@@ -80,31 +104,64 @@ class SweepResult:
         return {o.cell.id: o.payload for o in self.outcomes if o.ok}
 
 
-def _child_entry(runner_key: str, params: dict, result_path: str) -> None:
-    """Worker body: run the cell, write ``{ok, payload|error}`` atomically.
+def _worker_main(cells: tuple[SweepCell, ...], conn: Any) -> None:
+    """Worker body: pull cell indices, stream ``{ok, payload|error}`` back.
 
-    Exceptions are *reported*, not re-raised — the parent decides about
-    retries.  A child that dies before the ``os.replace`` lands simply
-    leaves no result file, which the parent reads as a crash.
+    Lives for the whole sweep: imports stay warm and runner-level caches
+    (shared workload streams) persist across cells.  Exceptions are
+    *reported*, not re-raised — the parent decides about retries.  A
+    worker that dies before ``send_bytes`` lands simply leaves the pipe
+    at EOF, which the parent reads as a crash.
     """
-    try:
-        payload = resolve_runner(runner_key)(params)
-        blob: dict[str, Any] = {"ok": True, "payload": payload}
-    except BaseException as exc:  # noqa: BLE001 - isolation boundary
-        blob = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-    tmp = f"{result_path}.tmp"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(blob, fh, sort_keys=True)
-    os.replace(tmp, result_path)
+    # Warm the runner registry (and everything the builtin runners pull
+    # in) before the first cell, not during it.
+    import repro.sweep.runners  # noqa: F401
+
+    while True:
+        try:
+            index = conn.recv()
+        except (EOFError, OSError):
+            return
+        if index is None:
+            return
+        cell = cells[index]
+        try:
+            payload = resolve_runner(cell.runner)(cell.params)
+            blob: dict[str, Any] = {"ok": True, "payload": payload}
+        except BaseException as exc:  # noqa: BLE001 - isolation boundary
+            blob = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        try:
+            wire = json.dumps(blob, sort_keys=True)
+        except TypeError as exc:
+            wire = json.dumps(
+                {"ok": False, "error": f"unserialisable cell payload: {exc}"}
+            )
+        try:
+            conn.send_bytes(wire.encode("utf-8"))
+        except (BrokenPipeError, OSError):
+            return
 
 
 @dataclass
-class _Running:
+class _Worker:
+    """Parent-side handle on one pool member and its in-flight cell."""
+
     proc: Any
-    cell: SweepCell
-    attempt: int
-    deadline: float | None
-    result_path: str
+    conn: Any
+    cell: SweepCell | None = None
+    attempt: int = 0
+    deadline: float | None = None
+    started: float = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.cell is not None
+
+    def take(self) -> tuple[SweepCell, int]:
+        cell, attempt = self.cell, self.attempt
+        assert cell is not None
+        self.cell = None
+        return cell, attempt
 
 
 def _kill(proc: Any) -> None:
@@ -115,26 +172,10 @@ def _kill(proc: Any) -> None:
         proc.join(5.0)
 
 
-def _harvest(rec: _Running) -> tuple[bool, Any, str]:
-    """Classify a finished worker: (ok, payload, error)."""
-    if not os.path.exists(rec.result_path):
-        code = rec.proc.exitcode
-        if code is not None and code < 0:
-            return False, None, f"worker killed by signal {-code}"
-        return False, None, f"worker crashed without a result (exit code {code})"
-    try:
-        with open(rec.result_path, "r", encoding="utf-8") as fh:
-            blob = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
-        return False, None, f"unreadable worker result: {exc}"
-    if blob.get("ok"):
-        return True, blob.get("payload"), ""
-    return False, None, str(blob.get("error", "worker reported failure"))
-
-
 def _context() -> Any:
-    """Prefer fork so cell params may hold arbitrary objects (factories,
-    configs); under spawn-only hosts params must be picklable."""
+    """Prefer fork so cell params (and prewarmed shared state) travel to
+    workers by inheritance and may hold arbitrary objects (factories,
+    configs); under spawn-only hosts the spec must be picklable."""
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
@@ -148,19 +189,24 @@ def run_sweep(
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     manifest_path: str | None = None,
     resume: bool = False,
+    cache_dir: str | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> SweepResult:
-    """Execute every cell of ``spec`` across ``workers`` processes.
+    """Execute every cell of ``spec`` across a pool of ``workers``.
 
     Always completes: per-cell failures (exceptions, hard crashes,
     timeouts) are retried up to ``max_attempts`` and then recorded as
     failed outcomes.  With ``manifest_path`` set, every final cell state
     is checkpointed; ``resume=True`` loads the manifest and skips cells
-    already done (failed cells run again).
+    already done (failed cells run again), carrying their recorded
+    attempt counts through to the outcomes.  With ``cache_dir`` set,
+    completed payloads are memoized by cell fingerprint and unchanged
+    cells are served from the cache without spawning any worker.
     """
     workers = max(1, int(workers))
     max_attempts = max(1, int(max_attempts))
     note = progress or (lambda msg: None)
+    total = len(spec.cells)
 
     prior = (
         Manifest.load(manifest_path, spec)
@@ -176,70 +222,228 @@ def run_sweep(
         if cell.id in done_before:
             attempts = prior.cells[cell.id].get("attempts", 1)
             outcomes[cell.id] = CellOutcome(
-                cell=cell, status="done", attempts=0,
+                cell=cell, status="done", attempts=attempts,
                 payload=done_before[cell.id], resumed=True,
             )
             note(f"{cell.id}: resumed from manifest (done in {attempts} attempt(s))")
         else:
             pending.append((cell, 1))
 
-    ctx = _context()
-    serial = 0
-    with tempfile.TemporaryDirectory(prefix="repro-sweep-") as scratch:
-        running: dict[Any, _Running] = {}
-        while pending or running:
-            while pending and len(running) < workers:
-                cell, attempt = pending.popleft()
-                serial += 1
-                result_path = os.path.join(scratch, f"cell-{serial}.json")
-                proc = ctx.Process(
-                    target=_child_entry,
-                    args=(cell.runner, cell.params, result_path),
-                    name=f"sweep:{cell.id}",
-                    daemon=True,
-                )
-                proc.start()
-                deadline = time.monotonic() + timeout_s if timeout_s else None
-                running[proc.sentinel] = _Running(proc, cell, attempt, deadline, result_path)
+    # Cache pass: anything the manifest did not cover may still be an
+    # unchanged cell from an earlier sweep.  Hits never spawn work.
+    cache = ResultCache(cache_dir) if cache_dir else None
+    if cache is not None and pending:
+        live: deque[tuple[SweepCell, int]] = deque()
+        for cell, attempt in pending:
+            key = cell_fingerprint(cell)
+            entry = cache.load(key) if key is not None else None
+            if entry is None:
+                live.append((cell, attempt))
+                continue
+            attempts = entry.get("attempts", 1)
+            if not isinstance(attempts, int) or attempts < 1:
+                attempts = 1
+            outcomes[cell.id] = CellOutcome(
+                cell=cell, status="done", attempts=attempts,
+                payload=entry["payload"], cached=True,
+            )
+            book.record_done(cell.id, attempts, entry["payload"])
+            note(f"{cell.id}: cache hit ({key[:12]})")
+        pending = live
 
-            deadlines = [r.deadline for r in running.values() if r.deadline is not None]
-            wait_s = max(0.0, min(deadlines) - time.monotonic()) if deadlines else None
-            ready = set(connection.wait(list(running), timeout=wait_s))
-            now = time.monotonic()
-
-            finished: list[tuple[_Running, bool]] = []
-            for sentinel, rec in list(running.items()):
-                if sentinel in ready:
-                    finished.append((rec, False))
-                    del running[sentinel]
-                elif rec.deadline is not None and now >= rec.deadline:
-                    finished.append((rec, True))
-                    del running[sentinel]
-
-            for rec, timed_out in finished:
-                if timed_out:
-                    _kill(rec.proc)
-                    ok, payload, error = False, None, f"timeout after {timeout_s}s"
-                else:
-                    rec.proc.join()
-                    ok, payload, error = _harvest(rec)
-                if os.path.exists(rec.result_path):
-                    os.unlink(rec.result_path)
-                cell = rec.cell
-                if ok:
-                    outcomes[cell.id] = CellOutcome(cell, "done", rec.attempt, payload)
-                    book.record_done(cell.id, rec.attempt, payload)
-                    note(f"{cell.id}: done (attempt {rec.attempt})")
-                elif rec.attempt < max_attempts:
-                    note(f"{cell.id}: attempt {rec.attempt} failed ({error}); retrying")
-                    pending.append((cell, rec.attempt + 1))
-                else:
-                    outcomes[cell.id] = CellOutcome(cell, "failed", rec.attempt, None, error)
-                    book.record_failed(cell.id, rec.attempt, error)
-                    note(f"{cell.id}: FAILED after {rec.attempt} attempt(s): {error}")
+    spawned = 0
+    if pending:
+        spawned = _run_pool(
+            spec, pending, outcomes, book, cache,
+            workers=workers, timeout_s=timeout_s, max_attempts=max_attempts,
+            note=note, total=total,
+        )
 
     return SweepResult(
         spec=spec,
         outcomes=tuple(outcomes[cell.id] for cell in spec.cells),
         workers=workers,
+        spawned_workers=spawned,
     )
+
+
+def _run_pool(
+    spec: SweepSpec,
+    pending: deque[tuple[SweepCell, int]],
+    outcomes: dict[str, CellOutcome],
+    book: Manifest,
+    cache: ResultCache | None,
+    *,
+    workers: int,
+    timeout_s: float | None,
+    max_attempts: int,
+    note: Callable[[str], None],
+    total: int,
+) -> int:
+    """Drive ``pending`` through a persistent worker pool; returns the
+    number of worker processes spawned."""
+    ctx = _context()
+    # Parent-side warm-up: import the runners (forked workers inherit the
+    # loaded modules) and let each runner prewarm shared read-only state
+    # for its pending cells — e.g. one numeric workload stream per
+    # distinct workload spec, built once per grid instead of per cell.
+    import repro.sweep.runners  # noqa: F401
+
+    by_runner: dict[str, list[SweepCell]] = {}
+    for cell, _ in pending:
+        by_runner.setdefault(cell.runner, []).append(cell)
+    for runner_key, runner_cells in by_runner.items():
+        prewarm = resolve_prewarm(runner_key)
+        if prewarm is None:
+            continue
+        try:
+            prewarm(runner_cells)
+        except Exception:  # noqa: BLE001 - best-effort; workers rebuild on demand
+            pass
+
+    index_of = {cell.id: i for i, cell in enumerate(spec.cells)}
+    spawned = 0
+    pool: list[_Worker] = []
+
+    def spawn() -> _Worker:
+        nonlocal spawned
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(spec.cells, child_conn),
+            name=f"sweep-worker-{spawned}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        spawned += 1
+        return _Worker(proc, parent_conn)
+
+    def settle(cell: SweepCell, attempt: int, ok: bool, payload: Any, error: str) -> None:
+        if ok:
+            outcomes[cell.id] = CellOutcome(cell, "done", attempt, payload)
+            book.record_done(cell.id, attempt, payload)
+            if cache is not None:
+                key = cell_fingerprint(cell)
+                if key is not None:
+                    cache.store(key, cell_id=cell.id, attempts=attempt, payload=payload)
+            note(f"[{len(outcomes)}/{total}] {cell.id}: done (attempt {attempt})")
+        elif attempt < max_attempts:
+            note(f"{cell.id}: attempt {attempt} failed ({error}); retrying")
+            # Front of the queue: on a wide sweep the retry must not wait
+            # behind every untried cell and become the run's straggler.
+            pending.appendleft((cell, attempt + 1))
+        else:
+            outcomes[cell.id] = CellOutcome(cell, "failed", attempt, None, error)
+            book.record_failed(cell.id, attempt, error)
+            note(
+                f"[{len(outcomes)}/{total}] {cell.id}: FAILED after "
+                f"{attempt} attempt(s): {error}"
+            )
+
+    def settle_dead_worker(worker: _Worker, error: str) -> None:
+        """A worker died (crash or timeout kill): charge its in-flight
+        cell one attempt and drop the worker from the pool."""
+        pool.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        cell, attempt = worker.take()
+        settle(cell, attempt, False, None, error)
+
+    try:
+        while pending or any(w.busy for w in pool):
+            # Keep the pool sized to the remaining work: replace crashed
+            # workers while cells still need one, never exceed `workers`.
+            n_busy = sum(1 for w in pool if w.busy)
+            while len(pool) < min(workers, n_busy + len(pending)):
+                pool.append(spawn())
+
+            # Hand cells to idle workers.
+            for worker in pool:
+                if not pending:
+                    break
+                if worker.busy:
+                    continue
+                cell, attempt = pending.popleft()
+                worker.cell = cell
+                worker.attempt = attempt
+                worker.started = time.monotonic()
+                worker.deadline = (
+                    worker.started + timeout_s if timeout_s is not None else None
+                )
+                try:
+                    worker.conn.send(index_of[cell.id])
+                except (BrokenPipeError, OSError):
+                    # The worker died while idle; the cell never started,
+                    # so requeue it without charging an attempt.
+                    worker.cell = None
+                    pending.appendleft((cell, attempt))
+                    pool.remove(worker)
+                    break  # re-enter the loop to respawn and reassign
+
+            busy = [w for w in pool if w.busy]
+            if not busy:
+                continue
+
+            deadlines = [w.deadline for w in busy if w.deadline is not None]
+            wait_s = (
+                max(0.0, min(deadlines) - time.monotonic()) if deadlines else None
+            )
+            owner: dict[Any, _Worker] = {}
+            for w in busy:
+                owner[w.conn] = w
+                owner[w.proc.sentinel] = w
+            ready = set(connection.wait(list(owner), timeout=wait_s))
+            now = time.monotonic()
+
+            for worker in busy:
+                if worker.conn in ready:
+                    # A streamed result — or EOF from a worker that died
+                    # between finishing the send and us reading it.
+                    try:
+                        blob = json.loads(worker.conn.recv_bytes().decode("utf-8"))
+                    except (EOFError, OSError, json.JSONDecodeError):
+                        worker.proc.join(1.0)
+                        settle_dead_worker(worker, _crash_error(worker.proc))
+                        continue
+                    cell, attempt = worker.take()
+                    settle(
+                        cell, attempt,
+                        bool(blob.get("ok")), blob.get("payload"),
+                        str(blob.get("error", "worker reported failure")),
+                    )
+                elif worker.proc.sentinel in ready:
+                    worker.proc.join(1.0)
+                    settle_dead_worker(worker, _crash_error(worker.proc))
+                elif worker.deadline is not None and now >= worker.deadline:
+                    elapsed = now - worker.started
+                    _kill(worker.proc)
+                    settle_dead_worker(
+                        worker,
+                        f"timeout: attempt {worker.attempt} killed after "
+                        f"{elapsed:.2f}s wall (limit {timeout_s}s)",
+                    )
+    finally:
+        for worker in pool:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        for worker in pool:
+            worker.proc.join(1.0)
+            if worker.proc.is_alive():
+                _kill(worker.proc)
+    return spawned
+
+
+def _crash_error(proc: Any) -> str:
+    code = proc.exitcode
+    if code is not None and code < 0:
+        return f"worker killed by signal {-code}"
+    return f"worker crashed without a result (exit code {code})"

@@ -5,13 +5,22 @@ Two families:
 * **Declarative** (``run-workload``) — params are plain JSON (workload
   kind + sizes, config sizes), so the cell is portable across processes
   and restarts; this is what ``repro sweep`` emits and what makes
-  ``--resume`` meaningful.  The builders here are the single source of
-  truth the CLI also uses for its own ``--workload`` flags.
+  ``--resume`` and the result cache meaningful.  The builders here are
+  the single source of truth the CLI also uses for its own
+  ``--workload`` flags.
 * **Factory** (``policy-factory``, ``chaos-cell``) — params carry live
   objects (workload factories, :class:`SimulationConfig`,
   :class:`FaultPlan`) by fork inheritance; used by
   ``run_policies(workers=N)`` and ``run_chaos(workers=N)`` so their
   public signatures stay unchanged.
+
+``run-workload`` cells share read-only workload construction: the
+numeric access stream for each distinct workload spec is generated once
+— in the parent via the runner's prewarm hook, so forked workers
+inherit it copy-on-write — and replayed per cell through
+:meth:`~repro.machine.Machine.touch_batch_array`.  Replay is
+bit-identical to driving ``accesses()`` (the stream *is* the definition
+of the workload), so sharing changes wall time, never results.
 
 ``flaky`` exists for the test suite and the CI smoke: a deterministic
 marker-file-gated runner that crashes or hangs until its marker exists,
@@ -21,11 +30,12 @@ randomness.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from typing import Any, Callable
 
-from repro.run import run_workload
+from repro.run import run_numeric_stream, run_workload
 from repro.sim.config import DaemonConfig, SimulationConfig
 from repro.sweep.spec import register_runner
 from repro.workloads.base import Workload
@@ -36,7 +46,7 @@ from repro.workloads.synthetic import (
     ZipfWorkload,
 )
 
-__all__ = ["WORKLOAD_KINDS", "build_workload", "build_config"]
+__all__ = ["WORKLOAD_KINDS", "build_workload", "build_config", "shared_stream"]
 
 #: The declarative workload vocabulary, shared with the CLI's
 #: ``--workload`` choices.  Order is the canonical presentation order.
@@ -85,12 +95,50 @@ def build_config(spec: dict[str, Any]) -> SimulationConfig:
     )
 
 
-@register_runner("run-workload")
+#: Materialised numeric streams keyed by workload-spec JSON, shared
+#: read-only across every cell that names the same workload.  Populated
+#: in the parent by the prewarm hook (forked workers inherit it) or on
+#: first use inside a persistent worker; bounded so thousand-workload
+#: grids cannot grow it without limit.
+_STREAM_CACHE: dict[str, list] = {}
+_STREAM_CACHE_MAX = 64
+
+
+def shared_stream(workload_spec: dict[str, Any]) -> list:
+    """The (vpages, writes) batch list for one declarative workload spec,
+    generated at most once per process."""
+    key = json.dumps(workload_spec, sort_keys=True)
+    stream = _STREAM_CACHE.get(key)
+    if stream is None:
+        stream = list(build_workload(workload_spec).numeric_batches())
+        while len(_STREAM_CACHE) >= _STREAM_CACHE_MAX:
+            _STREAM_CACHE.pop(next(iter(_STREAM_CACHE)))
+        _STREAM_CACHE[key] = stream
+    return stream
+
+
+def _prewarm_run_workload(cells: list) -> None:
+    """Parent-side hook: build each distinct workload stream once, before
+    the pool forks, so all workers share one copy-on-write stream."""
+    for cell in cells:
+        try:
+            shared_stream(cell.params["workload"])
+        except Exception:  # noqa: BLE001 - a bad spec fails in its own cell
+            continue
+
+
+@register_runner("run-workload", prewarm=_prewarm_run_workload)
 def run_workload_cell(params: dict[str, Any]) -> dict[str, Any]:
-    """Declarative cell: fresh machine, one workload, one policy."""
+    """Declarative cell: fresh machine, one workload, one policy.
+
+    The access stream is replayed from the shared numeric-stream cache
+    (bit-identical to driving ``workload.accesses()`` — the perf suite
+    pins it), so N cells over one workload pay for its construction
+    once."""
     config = build_config(params["config"])
     workload = build_workload(params["workload"])
-    result = run_workload(workload, config, policy=params["policy"])
+    stream = shared_stream(params["workload"])
+    result = run_numeric_stream(workload, config, stream, policy=params["policy"])
     return result.to_dict()
 
 

@@ -29,21 +29,36 @@ __all__ = [
     "SweepSpec",
     "register_runner",
     "resolve_runner",
+    "resolve_prewarm",
+    "cell_fingerprint",
 ]
 
 _REGISTRY: dict[str, Callable[[dict], Any]] = {}
+_PREWARMS: dict[str, Callable[[list], None]] = {}
 
 
-def register_runner(name: str) -> Callable[[Callable[[dict], Any]], Callable[[dict], Any]]:
+def register_runner(
+    name: str, *, prewarm: Callable[[list], None] | None = None
+) -> Callable[[Callable[[dict], Any]], Callable[[dict], Any]]:
     """Register a cell runner under ``name``.
 
     A runner takes the cell's ``params`` dict and returns a
     JSON-serialisable payload; it runs inside a worker process, so a
     hard crash (signal, ``os._exit``) costs only its own cell.
+
+    ``prewarm``, when given, is called in the *parent* process with the
+    list of pending cells for this runner before the pool forks its
+    workers.  It may populate module-level read-only caches (shared
+    workload streams, lookup tables) that forked workers then inherit
+    copy-on-write — construction happens once per grid instead of once
+    per cell.  A prewarm must be best-effort: anything it skips is
+    simply built on demand inside a worker.
     """
 
     def deco(fn: Callable[[dict], Any]) -> Callable[[dict], Any]:
         _REGISTRY[name] = fn
+        if prewarm is not None:
+            _PREWARMS[name] = prewarm
         return fn
 
     return deco
@@ -61,6 +76,18 @@ def resolve_runner(name: str) -> Callable[[dict], Any]:
         raise ValueError(
             f"unknown sweep runner {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
         ) from None
+
+
+def resolve_prewarm(name: str) -> Callable[[list], None] | None:
+    """The runner's parent-side prewarm hook, or None.
+
+    Unknown runner names resolve to None here — the per-cell "unknown
+    sweep runner" error belongs to the worker, where it is crash-isolated
+    and recorded as a failed cell instead of aborting the sweep.
+    """
+    import repro.sweep.runners  # noqa: F401
+
+    return _PREWARMS.get(name)
 
 
 @dataclass(frozen=True)
@@ -107,3 +134,21 @@ class SweepSpec:
                 blob = "<non-portable-params>"
             parts.append(f"{cell.id}\x00{cell.runner}\x00{blob}")
         return hashlib.sha256("\x01".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+def cell_fingerprint(cell: SweepCell) -> str | None:
+    """Content address of one cell: a digest of (runner, params) alone.
+
+    This is the result-cache key — deliberately *not* including the
+    spec name or the cell id, so the same (runner, params) point reached
+    from two different grids shares one cache entry.  Cells whose params
+    are not JSON-serialisable (factory-based API grids) return None and
+    are simply never cached.
+    """
+    try:
+        blob = json.dumps(
+            {"runner": cell.runner, "params": cell.params}, sort_keys=True
+        )
+    except TypeError:
+        return None
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

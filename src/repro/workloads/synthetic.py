@@ -70,6 +70,22 @@ class _SingleProcessWorkload(Workload):
         for vpage, is_write in zip(vpages.tolist(), writes.tolist()):
             yield PageAccess(process, vpage, is_write=is_write, op_boundary=True, lines=lines)
 
+    def numeric_batches(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """The machine-independent stream: ``(vpages, writes)`` arrays.
+
+        Deterministic in the constructor arguments alone — no process or
+        machine state — which is what lets the sweep pool generate the
+        stream once and replay it across many cells
+        (:meth:`~repro.machine.Machine.touch_batch_array`).
+        ``accesses()`` is defined as the emission of exactly these
+        batches, so the two drivers see identical reference sequences.
+        """
+        raise NotImplementedError
+
+    def accesses(self) -> Iterator[PageAccess]:
+        for vpages, writes in self.numeric_batches():
+            yield from self._emit(vpages, writes)
+
 
 class ZipfWorkload(_SingleProcessWorkload):
     """Zipf-distributed page popularity — strong skew, stable hot set."""
@@ -91,7 +107,7 @@ class ZipfWorkload(_SingleProcessWorkload):
             raise ValueError("alpha must be positive")
         self.alpha = alpha
 
-    def accesses(self) -> Iterator[PageAccess]:
+    def numeric_batches(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         rng = make_rng(self.seed, f"zipf-{self.pages}-{self.alpha}")
         ranks = np.arange(1, self.pages + 1, dtype=np.float64)
         weights = ranks ** (-self.alpha)
@@ -104,7 +120,7 @@ class ZipfWorkload(_SingleProcessWorkload):
             picks = rng.choice(self.pages, size=n, p=weights)
             vpages = page_of_rank[picks]
             writes = rng.random(n) < self.write_ratio
-            yield from self._emit(vpages, writes)
+            yield vpages, writes
             emitted += n
 
 
@@ -113,14 +129,14 @@ class UniformWorkload(_SingleProcessWorkload):
 
     name = "uniform"
 
-    def accesses(self) -> Iterator[PageAccess]:
+    def numeric_batches(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         rng = make_rng(self.seed, f"uniform-{self.pages}")
         emitted = 0
         while emitted < self.ops:
             n = min(_BATCH, self.ops - emitted)
             vpages = rng.integers(0, self.pages, size=n)
             writes = rng.random(n) < self.write_ratio
-            yield from self._emit(vpages, writes)
+            yield vpages, writes
             emitted += n
 
 
@@ -129,14 +145,19 @@ class SequentialScanWorkload(_SingleProcessWorkload):
 
     name = "seqscan"
 
-    def accesses(self) -> Iterator[PageAccess]:
+    def numeric_batches(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         rng = make_rng(self.seed, "seqscan")
-        for i in range(self.ops):
-            vpage = i % self.pages
-            is_write = bool(rng.random() < self.write_ratio)
-            yield PageAccess(
-                self.process, vpage, is_write=is_write, op_boundary=True, lines=self.lines
+        emitted = 0
+        while emitted < self.ops:
+            n = min(_BATCH, self.ops - emitted)
+            vpages = np.arange(emitted, emitted + n) % self.pages
+            # Scalar draws, one per access, to preserve the historical
+            # per-access RNG call sequence exactly.
+            writes = np.array(
+                [rng.random() < self.write_ratio for _ in range(n)], dtype=bool
             )
+            yield vpages, writes
+            emitted += n
 
 
 class ShiftingHotSetWorkload(_SingleProcessWorkload):
@@ -173,7 +194,7 @@ class ShiftingHotSetWorkload(_SingleProcessWorkload):
         self.hot_access_probability = hot_access_probability
         self.phase_ops = phase_ops
 
-    def accesses(self) -> Iterator[PageAccess]:
+    def numeric_batches(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         rng = make_rng(self.seed, "shifting-hotset")
         hot_pages = max(1, int(self.pages * self.hot_fraction))
         emitted = 0
@@ -185,5 +206,5 @@ class ShiftingHotSetWorkload(_SingleProcessWorkload):
             cold_picks = rng.integers(0, self.pages, size=phase)
             vpages = np.where(in_hot, hot_picks, cold_picks)
             writes = rng.random(phase) < self.write_ratio
-            yield from self._emit(vpages, writes)
+            yield vpages, writes
             emitted += phase

@@ -2,6 +2,8 @@
 manifest resume, and the scheduling-independent merge."""
 
 import json
+import os
+import re
 
 import pytest
 
@@ -100,6 +102,52 @@ def test_timeout_exhaustion_is_a_failed_cell():
     assert "timeout" in result.outcomes[0].error
 
 
+def test_timeout_error_reports_elapsed_wall_time_and_attempt():
+    spec = SweepSpec("hang-forever", (SweepCell("sleepy", "flaky", {"mode": "hang"}),))
+    result = run_sweep(spec, workers=1, timeout_s=0.3, max_attempts=1)
+    error = result.outcomes[0].error
+    match = re.fullmatch(
+        r"timeout: attempt (\d+) killed after (\d+\.\d\d)s wall \(limit 0\.3s\)",
+        error,
+    )
+    assert match, f"unexpected timeout error format: {error!r}"
+    assert int(match.group(1)) == 1
+    # The reported time is what actually elapsed, not the nominal limit.
+    assert float(match.group(2)) >= 0.3
+
+
+@register_runner("test-log-order")
+def _log_order(params):
+    with open(params["log"], "a", encoding="utf-8") as fh:
+        fh.write(f"{params['name']}\n")
+    marker = params.get("crash_marker")
+    if marker is not None and not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        os._exit(9)
+    return params["name"]
+
+
+def test_retry_goes_to_the_front_of_the_queue(tmp_path):
+    # One crashing cell ahead of three healthy ones, one worker: the
+    # retry must run immediately after the failure, not wait behind the
+    # rest of the grid.
+    log = str(tmp_path / "order.log")
+    marker = str(tmp_path / "crash.marker")
+    cells = [
+        SweepCell("boom", "test-log-order",
+                  {"log": log, "name": "boom", "crash_marker": marker}),
+    ] + [
+        SweepCell(name, "test-log-order", {"log": log, "name": name})
+        for name in ("a", "b", "c")
+    ]
+    result = run_sweep(SweepSpec("ordered", tuple(cells)), workers=1)
+    assert result.ok
+    with open(log, encoding="utf-8") as fh:
+        order = fh.read().splitlines()
+    assert order == ["boom", "boom", "a", "b", "c"]
+
+
 @register_runner("test-count-invocations")
 def _count_invocations(params):
     # Appends one line per execution — proof of whether a resume re-ran us.
@@ -154,6 +202,25 @@ def test_resume_reruns_failed_cells(tmp_path):
     assert resumed.outcomes[0].payload == "recovered"
     data = json.loads(open(manifest, encoding="utf-8").read())
     assert data["cells"]["boom"]["status"] == "done"
+
+
+def test_resume_carries_recorded_attempt_counts(tmp_path):
+    manifest = str(tmp_path / "manifest.json")
+    marker = str(tmp_path / "crash.marker")
+    spec = SweepSpec(
+        "carry",
+        (SweepCell("boom", "flaky",
+                   {"marker": marker, "mode": "exit", "payload": "recovered"}),),
+    )
+    first = run_sweep(spec, workers=1, manifest_path=manifest)
+    assert first.ok
+    assert first.outcomes[0].attempts == 2  # crashed once, then healed
+
+    resumed = run_sweep(spec, workers=1, manifest_path=manifest, resume=True)
+    assert resumed.outcomes[0].resumed
+    # The outcome reports what the cell actually cost, not zero.
+    assert resumed.outcomes[0].attempts == 2
+    assert resumed.spawned_workers == 0
 
 
 def test_resume_rejects_a_manifest_from_another_grid(tmp_path):
