@@ -69,6 +69,38 @@ grep -q "0 worker(s) spawned" "$SWEEP_TMP/rerun.out"
 cmp "$SWEEP_TMP/par.json" "$SWEEP_TMP/par.first.json"
 echo "cached CLI re-run: byte-identical report, zero workers spawned"
 
+echo "== distributed sweep smoke (2 loopback agents == sequential) =="
+python -m repro sweep "${SWEEP_ARGS[@]}" --no-cache \
+    --hosts loopback,loopback --heartbeat-s 1 \
+    --out "$SWEEP_TMP/remote.json" >/dev/null 2>&1
+cmp "$SWEEP_TMP/remote.json" "$SWEEP_TMP/seq.json"
+test -s "$SWEEP_TMP/remote.json.hosts.json"
+echo "2-host loopback sweep: byte-identical report, host sidecar written"
+
+echo "== distributed sweep fault smoke (agent killed mid-run heals) =="
+python - "$(mktemp -d)" <<'PYEOF'
+import sys
+from repro.sweep import SweepCell, SweepSpec, run_remote_sweep, run_sweep
+
+marker = sys.argv[1] + "/killed.marker"
+cells = [
+    SweepCell(f"c{i}", "flaky",
+              {"mode": "sleep", "sleep_s": 0.05, "payload": f"p{i}"})
+    for i in range(8)
+]
+cells.insert(3, SweepCell("killer", "flaky",
+                          {"mode": "kill-agent", "marker": marker,
+                           "payload": "recovered"}))
+spec = SweepSpec(name="ci-kill-agent", cells=tuple(cells))
+sequential = run_sweep(spec, workers=1)
+remote = run_remote_sweep(spec, "loopback,loopback", heartbeat_s=0.5,
+                          reconnect_attempts=2)
+assert remote.ok, [o.error for o in remote.outcomes if not o.ok]
+assert remote.payloads() == sequential.payloads(), "results diverged"
+print("agent SIGKILLed mid-sweep: every cell re-dispatched and completed, "
+      "results identical to sequential")
+PYEOF
+
 echo "== trace smoke (run -> export -> audit) =="
 TRACE_TMP="$(mktemp -d)"
 python -m repro trace --workload zipf --pages 600 --ops 4000 \

@@ -23,7 +23,11 @@ Commands:
   isolated worker processes (``--workers``), with per-cell retry,
   ``--timeout-s`` kills, and a resumable manifest (``--resume``);
   writes a deterministic ``SWEEP_report.json`` whose bytes do not
-  depend on the worker count.
+  depend on the worker count.  With ``--hosts``, cells shard across
+  remote ``sweep-agent`` processes with heartbeats, lease re-dispatch,
+  and graceful degradation to the local pool.
+* ``sweep-agent`` — the host-side half of ``sweep --hosts``: serves
+  cells to a driver over stdin/stdout (started via ssh, not by hand).
 * ``stat`` — run a workload with the metrics registry armed and print a
   one-shot snapshot: ``/proc/vmstat``-style ``name value`` lines by
   default, ``--prometheus`` text exposition, pure ``--json``, or a
@@ -241,6 +245,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="result cache directory (default: <out>.cache)")
     sweep_p.add_argument("--out", default=None,
                          help="report path (default SWEEP_report.json)")
+    sweep_p.add_argument("--hosts", default=None,
+                         help="comma-separated sweep-agent hosts "
+                              "(loopback or [user@]host[:workers]); shards "
+                              "cells across machines with heartbeats, "
+                              "re-dispatch, and local-pool fallback")
+    sweep_p.add_argument("--heartbeat-s", type=float, default=None,
+                         help="agent heartbeat interval in host seconds "
+                              "(default 5; a host silent for 3 intervals is "
+                              "lost and its cells re-dispatched)")
+    sweep_p.add_argument("--straggler-factor", type=float, default=None,
+                         help="re-dispatch a leased cell running longer than "
+                              "this multiple of the median cell time "
+                              "(default 4; 0 disables)")
+    sweep_p.add_argument("--connect-timeout-s", type=float, default=10.0,
+                         help="seconds to wait for an agent's hello")
+    sweep_p.add_argument("--reconnect-attempts", type=int, default=1,
+                         help="reconnects per lost host before it is dead")
+
+    agent_p = sub.add_parser(
+        "sweep-agent",
+        help="serve sweep cells to a remote driver over stdin/stdout "
+             "(started by `repro sweep --hosts`, rarely by hand)",
+    )
+    agent_p.add_argument("--workers", type=int, default=1,
+                         help="size of this agent's local worker pool")
 
     stat_p = sub.add_parser(
         "stat", help="run a workload with metrics armed, print a snapshot"
@@ -422,9 +451,47 @@ DEFAULT_SWEEP_REPORT = "SWEEP_report.json"
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import json
+    import math
 
     from repro.run import RunResult
-    from repro.sweep import SweepCell, SweepSpec, run_sweep
+    from repro.sweep import (
+        DEFAULT_HEARTBEAT_S,
+        DEFAULT_STRAGGLER_FACTOR,
+        SweepCell,
+        SweepSpec,
+        parse_hosts,
+        run_remote_sweep,
+        run_sweep,
+    )
+
+    # Validate the distributed-mode flags up front: a bad host list or a
+    # nonsense interval is an operator mistake, reported before any cell
+    # (or agent) is started.
+    hosts = parse_hosts(args.hosts, default_workers=args.workers) \
+        if args.hosts is not None else None
+    if hosts is None and (args.heartbeat_s is not None
+                          or args.straggler_factor is not None):
+        raise ValueError(
+            "--heartbeat-s/--straggler-factor only apply with --hosts"
+        )
+    heartbeat_s = (
+        DEFAULT_HEARTBEAT_S if args.heartbeat_s is None else args.heartbeat_s
+    )
+    if not (math.isfinite(heartbeat_s) and heartbeat_s > 0.0):
+        raise ValueError(
+            f"invalid --heartbeat-s {args.heartbeat_s!r}: must be a "
+            f"positive finite number of seconds"
+        )
+    straggler_factor = (
+        DEFAULT_STRAGGLER_FACTOR if args.straggler_factor is None
+        else args.straggler_factor
+    )
+    if straggler_factor and (
+            not math.isfinite(straggler_factor) or straggler_factor < 1.0):
+        raise ValueError(
+            f"invalid --straggler-factor {args.straggler_factor!r}: must be "
+            f">= 1 (or 0 to disable straggler re-dispatch)"
+        )
 
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     workload_names = (
@@ -473,16 +540,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     out = args.out or DEFAULT_SWEEP_REPORT
     manifest = args.manifest or f"{out}.manifest.json"
     cache_dir = (args.cache_dir or f"{out}.cache") if args.cache else None
-    result = run_sweep(
-        spec,
-        workers=args.workers,
-        timeout_s=args.timeout_s,
-        max_attempts=args.max_attempts,
-        manifest_path=manifest,
-        resume=args.resume,
-        cache_dir=cache_dir,
-        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
-    )
+    note = lambda msg: print(f"  {msg}", file=sys.stderr)  # noqa: E731
+    if hosts is not None:
+        result = run_remote_sweep(
+            spec,
+            hosts,
+            timeout_s=args.timeout_s,
+            max_attempts=args.max_attempts,
+            manifest_path=manifest,
+            resume=args.resume,
+            cache_dir=cache_dir,
+            heartbeat_s=heartbeat_s,
+            straggler_factor=straggler_factor,
+            connect_timeout_s=args.connect_timeout_s,
+            reconnect_attempts=args.reconnect_attempts,
+            local_workers=args.workers,
+            workers_per_host=args.workers,
+            progress=note,
+        )
+    else:
+        result = run_sweep(
+            spec,
+            workers=args.workers,
+            timeout_s=args.timeout_s,
+            max_attempts=args.max_attempts,
+            manifest_path=manifest,
+            resume=args.resume,
+            cache_dir=cache_dir,
+            progress=note,
+        )
 
     # The report is deterministic: cells in grid order, no attempt
     # counts or host timings (those live in the manifest), so the bytes
@@ -505,6 +591,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     with open(out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+    if hosts is not None:
+        # Per-host outcomes go to a sidecar, never into the report: the
+        # report's bytes must stay identical to a sequential sweep's.
+        with open(f"{out}.hosts.json", "w", encoding="utf-8") as fh:
+            json.dump(
+                {"hosts": [h.to_dict() for h in result.host_outcomes]},
+                fh, indent=2, sort_keys=True,
+            )
+            fh.write("\n")
+        for h in result.host_outcomes:
+            extras = []
+            if h.reconnects:
+                extras.append(f"{h.reconnects} reconnect(s)")
+            if h.duplicates_discarded:
+                extras.append(f"{h.duplicates_discarded} duplicate(s) discarded")
+            if h.error:
+                extras.append(h.error)
+            detail = f" ({'; '.join(extras)})" if extras else ""
+            print(f"  host {h.host}: {h.state}, {h.done} cell(s) done{detail}",
+                  file=sys.stderr)
+        if all(h.state == "dead" for h in result.host_outcomes):
+            print("warning: every sweep host was lost; the sweep finished "
+                  "on the local pool", file=sys.stderr)
 
     for o in result.outcomes:
         if o.ok:
@@ -684,6 +794,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_chaos(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "sweep-agent":
+        from repro.sweep.remote import agent_main
+
+        return agent_main(workers=args.workers)
     if args.command == "stat":
         return _cmd_stat(args)
     if args.command == "report":
@@ -694,9 +808,21 @@ def _dispatch(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.sweep.pool import SweepInterrupted
+
     args = build_parser().parse_args(argv)
     try:
         return _dispatch(args)
+    except SweepInterrupted as exc:
+        # First signal: the sweep already stopped dispatching, flushed
+        # the manifest and tore its workers/agents down — one summary
+        # line, no traceback.
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        # Second signal (or an interrupt outside a sweep): force-killed.
+        print("error: interrupted", file=sys.stderr)
+        return 130
     except OutOfMemoryError as exc:
         # Message already names the failing allocation and per-node occupancy.
         print(f"error: out of memory: {exc}", file=sys.stderr)

@@ -80,6 +80,18 @@ class Manifest:
         }
         self._flush()
 
+    def record_pending(self, cell_id: str, attempts: int) -> None:
+        """Mark a cell as in flight but unfinished.
+
+        Written when a sweep is interrupted (signal, lost host) with the
+        cell still leased: the manifest then records honestly that the
+        cell was started — and how many attempts it has consumed — while
+        leaving it eligible to run again on ``--resume`` (``completed``
+        only reports ``done`` cells).
+        """
+        self.cells[cell_id] = {"status": "pending", "attempts": attempts}
+        self._flush()
+
     def record_failed(self, cell_id: str, attempts: int, error: str) -> None:
         self.cells[cell_id] = {
             "status": "failed",

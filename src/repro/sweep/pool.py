@@ -44,6 +44,9 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
+import signal
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -59,9 +62,86 @@ from repro.sweep.spec import (
     resolve_runner,
 )
 
-__all__ = ["CellOutcome", "SweepResult", "run_sweep", "DEFAULT_MAX_ATTEMPTS"]
+__all__ = [
+    "CellOutcome",
+    "SweepResult",
+    "SweepInterrupted",
+    "run_sweep",
+    "DEFAULT_MAX_ATTEMPTS",
+]
 
 DEFAULT_MAX_ATTEMPTS = 3
+
+
+class SweepInterrupted(RuntimeError):
+    """Raised when an operator signal stopped a sweep before completion.
+
+    The sweep shut down *gracefully* before raising: dispatch stopped,
+    in-flight cells were flushed to the manifest as pending, and every
+    worker (or host agent) was terminated with an escalating
+    SIGTERM-grace-SIGKILL.  ``str(exc)`` is a one-line summary suitable
+    for the CLI.
+    """
+
+    def __init__(self, done: int, failed: int, total: int,
+                 manifest_path: str | None) -> None:
+        self.done = done
+        self.failed = failed
+        self.total = total
+        self.manifest_path = manifest_path
+        hint = (
+            f"; manifest flushed to {manifest_path} — re-run with --resume"
+            if manifest_path
+            else ""
+        )
+        super().__init__(
+            f"{done}/{total} cells done, {failed} failed, "
+            f"{total - done - failed} unfinished{hint}"
+        )
+
+
+class _SignalGuard:
+    """Two-stage SIGINT/SIGTERM handling around a sweep.
+
+    The first signal flips :attr:`stop` — the pool stops dispatching,
+    flushes the manifest and raises :class:`SweepInterrupted`; the
+    second signal raises ``KeyboardInterrupt`` straight out of the
+    handler, force-killing the run through the pool's ``finally``
+    cleanup.  Handlers are only installed in the main thread (the only
+    place Python allows it); elsewhere the guard is inert.
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self, note: Callable[[str], None]) -> None:
+        self.stop = False
+        self._note = note
+        self._previous: dict[int, Any] = {}
+
+    def _handle(self, signum: int, frame: Any) -> None:
+        if self.stop:  # second signal: force
+            raise KeyboardInterrupt
+        self.stop = True
+        self._note(
+            f"caught {signal.Signals(signum).name}: finishing in-flight "
+            f"cells' shutdown, flushing manifest (signal again to force-kill)"
+        )
+
+    def __enter__(self) -> "_SignalGuard":
+        if threading.current_thread() is threading.main_thread():
+            for sig in self.SIGNALS:
+                try:
+                    self._previous[sig] = signal.signal(sig, self._handle)
+                except (ValueError, OSError):  # non-main interpreter quirks
+                    pass
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        for sig, previous in self._previous.items():
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, OSError):
+                pass
 
 
 @dataclass(frozen=True)
@@ -89,8 +169,13 @@ class SweepResult:
     outcomes: tuple[CellOutcome, ...]
     workers: int
     #: Worker processes actually forked — 0 when every cell was resumed
-    #: from the manifest or served from the result cache.
+    #: from the manifest or served from the result cache.  For a
+    #: distributed sweep this counts agent processes plus any local
+    #: fallback workers.
     spawned_workers: int = 0
+    #: Per-host outcomes (:class:`repro.sweep.remote.HostOutcome`) when
+    #: the sweep ran through ``run_remote_sweep``; empty for local runs.
+    host_outcomes: tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -164,18 +249,40 @@ class _Worker:
         return cell, attempt
 
 
-def _kill(proc: Any) -> None:
+def _kill(proc: Any, grace_s: float = 1.0) -> None:
+    """Escalating stop: SIGTERM, a bounded grace window, then SIGKILL.
+
+    The grace window is what lets a worker's ``atexit`` hooks and cache
+    cleanup run; only a process that ignores SIGTERM past ``grace_s``
+    is killed outright.  Already-dead processes are just reaped.
+    """
+    if proc.exitcode is not None:
+        proc.join(0.0)
+        return
     proc.terminate()
-    proc.join(1.0)
+    proc.join(max(0.0, grace_s))
     if proc.is_alive():
         proc.kill()
         proc.join(5.0)
 
 
-def _context() -> Any:
+def _context(start_method: str | None = None) -> Any:
     """Prefer fork so cell params (and prewarmed shared state) travel to
     workers by inheritance and may hold arbitrary objects (factories,
-    configs); under spawn-only hosts the spec must be picklable."""
+    configs).  Under spawn — fork-less hosts, or an explicit
+    ``REPRO_SWEEP_START_METHOD=spawn`` override — the spec must be
+    picklable, which every declarative (wire-portable) grid is; prewarm
+    hooks simply stop paying off and workers rebuild shared state on
+    demand.
+    """
+    method = start_method or os.environ.get("REPRO_SWEEP_START_METHOD")
+    if method:
+        if method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"unsupported sweep start method {method!r}; this host "
+                f"offers: {', '.join(multiprocessing.get_all_start_methods())}"
+            )
+        return multiprocessing.get_context(method)
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
@@ -208,6 +315,45 @@ def run_sweep(
     note = progress or (lambda msg: None)
     total = len(spec.cells)
 
+    outcomes, pending, book, cache = _prepare(
+        spec, manifest_path=manifest_path, resume=resume,
+        cache_dir=cache_dir, note=note,
+    )
+
+    spawned = 0
+    if pending:
+        with _SignalGuard(note) as guard:
+            spawned = _run_pool(
+                spec, pending, outcomes, book, cache,
+                workers=workers, timeout_s=timeout_s, max_attempts=max_attempts,
+                note=note, total=total, guard=guard,
+            )
+
+    return SweepResult(
+        spec=spec,
+        outcomes=tuple(outcomes[cell.id] for cell in spec.cells),
+        workers=workers,
+        spawned_workers=spawned,
+    )
+
+
+def _prepare(
+    spec: SweepSpec,
+    *,
+    manifest_path: str | None,
+    resume: bool,
+    cache_dir: str | None,
+    note: Callable[[str], None],
+) -> tuple[dict[str, CellOutcome], deque[tuple[SweepCell, int]],
+           Manifest, ResultCache | None]:
+    """The manifest-resume > result-cache > live precedence pass.
+
+    Shared by the local pool and the distributed scheduler, so "what has
+    already been established" means the same thing no matter where the
+    remaining cells end up running.  Returns the outcomes settled so
+    far, the deque of ``(cell, first_attempt)`` still to run, the
+    manifest being written, and the cache (or None).
+    """
     prior = (
         Manifest.load(manifest_path, spec)
         if (resume and manifest_path)
@@ -251,20 +397,7 @@ def run_sweep(
             note(f"{cell.id}: cache hit ({key[:12]})")
         pending = live
 
-    spawned = 0
-    if pending:
-        spawned = _run_pool(
-            spec, pending, outcomes, book, cache,
-            workers=workers, timeout_s=timeout_s, max_attempts=max_attempts,
-            note=note, total=total,
-        )
-
-    return SweepResult(
-        spec=spec,
-        outcomes=tuple(outcomes[cell.id] for cell in spec.cells),
-        workers=workers,
-        spawned_workers=spawned,
-    )
+    return outcomes, pending, book, cache
 
 
 def _run_pool(
@@ -279,6 +412,7 @@ def _run_pool(
     max_attempts: int,
     note: Callable[[str], None],
     total: int,
+    guard: "_SignalGuard | None" = None,
 ) -> int:
     """Drive ``pending`` through a persistent worker pool; returns the
     number of worker processes spawned."""
@@ -354,6 +488,11 @@ def _run_pool(
 
     try:
         while pending or any(w.busy for w in pool):
+            if guard is not None and guard.stop:
+                _graceful_stop(pool, book, note)
+                done = sum(1 for o in outcomes.values() if o.ok)
+                failed = len(outcomes) - done
+                raise SweepInterrupted(done, failed, total, book.path)
             # Keep the pool sized to the remaining work: replace crashed
             # workers while cells still need one, never exceed `workers`.
             n_busy = sum(1 for w in pool if w.busy)
@@ -440,6 +579,25 @@ def _run_pool(
             if worker.proc.is_alive():
                 _kill(worker.proc)
     return spawned
+
+
+def _graceful_stop(pool: list[_Worker], book: Manifest,
+                   note: Callable[[str], None]) -> None:
+    """First-signal shutdown: stop dispatching, flush in-flight cells to
+    the manifest as pending (they re-run on ``--resume``), then stop
+    every worker with the escalating SIGTERM-grace-SIGKILL."""
+    for worker in pool:
+        if worker.busy:
+            cell, attempt = worker.take()
+            book.record_pending(cell.id, attempt)
+            note(f"{cell.id}: interrupted in flight; recorded as pending")
+    for worker in pool:
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        _kill(worker.proc, grace_s=1.0)
+    pool.clear()
 
 
 def _crash_error(proc: Any) -> str:

@@ -1,0 +1,1006 @@
+"""Distributed sweep fan-out: host agents, leases, heartbeats, re-dispatch.
+
+``run_remote_sweep`` shards a declarative cell grid across a set of
+**host agents** and treats every host as unreliable.  Each agent is a
+``repro sweep-agent`` process — reached over a transport (a local
+subprocess for the loopback kind, an ssh subprocess for remote hosts) —
+that runs its own persistent worker pool and speaks a newline-delimited
+JSON protocol of :mod:`~repro.sweep.wire` envelopes:
+
+========== =========== ====================================================
+direction  kind        body
+========== =========== ====================================================
+agent →    ``hello``   ``{host, pid, workers}`` — first line after start
+driver →   ``spec``    the whole grid (fingerprinted) + ``heartbeat_s``
+agent →    ``spec-ack``  ``{fingerprint}`` — must match the driver's
+driver →   ``lease``   ``{lease, cell}`` — run one cell
+agent →    ``heartbeat`` ``{busy: [lease ids], done}`` — every interval
+agent →    ``result``  ``{lease, cell, ok, payload | error}``
+driver →   ``cancel``  ``{lease}`` — kill that lease's worker
+driver →   ``shutdown``  drain and exit
+========== =========== ====================================================
+
+Fault model (driver side):
+
+* A host that misses three heartbeat intervals, EOFs its transport, or
+  sends an undecodable line is **lost**: its leased cells are requeued
+  (no attempt charged — the host failed, not the cell) and the host is
+  reconnected with exponential backoff plus deterministic jitter, up to
+  ``reconnect_attempts`` times, after which it is **dead**.
+* A leased cell past ``timeout_s`` is cancelled and charged an attempt,
+  exactly like the local pool's timeout.
+* A leased cell running longer than ``straggler_factor`` × the median
+  committed cell time is *also* dispatched to a second host; the first
+  result commits, the sibling lease is cancelled, and a late duplicate
+  is discarded deterministically (results commit **at most once** per
+  cell id).
+* If every host is dead, the sweep **degrades**: the remaining cells
+  finish on the local pool rather than aborting, and the per-host
+  outcomes record what happened.
+
+Merged results stay byte-identical to a sequential sweep: outcomes are
+keyed by cell id, reported in spec order, and payloads round-trip
+through JSON on the agent exactly as they do in a local worker.  The
+manifest-resume > result-cache > live precedence is applied *before*
+any host is contacted, by the same pass the local pool uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from statistics import median
+from typing import Any, Callable
+
+from repro.sweep import pool as _pool
+from repro.sweep.manifest import Manifest, ResultCache
+from repro.sweep.pool import (
+    CellOutcome,
+    SweepInterrupted,
+    SweepResult,
+    _kill,
+    _prepare,
+    _run_pool,
+    _SignalGuard,
+)
+from repro.sweep.spec import SweepCell, SweepSpec, cell_fingerprint
+from repro.sweep.wire import (
+    WireError,
+    decode_envelope,
+    decode_spec,
+    encode_envelope,
+    encode_spec,
+)
+
+__all__ = [
+    "HostSpec",
+    "HostOutcome",
+    "parse_hosts",
+    "run_remote_sweep",
+    "agent_main",
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_STRAGGLER_FACTOR",
+]
+
+DEFAULT_HEARTBEAT_S = 5.0
+DEFAULT_STRAGGLER_FACTOR = 4.0
+#: Heartbeat intervals a host may miss before it is declared lost.
+_MISSED_HEARTBEATS = 3
+_RECONNECT_BASE_S = 0.25
+_RECONNECT_CAP_S = 5.0
+
+
+# --------------------------------------------------------------------------
+# Host descriptions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One entry of ``--hosts``: where an agent runs and how wide it is."""
+
+    name: str  # unique display name (``loopback#1``, ``user@h1``)
+    kind: str  # "loopback" | "ssh"
+    target: str  # ssh destination; "" for loopback
+    workers: int  # agent-side pool width
+
+
+def parse_hosts(hosts: "str | list[str] | tuple[HostSpec, ...]",
+                *, default_workers: int = 1) -> tuple[HostSpec, ...]:
+    """Parse a ``--hosts`` value into :class:`HostSpec` entries.
+
+    Each comma-separated entry is ``loopback`` (an agent subprocess on
+    this machine — the CI/test transport) or ``[user@]host`` (an agent
+    over ssh), optionally suffixed ``:N`` for the agent's worker count.
+    Garbage entries — empty strings, a non-integer worker suffix, or
+    shell metacharacters in an ssh target — are operator errors reported
+    as one-line ``ValueError``\\ s.
+    """
+    if isinstance(hosts, tuple) and all(isinstance(h, HostSpec) for h in hosts):
+        return hosts
+    entries = (
+        [e.strip() for e in hosts.split(",")] if isinstance(hosts, str)
+        else [str(e).strip() for e in hosts]
+    )
+    if not entries or all(not e for e in entries):
+        raise ValueError("--hosts is empty; give loopback or [user@]host entries")
+    specs: list[HostSpec] = []
+    counts: dict[str, int] = {}
+    for entry in entries:
+        if not entry:
+            raise ValueError(
+                f"--hosts has an empty entry in {','.join(entries)!r}"
+            )
+        target, _, suffix = entry.partition(":")
+        workers = default_workers
+        if suffix:
+            try:
+                workers = int(suffix)
+            except ValueError:
+                raise ValueError(
+                    f"bad --hosts entry {entry!r}: worker suffix {suffix!r} "
+                    f"is not an integer"
+                ) from None
+            if workers < 1:
+                raise ValueError(
+                    f"bad --hosts entry {entry!r}: worker count must be >= 1"
+                )
+        if target == "loopback":
+            kind = "loopback"
+        else:
+            kind = "ssh"
+            if not target or any(c in target for c in " \t;|&$`'\"(){}<>\\"):
+                raise ValueError(
+                    f"bad --hosts entry {entry!r}: {target!r} is not a "
+                    f"plausible ssh destination"
+                )
+        n = counts.get(target, 0)
+        counts[target] = n + 1
+        name = target if kind == "ssh" and n == 0 else f"{target}#{n}"
+        specs.append(HostSpec(name=name, kind=kind, target=target, workers=workers))
+    return tuple(specs)
+
+
+@dataclass
+class HostOutcome:
+    """What one host contributed to (and suffered during) a sweep."""
+
+    host: str
+    state: str  # "ok" | "dead" | "unused"
+    done: int = 0
+    failed: int = 0
+    reconnects: int = 0
+    duplicates_discarded: int = 0
+    error: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "host": self.host,
+            "state": self.state,
+            "done": self.done,
+            "failed": self.failed,
+            "reconnects": self.reconnects,
+            "duplicates_discarded": self.duplicates_discarded,
+            "error": self.error,
+        }
+
+
+# --------------------------------------------------------------------------
+# Transports: how the driver reaches an agent
+# --------------------------------------------------------------------------
+
+
+class _AgentTransport:
+    """A live agent subprocess with line-oriented stdin/stdout.
+
+    The loopback kind starts ``repro sweep-agent`` on this machine with
+    the driver's interpreter and PYTHONPATH — the in-machine stand-in
+    used by tests and CI.  The ssh kind runs the same command on a
+    remote host through ``ssh -o BatchMode=yes`` (key-based auth only;
+    an agent must never hang on a password prompt).
+    """
+
+    def __init__(self, host: HostSpec) -> None:
+        self.host = host
+        if host.kind == "loopback":
+            repro_root = os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__))
+            )
+            src_dir = os.path.dirname(repro_root)
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (src_dir, env.get("PYTHONPATH")) if p
+            )
+            argv = [
+                sys.executable, "-m", "repro", "sweep-agent",
+                "--workers", str(host.workers),
+            ]
+        else:
+            argv = [
+                "ssh", "-o", "BatchMode=yes", "-o", "ConnectTimeout=10",
+                host.target,
+                f"python3 -m repro sweep-agent --workers {host.workers}",
+            ]
+            env = None
+        # Agent chatter (tracebacks, ssh banners) goes to our stderr;
+        # stdout is the protocol channel and must stay clean.
+        self.proc = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    def send_line(self, line: str) -> None:
+        assert self.proc.stdin is not None
+        self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def close(self, grace_s: float = 0.5) -> None:
+        # Close stdin only.  stdout belongs to the pump thread: closing
+        # it here would block on the buffered reader's lock while that
+        # thread sits in readline() — and a SIGKILLed agent's orphaned
+        # worker can hold the pipe's write end open long after the agent
+        # is gone.  The daemon pump thread drops the stream when its
+        # read finally returns (or the driver exits).
+        try:
+            if self.proc.stdin is not None:
+                self.proc.stdin.close()
+        except OSError:
+            pass
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(grace_s)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                try:
+                    self.proc.wait(5.0)
+                except subprocess.TimeoutExpired:
+                    pass
+
+
+# --------------------------------------------------------------------------
+# Driver-side scheduler
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Lease:
+    id: str
+    cell: SweepCell
+    attempt: int
+    host: "_Host"
+    started: float
+
+
+@dataclass
+class _Host:
+    spec: HostSpec
+    state: str = "connecting"  # connecting | ready | lost | dead
+    transport: _AgentTransport | None = None
+    capacity: int = 1
+    last_seen: float = 0.0
+    connect_deadline: float = 0.0
+    backoff_until: float = 0.0
+    reconnects_used: int = 0
+    leases: dict[str, _Lease] = field(default_factory=dict)
+    outcome: HostOutcome = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.outcome = HostOutcome(host=self.spec.name, state="unused")
+
+
+def _jitter(host: str, attempt: int) -> float:
+    """Deterministic jitter in [0.75, 1.25): reconnects across a fleet
+    spread out, and a re-run spreads them out the same way."""
+    digest = hashlib.sha256(f"{host}:{attempt}".encode("utf-8")).digest()
+    return 0.75 + (digest[0] / 255.0) * 0.5
+
+
+class _RemoteScheduler:
+    """Drives a grid across unreliable hosts; see the module docstring."""
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        hosts: tuple[HostSpec, ...],
+        *,
+        outcomes: dict[str, CellOutcome],
+        pending: deque[tuple[SweepCell, int]],
+        book: Manifest,
+        cache: ResultCache | None,
+        timeout_s: float | None,
+        max_attempts: int,
+        heartbeat_s: float,
+        straggler_factor: float | None,
+        connect_timeout_s: float,
+        reconnect_attempts: int,
+        note: Callable[[str], None],
+        guard: _SignalGuard | None = None,
+    ) -> None:
+        self.spec = spec
+        self.outcomes = outcomes
+        self.pending = pending
+        self.book = book
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        self.heartbeat_s = heartbeat_s
+        self.straggler_factor = straggler_factor
+        self.connect_timeout_s = connect_timeout_s
+        self.reconnect_attempts = reconnect_attempts
+        self.note = note
+        self.guard = guard
+        self.total = len(spec.cells)
+        self.hosts = [_Host(spec=h) for h in hosts]
+        self.active: dict[str, _Lease] = {}  # lease id -> lease
+        self.durations: list[float] = []  # committed cell wall times
+        self.spawned_agents = 0
+        # Entries carry the transport they were read from: after a
+        # reconnect, lines (and the EOF marker) from the *previous*
+        # transport's reader thread must not poison the new connection.
+        self.inbox: "queue.Queue[tuple[_Host, _AgentTransport, str | None]]" = (
+            queue.Queue()
+        )
+        self._lease_seq = 0
+        self._spec_line = encode_spec(spec, heartbeat_s=heartbeat_s)
+
+    # -- host lifecycle ----------------------------------------------------
+
+    def _connect(self, host: _Host) -> None:
+        try:
+            host.transport = _AgentTransport(host.spec)
+        except OSError as exc:  # ssh/python binary missing, fork failure
+            host.transport = None
+            self._lose_host(host, f"cannot start agent: {exc}")
+            return
+        self.spawned_agents += 1
+        host.state = "connecting"
+        host.last_seen = time.monotonic()
+        host.connect_deadline = host.last_seen + self.connect_timeout_s
+        threading.Thread(
+            target=self._pump, args=(host, host.transport), daemon=True,
+            name=f"sweep-reader-{host.spec.name}",
+        ).start()
+
+    def _pump(self, host: _Host, transport: _AgentTransport) -> None:
+        stream = transport.proc.stdout
+        assert stream is not None
+        try:
+            for line in stream:
+                self.inbox.put((host, transport, line.rstrip("\n")))
+        except (OSError, ValueError):
+            pass
+        self.inbox.put((host, transport, None))
+
+    def _lose_host(self, host: _Host, reason: str) -> None:
+        """Requeue the host's leases and schedule a reconnect (or declare
+        it dead once reconnects are exhausted)."""
+        if host.state == "dead":
+            return
+        if host.transport is not None:
+            host.transport.close()
+            host.transport = None
+        for lease in list(host.leases.values()):
+            host.leases.pop(lease.id, None)
+            self.active.pop(lease.id, None)
+            if lease.cell.id in self.outcomes or self._has_sibling(lease):
+                continue
+            # The host failed, not the cell: requeue without charging an
+            # attempt, at the front so redispatch beats untried work.
+            self.pending.appendleft((lease.cell, lease.attempt))
+            self.note(f"{lease.cell.id}: host {host.spec.name} lost mid-cell; "
+                      f"re-dispatching")
+        if host.reconnects_used >= self.reconnect_attempts:
+            host.state = "dead"
+            host.outcome.state = "dead"
+            host.outcome.error = reason
+            self.note(f"host {host.spec.name}: dead ({reason})")
+            return
+        host.reconnects_used += 1
+        host.outcome.reconnects += 1
+        delay = min(
+            _RECONNECT_CAP_S,
+            _RECONNECT_BASE_S * (2 ** (host.reconnects_used - 1)),
+        ) * _jitter(host.spec.name, host.reconnects_used)
+        host.state = "lost"
+        host.backoff_until = time.monotonic() + delay
+        self.note(
+            f"host {host.spec.name}: lost ({reason}); reconnect "
+            f"{host.reconnects_used}/{self.reconnect_attempts} in {delay:.2f}s"
+        )
+
+    def _has_sibling(self, lease: _Lease) -> bool:
+        return any(
+            other.cell.id == lease.cell.id and other.id != lease.id
+            for other in self.active.values()
+        )
+
+    # -- protocol handling -------------------------------------------------
+
+    def _on_line(self, host: _Host, line: str) -> None:
+        host.last_seen = time.monotonic()
+        try:
+            kind, body = decode_envelope(line)
+        except WireError as exc:
+            self._lose_host(host, f"protocol error: {exc}")
+            return
+        if kind == "hello":
+            workers = body.get("workers")
+            host.capacity = workers if isinstance(workers, int) and workers > 0 else 1
+            assert host.transport is not None
+            try:
+                host.transport.send_line(self._spec_line)
+            except OSError as exc:
+                self._lose_host(host, f"send failed: {exc}")
+        elif kind == "spec-ack":
+            if body.get("fingerprint") != self.spec.fingerprint():
+                self._lose_host(host, "spec fingerprint mismatch on ack")
+                return
+            host.state = "ready"
+            if host.outcome.state == "unused":
+                host.outcome.state = "ok"
+            self.note(f"host {host.spec.name}: ready "
+                      f"({host.capacity} worker(s))")
+        elif kind == "heartbeat":
+            pass  # last_seen already refreshed
+        elif kind == "result":
+            self._on_result(host, body)
+        # unknown kinds are ignored: forward-compatible within a version
+
+    def _on_result(self, host: _Host, body: dict[str, Any]) -> None:
+        lease = self.active.pop(str(body.get("lease")), None)
+        host.leases.pop(str(body.get("lease")), None)
+        if lease is None or lease.cell.id in self.outcomes:
+            host.outcome.duplicates_discarded += 1
+            self.note(
+                f"{body.get('cell')}: late/duplicate result from "
+                f"{host.spec.name} discarded"
+            )
+            return
+        # First result wins: cancel any straggler sibling outright.
+        for other in [o for o in self.active.values()
+                      if o.cell.id == lease.cell.id]:
+            self._cancel(other)
+        self.durations.append(time.monotonic() - lease.started)
+        ok = bool(body.get("ok"))
+        payload = body.get("payload")
+        error = str(body.get("error", "agent reported failure"))
+        if ok:
+            host.outcome.done += 1
+        self._settle(lease.cell, lease.attempt, ok, payload, error, host)
+
+    def _settle(self, cell: SweepCell, attempt: int, ok: bool,
+                payload: Any, error: str, host: _Host | None) -> None:
+        """At-most-once commit of one cell attempt — same retry policy as
+        the local pool's ``settle``."""
+        where = f" on {host.spec.name}" if host is not None else ""
+        if ok:
+            self.outcomes[cell.id] = CellOutcome(cell, "done", attempt, payload)
+            self.book.record_done(cell.id, attempt, payload)
+            if self.cache is not None:
+                key = cell_fingerprint(cell)
+                if key is not None:
+                    self.cache.store(key, cell_id=cell.id, attempts=attempt,
+                                     payload=payload)
+            self.note(f"[{len(self.outcomes)}/{self.total}] {cell.id}: "
+                      f"done{where} (attempt {attempt})")
+        elif attempt < self.max_attempts:
+            self.note(f"{cell.id}: attempt {attempt} failed{where} "
+                      f"({error}); retrying")
+            self.pending.appendleft((cell, attempt + 1))
+        else:
+            self.outcomes[cell.id] = CellOutcome(cell, "failed", attempt,
+                                                 None, error)
+            self.book.record_failed(cell.id, attempt, error)
+            if host is not None:
+                host.outcome.failed += 1
+            self.note(f"[{len(self.outcomes)}/{self.total}] {cell.id}: "
+                      f"FAILED after {attempt} attempt(s): {error}")
+
+    def _cancel(self, lease: _Lease) -> None:
+        self.active.pop(lease.id, None)
+        lease.host.leases.pop(lease.id, None)
+        if lease.host.transport is not None and lease.host.state == "ready":
+            try:
+                lease.host.transport.send_line(
+                    encode_envelope("cancel", {"lease": lease.id})
+                )
+            except OSError:
+                pass
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        for host in self.hosts:
+            if host.state != "ready" or host.transport is None:
+                continue
+            while self.pending and len(host.leases) < host.capacity:
+                cell, attempt = self.pending.popleft()
+                if cell.id in self.outcomes:
+                    continue
+                self._lease_to(host, cell, attempt)
+
+    def _lease_to(self, host: _Host, cell: SweepCell, attempt: int) -> None:
+        self._lease_seq += 1
+        lease = _Lease(
+            id=f"L{self._lease_seq}", cell=cell, attempt=attempt,
+            host=host, started=time.monotonic(),
+        )
+        assert host.transport is not None
+        try:
+            host.transport.send_line(
+                encode_envelope("lease", {"lease": lease.id, "cell": cell.id})
+            )
+        except OSError as exc:
+            self.pending.appendleft((cell, attempt))
+            self._lose_host(host, f"send failed: {exc}")
+            return
+        host.leases[lease.id] = lease
+        self.active[lease.id] = lease
+
+    def _redispatch_straggler(self, lease: _Lease, now: float) -> None:
+        for host in self.hosts:
+            if (host is lease.host or host.state != "ready"
+                    or len(host.leases) >= host.capacity):
+                continue
+            self.note(
+                f"{lease.cell.id}: straggling on {lease.host.spec.name} "
+                f"({now - lease.started:.2f}s); duplicating to {host.spec.name}"
+            )
+            self._lease_to(host, lease.cell, lease.attempt)
+            return
+
+    # -- deadline supervision ----------------------------------------------
+
+    def _check_deadlines(self, now: float) -> None:
+        suspect_after = self.heartbeat_s * _MISSED_HEARTBEATS
+        for host in list(self.hosts):
+            if host.state == "connecting" and now >= host.connect_deadline:
+                self._lose_host(host, "no hello before the connect timeout")
+            elif (host.state in ("ready", "connecting")
+                    and now - host.last_seen > suspect_after):
+                self._lose_host(
+                    host,
+                    f"heartbeat silent for {now - host.last_seen:.1f}s "
+                    f"(> {suspect_after:.1f}s)",
+                )
+            elif host.state == "lost" and now >= host.backoff_until:
+                self._connect(host)
+        if self.timeout_s is not None:
+            for lease in list(self.active.values()):
+                if now - lease.started < self.timeout_s:
+                    continue
+                self._cancel(lease)
+                if self._has_sibling(lease) or lease.cell.id in self.outcomes:
+                    continue
+                self._settle(
+                    lease.cell, lease.attempt, False, None,
+                    f"timeout: attempt {lease.attempt} cancelled after "
+                    f"{now - lease.started:.2f}s wall (limit {self.timeout_s}s)",
+                    lease.host,
+                )
+        if self.straggler_factor and len(self.durations) >= 3:
+            threshold = self.straggler_factor * median(self.durations)
+            for lease in list(self.active.values()):
+                if (now - lease.started > threshold
+                        and not self._has_sibling(lease)):
+                    self._redispatch_straggler(lease, now)
+
+    def _next_wake(self, now: float) -> float:
+        """Seconds to sleep in the inbox wait before a deadline could fire."""
+        horizon = now + self.heartbeat_s
+        for host in self.hosts:
+            if host.state == "connecting":
+                horizon = min(horizon, host.connect_deadline)
+            elif host.state in ("ready",):
+                horizon = min(
+                    horizon,
+                    host.last_seen + self.heartbeat_s * _MISSED_HEARTBEATS,
+                )
+            elif host.state == "lost":
+                horizon = min(horizon, host.backoff_until)
+        if self.timeout_s is not None:
+            for lease in self.active.values():
+                horizon = min(horizon, lease.started + self.timeout_s)
+        return max(0.05, horizon - now)
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> None:
+        for host in self.hosts:
+            self._connect(host)
+        try:
+            while len(self.outcomes) < self.total:
+                if self.guard is not None and self.guard.stop:
+                    self._interrupt()
+                if all(h.state == "dead" for h in self.hosts):
+                    return  # caller degrades to the local pool
+                self._dispatch()
+                now = time.monotonic()
+                try:
+                    host, transport, line = self.inbox.get(
+                        timeout=self._next_wake(now)
+                    )
+                except queue.Empty:
+                    pass
+                else:
+                    if transport is not host.transport:
+                        pass  # stale line from a pre-reconnect transport
+                    elif line is None:
+                        self._lose_host(host, "transport closed (EOF)")
+                    else:
+                        self._on_line(host, line)
+                self._check_deadlines(time.monotonic())
+        finally:
+            self._shutdown_hosts()
+
+    def _interrupt(self) -> None:
+        flushed: set[str] = set()
+        for lease in list(self.active.values()):
+            if lease.cell.id not in self.outcomes and lease.cell.id not in flushed:
+                self.book.record_pending(lease.cell.id, lease.attempt)
+                flushed.add(lease.cell.id)
+                self.note(f"{lease.cell.id}: interrupted in flight; "
+                          f"recorded as pending")
+        done = sum(1 for o in self.outcomes.values() if o.ok)
+        failed = len(self.outcomes) - done
+        raise SweepInterrupted(done, failed, self.total, self.book.path)
+
+    def _shutdown_hosts(self) -> None:
+        for host in self.hosts:
+            if host.transport is None:
+                continue
+            try:
+                host.transport.send_line(encode_envelope("shutdown", {}))
+            except OSError:
+                pass
+            host.transport.close()
+            host.transport = None
+
+    def host_outcomes(self) -> tuple[HostOutcome, ...]:
+        return tuple(h.outcome for h in self.hosts)
+
+
+def run_remote_sweep(
+    spec: SweepSpec,
+    hosts: "str | list[str] | tuple[HostSpec, ...]",
+    *,
+    timeout_s: float | None = None,
+    max_attempts: int = _pool.DEFAULT_MAX_ATTEMPTS,
+    manifest_path: str | None = None,
+    resume: bool = False,
+    cache_dir: str | None = None,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    straggler_factor: float | None = DEFAULT_STRAGGLER_FACTOR,
+    connect_timeout_s: float = 10.0,
+    reconnect_attempts: int = 1,
+    local_workers: int = 1,
+    workers_per_host: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Execute ``spec`` across remote host agents; always completes.
+
+    Same contract as :func:`~repro.sweep.pool.run_sweep` — per-cell
+    retry up to ``max_attempts``, resumable manifest, result cache,
+    deterministic merge — plus the fault model described in the module
+    docstring.  With every host dead, the remaining cells run on a local
+    pool of ``local_workers``; the sweep never aborts because the fleet
+    did.
+    """
+    host_specs = parse_hosts(hosts, default_workers=workers_per_host)
+    max_attempts = max(1, int(max_attempts))
+    if not (math.isfinite(heartbeat_s) and heartbeat_s > 0.0):
+        raise ValueError(
+            f"--heartbeat-s must be a positive finite number, got {heartbeat_s!r}"
+        )
+    if not straggler_factor:  # 0 / None both mean "never re-dispatch"
+        straggler_factor = None
+    elif not math.isfinite(straggler_factor) or straggler_factor < 1.0:
+        raise ValueError(
+            f"--straggler-factor must be >= 1 (or 0 to disable), "
+            f"got {straggler_factor!r}"
+        )
+    note = progress or (lambda msg: None)
+    total = len(spec.cells)
+    # Fail fast on a non-portable grid — before any agent is started.
+    encode_spec(spec)
+
+    outcomes, pending, book, cache = _prepare(
+        spec, manifest_path=manifest_path, resume=resume,
+        cache_dir=cache_dir, note=note,
+    )
+
+    scheduler = None
+    spawned = 0
+    if pending:
+        with _SignalGuard(note) as guard:
+            scheduler = _RemoteScheduler(
+                spec, host_specs,
+                outcomes=outcomes, pending=pending, book=book, cache=cache,
+                timeout_s=timeout_s, max_attempts=max_attempts,
+                heartbeat_s=heartbeat_s, straggler_factor=straggler_factor,
+                connect_timeout_s=connect_timeout_s,
+                reconnect_attempts=reconnect_attempts,
+                note=note, guard=guard,
+            )
+            scheduler.run()
+            spawned = scheduler.spawned_agents
+            if len(outcomes) < total:
+                # Graceful degradation: every host is gone, the grid is
+                # not.  Anything still leased was already requeued by
+                # _lose_host, so `pending` is exactly the unfinished set.
+                note(
+                    f"all {len(host_specs)} host(s) lost; degrading to the "
+                    f"local pool for {total - len(outcomes)} cell(s)"
+                )
+                spawned += _run_pool(
+                    spec, pending, outcomes, book, cache,
+                    workers=local_workers, timeout_s=timeout_s,
+                    max_attempts=max_attempts, note=note, total=total,
+                    guard=guard,
+                )
+
+    return SweepResult(
+        spec=spec,
+        outcomes=tuple(outcomes[cell.id] for cell in spec.cells),
+        workers=sum(h.workers for h in host_specs),
+        spawned_workers=spawned,
+        host_outcomes=(
+            scheduler.host_outcomes() if scheduler is not None
+            else tuple(HostOutcome(host=h.name, state="unused")
+                       for h in host_specs)
+        ),
+    )
+
+
+# --------------------------------------------------------------------------
+# Agent side
+# --------------------------------------------------------------------------
+
+
+class _AgentPool:
+    """The agent's persistent worker pool: lease in, result out.
+
+    Reuses the local pool's worker body (warm imports, JSON result
+    framing, crash isolation) but is *incremental* — the driver decides
+    what to lease next, the agent only executes.  Cells arrived over the
+    wire as JSON, so the pool is spawn-safe by construction.
+    """
+
+    def __init__(self, cells: tuple[SweepCell, ...], capacity: int) -> None:
+        self.ctx = _pool._context()
+        self.cells = cells
+        self.index_of = {cell.id: i for i, cell in enumerate(cells)}
+        self.capacity = max(1, capacity)
+        self.idle: list[Any] = []
+        self.busy: dict[str, Any] = {}  # lease id -> worker
+        self.done = 0
+
+    def _spawn(self) -> Any:
+        parent_conn, child_conn = self.ctx.Pipe()
+        proc = self.ctx.Process(
+            target=_pool._worker_main,
+            args=(self.cells, child_conn),
+            name=f"agent-worker-{len(self.idle) + len(self.busy)}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return _pool._Worker(proc, parent_conn)
+
+    def dispatch(self, lease_id: str, cell_id: str) -> str | None:
+        """Start a cell; returns an error string if it cannot start."""
+        index = self.index_of.get(cell_id)
+        if index is None:
+            return f"agent does not know cell {cell_id!r}"
+        worker = self.idle.pop() if self.idle else self._spawn()
+        try:
+            worker.conn.send(index)
+        except (BrokenPipeError, OSError):
+            _kill(worker.proc, grace_s=0.1)
+            worker = self._spawn()
+            try:
+                worker.conn.send(index)
+            except (BrokenPipeError, OSError):
+                return "agent worker died before accepting the cell"
+        self.busy[lease_id] = worker
+        return None
+
+    def cancel(self, lease_id: str) -> None:
+        worker = self.busy.pop(lease_id, None)
+        if worker is not None:
+            _kill(worker.proc, grace_s=0.5)
+
+    def poll(self, timeout: float) -> list[tuple[str, dict[str, Any]]]:
+        """Results (and worker deaths) since the last poll."""
+        if not self.busy:
+            time.sleep(timeout)
+            return []
+        owner: dict[Any, str] = {}
+        for lease_id, worker in self.busy.items():
+            owner[worker.conn] = lease_id
+            owner[worker.proc.sentinel] = lease_id
+        ready = connection.wait(list(owner), timeout=timeout)
+        results: list[tuple[str, dict[str, Any]]] = []
+        for lease_id in {owner[r] for r in ready}:
+            worker = self.busy.pop(lease_id)
+            try:
+                blob = json.loads(worker.conn.recv_bytes().decode("utf-8"))
+                self.idle.append(worker)
+            except (EOFError, OSError, json.JSONDecodeError):
+                worker.proc.join(1.0)
+                blob = {"ok": False, "error": _pool._crash_error(worker.proc)}
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+            if blob.get("ok"):
+                self.done += 1
+            results.append((lease_id, blob))
+        return results
+
+    def shutdown(self) -> None:
+        for worker in self.idle:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in list(self.busy.values()) + self.idle:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            _kill(worker.proc, grace_s=1.0)
+
+
+class _StdinLines:
+    """Non-blocking line framing over a raw fd.
+
+    The agent multiplexes driver commands and worker pipes in ONE
+    ``connection.wait`` — no stdin reader thread.  A thread blocked in
+    ``sys.stdin.readline()`` would hold the buffered reader's lock
+    across the pool's ``fork()``; the forked worker's multiprocessing
+    bootstrap then closes ``sys.stdin`` and deadlocks on that
+    never-to-be-released lock.
+    """
+
+    def __init__(self, fd: int) -> None:
+        self.fd = fd
+        self.buffer = b""
+        self.eof = False
+        os.set_blocking(fd, False)
+
+    def drain(self) -> list[str | None]:
+        """Complete lines available now; ``None`` marks driver EOF."""
+        lines: list[str | None] = []
+        while not self.eof:
+            try:
+                chunk = os.read(self.fd, 1 << 16)
+            except BlockingIOError:
+                break
+            except OSError:
+                chunk = b""
+            if not chunk:
+                self.eof = True
+                break
+            self.buffer += chunk
+        while b"\n" in self.buffer:
+            raw, self.buffer = self.buffer.split(b"\n", 1)
+            lines.append(raw.decode("utf-8", errors="replace"))
+        if self.eof:
+            lines.append(None)
+        return lines
+
+
+def agent_main(workers: int = 1) -> int:
+    """``repro sweep-agent``: serve one driver over stdin/stdout.
+
+    Speaks the envelope protocol described in the module docstring.
+    Exits 0 on a clean ``shutdown`` (or driver EOF — an orphaned agent
+    must not outlive its sweep), 2 on a protocol error before the spec
+    was accepted.
+    """
+    out = sys.stdout
+
+    def emit(kind: str, body: dict[str, Any]) -> None:
+        out.write(encode_envelope(kind, body) + "\n")
+        out.flush()
+
+    emit("hello", {
+        "host": os.uname().nodename if hasattr(os, "uname") else "unknown",
+        "pid": os.getpid(),
+        "workers": max(1, int(workers)),
+    })
+    spec_line = sys.stdin.readline()  # still blocking: nothing to fork yet
+    if not spec_line:
+        return 2
+    try:
+        spec, extras = decode_spec(spec_line.rstrip("\n"))
+    except WireError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    heartbeat_s = float(extras.get("heartbeat_s", DEFAULT_HEARTBEAT_S))
+    emit("spec-ack", {"fingerprint": spec.fingerprint()})
+
+    # Workers inherit this and use it to tell "I run under an agent"
+    # apart from the plain local pool (see the flaky kill-agent mode).
+    os.environ["REPRO_SWEEP_AGENT"] = "1"
+    pool = _AgentPool(spec.cells, max(1, int(workers)))
+    stdin = _StdinLines(sys.stdin.fileno())
+
+    lease_cells: dict[str, str] = {}
+    # Heartbeats at half the driver's interval: one drop never kills us.
+    beat_every = max(0.05, heartbeat_s / 2.0)
+    next_beat = time.monotonic() + beat_every
+    try:
+        while True:
+            wait_on: list[Any] = [stdin.fd]
+            for worker in pool.busy.values():
+                wait_on.append(worker.conn)
+                wait_on.append(worker.proc.sentinel)
+            timeout = max(0.0, min(beat_every, next_beat - time.monotonic()))
+            connection.wait(wait_on, timeout=timeout)
+            for command in stdin.drain():
+                if command is None:
+                    return 0  # driver went away; die with it
+                try:
+                    kind, body = decode_envelope(command)
+                except WireError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    continue
+                if kind == "shutdown":
+                    return 0
+                if kind == "lease":
+                    lease_id = str(body["lease"])
+                    cell_id = str(body["cell"])
+                    error = pool.dispatch(lease_id, cell_id)
+                    if error is not None:
+                        emit("result", {
+                            "lease": lease_id, "cell": cell_id,
+                            "ok": False, "error": error,
+                        })
+                    else:
+                        lease_cells[lease_id] = cell_id
+                elif kind == "cancel":
+                    lease_id = str(body["lease"])
+                    pool.cancel(lease_id)
+                    lease_cells.pop(lease_id, None)
+            for lease_id, blob in pool.poll(timeout=0.0):
+                emit("result", {
+                    "lease": lease_id,
+                    "cell": lease_cells.pop(lease_id, "?"),
+                    "ok": bool(blob.get("ok")),
+                    "payload": blob.get("payload"),
+                    "error": blob.get("error", ""),
+                })
+            now = time.monotonic()
+            if now >= next_beat:
+                emit("heartbeat", {
+                    "busy": sorted(pool.busy), "done": pool.done,
+                })
+                next_beat = now + beat_every
+    except (BrokenPipeError, OSError):
+        return 0  # driver pipe gone mid-write
+    finally:
+        pool.shutdown()

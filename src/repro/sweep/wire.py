@@ -1,0 +1,162 @@
+"""Spawn-safe wire format for sweep specs and the agent protocol.
+
+The PR 6 pool moves cells to workers by fork inheritance, which is free
+but confines a sweep to one machine (and to hosts that *have* fork).
+Everything that crosses a socket, an ssh pipe, or a spawn-start-method
+process boundary instead travels as one **envelope** per line:
+
+``{"wire": 1, "kind": "...", "digest": "...", "body": {...}}``
+
+* ``wire`` is the protocol version.  A peer running a different repro
+  checkout rejects the line with a one-line :class:`WireError` instead
+  of mis-parsing it — version skew between a driver and a fleet of
+  agents is an operator error, not a crash.
+* ``digest`` is a truncated SHA-256 of the canonical JSON of
+  ``(kind, body)``.  A truncated or corrupted line (a dying ssh
+  connection, an interleaved write) fails the digest check and is
+  rejected at the boundary, never half-applied.
+* ``body`` is plain JSON.  Encoding a spec therefore *requires* every
+  cell's params to be JSON-serialisable; factory-based grids (live
+  workload objects) are rejected by name, because they cannot survive
+  any process boundary that fork inheritance does not cross.
+
+A spec envelope additionally carries the spec's own
+:meth:`~repro.sweep.spec.SweepSpec.fingerprint`; the decoder rebuilds
+the spec and verifies the rebuilt fingerprint matches, so an agent can
+never silently run a grid different from the one the driver holds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.sweep.spec import SweepCell, SweepSpec, is_portable
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireError",
+    "encode_envelope",
+    "decode_envelope",
+    "encode_spec",
+    "decode_spec",
+]
+
+#: Bump on any incompatible change to the envelope or protocol bodies.
+WIRE_VERSION = 1
+
+
+class WireError(ValueError):
+    """A line that must not be trusted: wrong version, bad digest,
+    unserialisable payload, or a spec that fails its fingerprint check."""
+
+
+def _digest(kind: str, body: Any) -> str:
+    blob = json.dumps([kind, body], sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def encode_envelope(kind: str, body: Any) -> str:
+    """One newline-free JSON line carrying ``body`` under ``kind``."""
+    try:
+        digest = _digest(kind, body)
+        line = json.dumps(
+            {"wire": WIRE_VERSION, "kind": kind, "digest": digest, "body": body},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"unserialisable {kind!r} message body: {exc}") from None
+    if "\n" in line:  # embedded newlines would split the framing
+        raise WireError(f"{kind!r} message body contains a raw newline")
+    return line
+
+
+def decode_envelope(line: str, *, expect: str | None = None) -> tuple[str, Any]:
+    """Parse and verify one envelope line; returns ``(kind, body)``.
+
+    Rejects — with a :class:`WireError` naming the reason — anything
+    that is not valid JSON, does not carry this :data:`WIRE_VERSION`,
+    fails its digest check, or (with ``expect``) has the wrong kind.
+    """
+    try:
+        outer = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise WireError(f"undecodable wire line: {exc}") from None
+    if not isinstance(outer, dict):
+        raise WireError(f"wire line is not an envelope: {type(outer).__name__}")
+    version = outer.get("wire")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"wire version skew: peer speaks {version!r}, this side speaks "
+            f"{WIRE_VERSION}; upgrade the older end"
+        )
+    kind = outer.get("kind")
+    body = outer.get("body")
+    if not isinstance(kind, str):
+        raise WireError("envelope is missing its kind")
+    if outer.get("digest") != _digest(kind, body):
+        raise WireError(f"digest mismatch on {kind!r} envelope (corrupt line)")
+    if expect is not None and kind != expect:
+        raise WireError(f"expected a {expect!r} envelope, got {kind!r}")
+    return kind, body
+
+
+def encode_spec(spec: SweepSpec, **extra: Any) -> str:
+    """Encode a whole grid as one ``spec`` envelope.
+
+    Every cell must be *portable* (JSON params); the first cell that is
+    not is named in the error, because that cell could only ever travel
+    by fork inheritance.  ``extra`` keys (e.g. the agent's heartbeat
+    interval) ride along in the body next to the grid.
+    """
+    for cell in spec.cells:
+        if not is_portable(cell):
+            raise WireError(
+                f"cell {cell.id!r} has non-JSON params and cannot cross a "
+                f"process boundary; distributed sweeps need declarative cells"
+            )
+    body = {
+        "name": spec.name,
+        "fingerprint": spec.fingerprint(),
+        "cells": [
+            {"id": cell.id, "runner": cell.runner, "params": cell.params}
+            for cell in spec.cells
+        ],
+        **extra,
+    }
+    return encode_envelope("spec", body)
+
+
+def decode_spec(line: str) -> tuple[SweepSpec, dict[str, Any]]:
+    """Rebuild a :class:`SweepSpec` from a ``spec`` envelope.
+
+    Returns ``(spec, extras)`` where ``extras`` holds any non-grid keys
+    the encoder attached.  The rebuilt spec's fingerprint must equal the
+    one carried in the body — a mismatch means the grid was altered in
+    flight (or the two sides disagree about what a fingerprint is,
+    which is the same operator problem as version skew).
+    """
+    _, body = decode_envelope(line, expect="spec")
+    try:
+        cells = tuple(
+            SweepCell(id=c["id"], runner=c["runner"], params=c.get("params", {}))
+            for c in body["cells"]
+        )
+        spec = SweepSpec(name=body["name"], cells=cells)
+        carried = body["fingerprint"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed spec envelope: {exc}") from None
+    rebuilt = spec.fingerprint()
+    if rebuilt != carried:
+        raise WireError(
+            f"spec fingerprint mismatch: envelope says {carried!r}, rebuilt "
+            f"grid digests to {rebuilt!r}; the grid was altered in flight"
+        )
+    extras = {
+        k: v
+        for k, v in body.items()
+        if k not in ("name", "fingerprint", "cells")
+    }
+    return spec, extras

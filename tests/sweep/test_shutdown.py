@@ -1,0 +1,94 @@
+"""Graceful shutdown: escalating kills, SIGINT-safe sweeps, and the
+manifest state they leave behind."""
+
+import os
+import signal
+import threading
+import time
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.sweep import Manifest, SweepCell, SweepSpec, SweepInterrupted, run_sweep
+from repro.sweep.pool import _kill
+
+
+def _cooperative(path):
+    def on_term(_signo, _frame):
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("cleaned up")
+        os._exit(0)
+
+    signal.signal(signal.SIGTERM, on_term)
+    time.sleep(3600.0)
+
+
+def _stubborn():
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(3600.0)
+
+
+def test_kill_lets_sigterm_cleanup_run(tmp_path):
+    """SIGTERM first: a worker with a handler gets its grace window."""
+    witness = str(tmp_path / "witness.txt")
+    ctx = mp.get_context("fork")
+    proc = ctx.Process(target=_cooperative, args=(witness,))
+    proc.start()
+    time.sleep(0.2)  # let the child install its handler
+    _kill(proc, grace_s=2.0)
+    assert not proc.is_alive()
+    assert os.path.exists(witness)
+
+
+def test_kill_escalates_on_sigterm_deaf_process():
+    """A process that ignores SIGTERM is SIGKILLed after the grace."""
+    ctx = mp.get_context("fork")
+    proc = ctx.Process(target=_stubborn)
+    proc.start()
+    time.sleep(0.2)
+    start = time.monotonic()
+    _kill(proc, grace_s=0.3)
+    assert not proc.is_alive()
+    assert time.monotonic() - start < 5.0
+    assert proc.exitcode == -signal.SIGKILL
+
+
+def test_kill_reaps_already_dead_process():
+    ctx = mp.get_context("fork")
+    proc = ctx.Process(target=lambda: None)
+    proc.start()
+    proc.join(5.0)
+    _kill(proc, grace_s=0.1)  # must not raise or hang
+    assert proc.exitcode == 0
+
+
+def test_sigint_flushes_manifest_and_raises(tmp_path):
+    """First SIGINT: stop dispatching, record in-flight cells as pending,
+    raise SweepInterrupted; a later --resume run finishes the job."""
+    manifest = str(tmp_path / "m.json")
+    cells = tuple(
+        SweepCell(f"s{i}", "flaky",
+                  {"mode": "sleep", "sleep_s": 0.4, "payload": f"p{i}"})
+        for i in range(4)
+    )
+    spec = SweepSpec("interruptible", cells)
+
+    def interrupt_soon():
+        time.sleep(0.6)  # mid-sweep: some cells done, some in flight
+        os.kill(os.getpid(), signal.SIGINT)
+
+    threading.Thread(target=interrupt_soon, daemon=True).start()
+    with pytest.raises(SweepInterrupted) as excinfo:
+        run_sweep(spec, workers=1, manifest_path=manifest)
+    message = str(excinfo.value)
+    assert "manifest flushed" in message and "--resume" in message
+
+    book = Manifest.load(manifest, spec)
+    assert 0 < len(book.completed) < len(cells)  # partial progress kept
+
+    resumed = run_sweep(spec, workers=1, manifest_path=manifest, resume=True)
+    assert resumed.ok
+    assert [o.payload for o in resumed.outcomes] == [
+        f"p{i}" for i in range(4)
+    ]

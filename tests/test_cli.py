@@ -137,3 +137,47 @@ def test_chaos_unknown_workload_one_line_error(capsys):
     err = capsys.readouterr().err
     assert err.startswith("error:")
     assert "nosuch" in err
+
+
+SWEEP_SIZING = [
+    "--policies", "static", "--workload", "zipf", "--pages", "100",
+    "--ops", "300", "--dram-pages", "64", "--pm-pages", "512",
+]
+
+
+def test_sweep_bad_hosts_one_line_error(capsys):
+    code = main(["sweep", *SWEEP_SIZING, "--hosts", "loopback:zz"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "loopback:zz" in err
+    assert err.count("\n") == 1
+
+
+def test_sweep_tuning_flags_require_hosts(capsys):
+    code = main(["sweep", *SWEEP_SIZING, "--heartbeat-s", "1"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "--hosts" in err
+    assert err.count("\n") == 1
+
+
+def test_sweep_bad_heartbeat_one_line_error(capsys):
+    code = main(["sweep", *SWEEP_SIZING,
+                 "--hosts", "loopback", "--heartbeat-s", "-2"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "--heartbeat-s" in err
+    assert err.count("\n") == 1
+
+
+def test_sweep_bad_straggler_factor_one_line_error(capsys):
+    code = main(["sweep", *SWEEP_SIZING,
+                 "--hosts", "loopback", "--straggler-factor", "0.5"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "--straggler-factor" in err
+    assert err.count("\n") == 1
