@@ -14,7 +14,57 @@ echo "== bench harness smoke test =="
 python -m pytest benchmarks/perf -q
 
 echo "== repro bench --smoke =="
-python -m repro bench --smoke --repeats 1 --out "$(mktemp -d)/BENCH_perf.json"
+BENCH_TMP="$(mktemp -d)"
+python -m repro bench --smoke --repeats 1 --out "$BENCH_TMP/BENCH_perf.json"
+
+echo "== pagestore smoke (SoA array driver vs recorded baseline) =="
+python - <<'PYEOF'
+import json
+from repro.machine import Machine
+from repro.run import run_numeric_stream
+from repro.sim.config import DaemonConfig, SimulationConfig
+from repro.workloads.synthetic import ZipfWorkload
+
+recorded = json.load(open("tests/data/baseline_runresults.json"))
+config = SimulationConfig(
+    dram_pages=(512,), pm_pages=(4096,), swap_pages=1 << 20,
+    daemons=DaemonConfig(kpromoted_interval_s=0.002,
+                         kswapd_interval_s=0.001,
+                         hint_scan_interval_s=0.002),
+    seed=7,
+)
+workload = ZipfWorkload(2000, 20_000, seed=7, write_ratio=0.2)
+stream = list(workload.numeric_batches())
+result = run_numeric_stream(workload, config, stream, "autonuma")
+got = {
+    "operations": result.operations, "accesses": result.accesses,
+    "elapsed_ns": result.elapsed_ns, "app_ns": result.app_ns,
+    "system_ns": result.system_ns, "ops_fallback": result.ops_fallback,
+    "counters": dict(sorted(result.counters.items())),
+}
+assert got == recorded["autonuma"], "SoA array driver diverged from baseline"
+print("SoA array driver is bit-identical to the recorded autonuma baseline")
+PYEOF
+
+echo "== bench guard (batched touch must not regress below the floor) =="
+python - "$BENCH_TMP/BENCH_perf.json" <<'PYEOF'
+import json
+import sys
+
+# The committed full-run batched-touch throughput before the SoA
+# vectorized driver landed; even the smoke-sized run clears it by an
+# order of magnitude, so dipping below means the fast path fell off.
+FLOOR = 1_455_757
+
+bench = json.load(open(sys.argv[1]))
+touch = bench["touch"]
+assert touch["identical"] is True, f"touch drivers diverged: {touch}"
+rate = touch["batched_ops_per_sec"]
+assert rate >= FLOOR, (
+    f"batched touch regressed: {rate:,.0f} ops/s < floor {FLOOR:,} ops/s"
+)
+print(f"batched touch {rate:,.0f} ops/s >= floor {FLOOR:,} ops/s")
+PYEOF
 
 echo "== chaos smoke (2 policies x 1 workload under faults) =="
 python -m repro chaos --policies multiclock,static --workload zipf \
@@ -49,7 +99,10 @@ echo "== sweep perf smoke (pool beats sequential; cached re-run is free) =="
 python - <<'PYEOF'
 from repro.bench import bench_sweep
 
-r = bench_sweep(pages=800, ops=8_000, policies=("static", "multiclock"))
+# Cells sized so the pool's fork-and-pipe overhead is well below the
+# per-cell work; smaller cells made this comparison a coin flip on a
+# busy single-core host.
+r = bench_sweep(pages=1500, ops=20_000)
 assert r["identical"], f"pool results diverged from sequential: {r}"
 assert r["parallel_s"] <= r["sequential_s"], (
     f"2-worker pool slower than sequential: {r}"

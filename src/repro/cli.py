@@ -597,7 +597,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # report's bytes must stay identical to a sequential sweep's.
         with open(f"{out}.hosts.json", "w", encoding="utf-8") as fh:
             json.dump(
-                {"hosts": [h.to_dict() for h in result.host_outcomes]},
+                {
+                    "cache_hits": result.cache_hits,
+                    "hosts": [h.to_dict() for h in result.host_outcomes],
+                },
                 fh, indent=2, sort_keys=True,
             )
             fh.write("\n")

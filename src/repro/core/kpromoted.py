@@ -19,17 +19,34 @@ scan budget to 1024 pages):
    under pressure); stale ones recycle to the active list (edge 11).
    On a DRAM node there is no higher tier, so the whole promote list
    recycles to active.
+
+The two harvesting scans run as vectorized column sweeps over the
+struct-of-arrays page store: one pointer walk collects the budgeted tail
+segment, numpy masks decide every transition at once, and the list is
+rebuilt with a handful of fancy-index link writes.  A pass that runs out
+of list before budget keeps the CLOCK semantics of the scalar loop —
+already-rotated pages are re-visited as pure rotations, which the sweep
+reproduces as a rotation of the survivor block.  The scalar loops remain
+as the reference path, used whenever a tracer is attached (per-page
+tracepoints must fire in visit order) or the policy overrides
+``observe_scan`` (per-page observation order matters); the drain keeps
+its scalar form — every page it visits leaves the list through the
+migration machinery, which is where all the cost lives anyway.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.core.state import move_to_promote, recycle_promote_to_active
 from repro.mm.flags import PageFlags
 from repro.mm.lruvec import ListKind
 from repro.mm.numa import NumaNode
+from repro.mm.pagestore import NO_PFN
 from repro.mm.vmscan import ScanResult, shrink_inactive_list
+from repro.policies.base import TieringPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.multiclock import MultiClockPolicy
@@ -79,8 +96,133 @@ class KPromoted:
         self._c_deactivated.n += total.deactivated
         return total.system_ns
 
+    def _vector_scans_ok(self) -> bool:
+        """Whether the column-sweep scans preserve observable behaviour."""
+        return (
+            self.policy.system.trace is None
+            and type(self.policy).observe_scan is TieringPolicy.observe_scan
+        )
+
+    @staticmethod
+    def _wrap_survivors(
+        survivors: np.ndarray, n: int, budget: int, result: ScanResult
+    ) -> np.ndarray:
+        """Account a scan that lapped the list (budget beyond one pass).
+
+        Once every page has been visited, harvested bits are spent, so
+        each further visit is a pure rotation of the current tail.  The
+        net effect of ``budget - n`` such rotations on the survivor block
+        is a rotation by ``(budget - n) mod m``; an emptied list stops
+        the scan at ``n``.
+        """
+        m = len(survivors)
+        if m == 0:
+            result.scanned = n
+            return survivors
+        result.scanned = budget
+        r = (budget - n) % m
+        if r:
+            survivors = np.concatenate([survivors[r:], survivors[:r]])
+        return survivors
+
     def _scan_inactive(self, is_anon: bool, budget: int) -> ScanResult:
         """Advance referenced inactive pages up the ladder (edges 1, 6)."""
+        if not self._vector_scans_ok():
+            return self._scan_inactive_scalar(is_anon, budget)
+        result = ScanResult()
+        system = self.policy.system
+        inactive = self.node.lruvec.list_for(ListKind.INACTIVE, is_anon)
+        n = len(inactive)
+        if n == 0 or budget <= 0:
+            result.system_ns = system.hardware.scan_ns(0)
+            return result
+        active = self.node.lruvec.list_for(ListKind.ACTIVE, is_anon)
+        store = inactive._store
+        k1 = min(budget, n)
+        visited = store.walk_tail(inactive, k1)
+        col_acc = store.pte_accessed
+        col_flags = store.flags
+        ref_bit = int(PageFlags.REFERENCED)
+        # harvest_accessed across the whole segment: accessed AND mapped.
+        acc = col_acc[visited] & (store.mapcount[visited] > 0)
+        if acc.any():
+            col_acc[visited[acc]] = False
+        ref = (col_flags[visited] & ref_bit) != 0
+        act_mask = acc & ref
+        new_ref = acc & ~ref
+        survivors = visited[~act_mask]
+        movers = visited[act_mask]
+        n_ref = int(np.count_nonzero(new_ref))
+        if n_ref:
+            col_flags[visited[new_ref]] |= ref_bit
+        if budget > n:
+            survivors = self._wrap_survivors(survivors, n, budget, result)
+            rest_tail = NO_PFN
+        else:
+            result.scanned = k1
+            rest_tail = int(store.lru_prev[visited[-1]]) if k1 < n else NO_PFN
+        store.rebuild_after_scan(inactive, survivors, rest_tail, len(movers))
+        if len(movers):
+            col_flags[movers] = (col_flags[movers] & ~ref_bit) | int(PageFlags.ACTIVE)
+            store.prepend_head_block(active, movers, int(PageFlags.LRU))
+            result.activated = len(movers)
+        result.referenced = n_ref
+        result.system_ns = system.hardware.scan_ns(result.scanned)
+        return result
+
+    def _scan_active(self, is_anon: bool, budget: int) -> ScanResult:
+        """Move twice-referenced active pages to the promote list (edge 10)."""
+        if not self._vector_scans_ok():
+            return self._scan_active_scalar(is_anon, budget)
+        result = ScanResult()
+        system = self.policy.system
+        active = self.node.lruvec.list_for(ListKind.ACTIVE, is_anon)
+        n = len(active)
+        if n == 0 or budget <= 0:
+            result.system_ns = system.hardware.scan_ns(0)
+            return result
+        promote = self.node.lruvec.list_for(ListKind.PROMOTE, is_anon)
+        store = active._store
+        k1 = min(budget, n)
+        visited = store.walk_tail(active, k1)
+        col_acc = store.pte_accessed
+        col_flags = store.flags
+        ref_bit = int(PageFlags.REFERENCED)
+        acc = col_acc[visited] & (store.mapcount[visited] > 0)
+        if acc.any():
+            col_acc[visited[acc]] = False
+        ref = (col_flags[visited] & ref_bit) != 0
+        mov_mask = acc & ref
+        new_ref = acc & ~ref
+        survivors = visited[~mov_mask]
+        movers = visited[mov_mask]
+        n_ref = int(np.count_nonzero(new_ref))
+        if n_ref:
+            col_flags[visited[new_ref]] |= ref_bit
+        if budget > n:
+            survivors = self._wrap_survivors(survivors, n, budget, result)
+            rest_tail = NO_PFN
+        else:
+            result.scanned = k1
+            rest_tail = int(store.lru_prev[visited[-1]]) if k1 < n else NO_PFN
+        store.rebuild_after_scan(active, survivors, rest_tail, len(movers))
+        if len(movers):
+            col_flags[movers] = (
+                col_flags[movers] & ~int(PageFlags.ACTIVE)
+            ) | (int(PageFlags.PROMOTE) | ref_bit)
+            store.prepend_head_block(promote, movers, int(PageFlags.LRU))
+            result.to_promote_list = len(movers)
+            if system.metrics is not None:
+                note_add = system.metrics.note_promote_list_add
+                now_ns = system.clock.now_ns
+                for pfn in movers.tolist():
+                    note_add(pfn, now_ns)
+        result.referenced = n_ref
+        result.system_ns = system.hardware.scan_ns(result.scanned)
+        return result
+
+    def _scan_inactive_scalar(self, is_anon: bool, budget: int) -> ScanResult:
+        """Reference implementation of the inactive sweep (traced runs)."""
         result = ScanResult()
         system = self.policy.system
         inactive = self.node.lruvec.list_for(ListKind.INACTIVE, is_anon)
@@ -113,8 +255,8 @@ class KPromoted:
         result.system_ns = system.hardware.scan_ns(result.scanned)
         return result
 
-    def _scan_active(self, is_anon: bool, budget: int) -> ScanResult:
-        """Move twice-referenced active pages to the promote list (edge 10)."""
+    def _scan_active_scalar(self, is_anon: bool, budget: int) -> ScanResult:
+        """Reference implementation of the active sweep (traced runs)."""
         result = ScanResult()
         system = self.policy.system
         active = self.node.lruvec.list_for(ListKind.ACTIVE, is_anon)

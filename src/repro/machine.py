@@ -9,13 +9,21 @@ Two access paths are offered.  :meth:`Machine.touch` is the simple
 per-reference call; :meth:`Machine.touch_batch` drives a whole access
 stream through an inlined copy of the hot path — same semantics, same
 counters, same virtual times, but an order of magnitude less Python
-call overhead.  ``tests/perf/test_touch_batch_equivalence.py`` holds the
-two paths bit-identical.
+call overhead.  :meth:`Machine.touch_batch_array` goes further for
+numeric single-process streams: when the stream hits the common case
+(resident pages, no poisons, one unsupervised region, default policy
+callbacks) whole access vectors are resolved and charged with a handful
+of numpy gathers against the struct-of-arrays page store, dropping to
+the scalar loop only around faults, daemon deadlines and policy
+overrides.  ``tests/perf/test_touch_batch_equivalence.py`` holds all
+paths bit-identical.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
 
 from repro.mm.address_space import Process
 from repro.mm.flags import PageFlags
@@ -176,7 +184,7 @@ class Machine:
         case (page resident, PTE clean) runs without entering
         ``MemorySystem.touch``: the PTE/flag updates, latency charge,
         counter bumps and scheduler deadline check are all inlined here
-        with every attribute lookup hoisted out of the loop.
+        against hoisted page-store columns.
         """
         system = self.system
         scheduler = self.scheduler
@@ -186,7 +194,7 @@ class Machine:
         policy = system.policy
         run_due = scheduler.run_due
         slow_touch = system.touch
-        awaiting = system._awaiting_reaccess
+        store = system.pagestore
         reaccess_horizon = system._reaccess_horizon_ns
         c_reaccessed = system._c_promoted_reaccessed
         record_reaccess = stats.series["promoted_reaccessed_window"].record
@@ -208,7 +216,7 @@ class Machine:
         multi_socket = system.config.sockets > 1
         # Node ids are assigned densely from 0, and a node's tier and
         # socket never change, so per-node facts fold into flat vectors
-        # indexed by page.node_id.
+        # indexed by the page's node column.
         node_list = [nodes[nid] for nid in range(len(nodes))]
         node_read_ns = [read_ns[n.tier] for n in node_list]
         node_write_ns = [write_ns[n.tier] for n in node_list]
@@ -218,11 +226,20 @@ class Machine:
         faults_live = system.faults is not None
         node_is_dram = [n.tier is MemoryTier.DRAM for n in node_list]
         node_socket = [n.socket for n in node_list]
+        # Page-store columns, hoisted.  Store growth (a fault allocating
+        # past capacity) reallocates every column, so these are re-hoisted
+        # after any excursion that can allocate — slow_touch and run_due —
+        # the same discipline as the latency tables above.
+        col_acc = store.pte_accessed
+        col_dirty = store.pte_dirty
+        col_flags = store.flags
+        col_node = store.node
+        col_await = store.awaiting_ns
         c_total = stats.counter("accesses.total")
         c_dram = stats.counter("accesses.dram")
         c_pm = stats.counter("accesses.pm")
         c_remote = stats.counter("accesses.remote")
-        dirty_flag = PageFlags.DIRTY
+        dirty_bit = int(PageFlags.DIRTY)
         n_accesses = 0
         n_operations = 0
         # Virtual time and the access counters are accumulated in locals
@@ -238,7 +255,6 @@ class Machine:
         # Per-process and per-region state, re-hoisted on change.  Regions
         # are never unmapped, so a cached [start, end) range stays valid.
         cur_process: Process | None = None
-        pt_get = None
         home_socket = -1
         reg_start = reg_end = 0  # empty range: first access misses the cache
         reg_supervised = False
@@ -278,18 +294,24 @@ class Machine:
                     if faults_live:
                         node_read_ns = [read_ns[n.tier] for n in node_list]
                         node_write_ns = [write_ns[n.tier] for n in node_list]
+                col_acc = store.pte_accessed
+                col_dirty = store.pte_dirty
+                col_flags = store.flags
+                col_node = store.node
+                col_await = store.awaiting_ns
                 continue
             if not reg_start <= vpage < reg_end:
                 region = process.region_for(vpage)
                 reg_start = region.start_vpage
                 reg_end = region.end_vpage
                 reg_supervised = region.supervised
-            pte.accessed = True
             page = pte.page
+            pfn = page.pfn
+            col_acc[pfn] = True
             if is_write:
-                pte.dirty = True
-                page.flags |= dirty_flag
-            nid = page.node_id
+                col_dirty[pfn] = True
+                col_flags[pfn] |= dirty_bit
+            nid = col_node[pfn]
             if inline_charge:
                 access_ns = access.lines * (
                     node_write_ns[nid] if is_write else node_read_ns[nid]
@@ -312,10 +334,13 @@ class Machine:
                 acc_pm += 1
             if reg_supervised:
                 mark_accessed(page)
-            if awaiting:
+            if system._awaiting_count:
                 # Inlined MemorySystem._note_reaccess against the local time.
-                promoted_at = awaiting.pop(page.pfn, None)
-                if promoted_at is not None:
+                promoted_at = col_await[pfn]
+                if promoted_at >= 0:
+                    col_await[pfn] = -1
+                    system._awaiting_count -= 1
+                    promoted_at = int(promoted_at)
                     if record_reaccess_delay is not None:
                         record_reaccess_delay(now - promoted_at)
                     if now - promoted_at <= reaccess_horizon:
@@ -345,6 +370,11 @@ class Machine:
                 if faults_live:
                     node_read_ns = [read_ns[n.tier] for n in node_list]
                     node_write_ns = [write_ns[n.tier] for n in node_list]
+                col_acc = store.pte_accessed
+                col_dirty = store.pte_dirty
+                col_flags = store.flags
+                col_node = store.node
+                col_await = store.awaiting_ns
         clock._now_ns = now
         clock._app_ns += app_accum
         c_total.n += acc_total
@@ -368,10 +398,19 @@ class Machine:
         stream.  Equivalent to :meth:`touch_batch` over the
         :class:`~repro.workloads.base.PageAccess` objects those batches
         would emit — faults, daemon wakeups, counters and clock advance
-        identically — but without materialising any access objects, which
-        is what lets the sweep pool replay one shared numeric stream
-        across many cells.  ``tests/perf/test_touch_batch_equivalence.py``
-        holds the two drivers bit-identical.
+        identically — but without materialising any access objects.
+
+        When the common case holds — every page of the batch resident in
+        a dense page table with no poisoned PTEs, one unsupervised region
+        covering the batch, and a policy keeping the default
+        ``charge_access``/``on_access`` — whole batches are processed as
+        column sweeps: one ``v2p`` gather resolves the translations, the
+        accessed/dirty bits land with fancy-index stores, the latency
+        charge is a vectorized table gather with a ``cumsum`` locating
+        the exact access on which a daemon deadline fires.  Any access
+        that breaks the pattern (fault, poison, deadline, region edge)
+        detours through the scalar path, so the result stays
+        bit-identical to the per-access drivers.
         """
         system = self.system
         scheduler = self.scheduler
@@ -381,7 +420,7 @@ class Machine:
         policy = system.policy
         run_due = scheduler.run_due
         slow_touch = system.touch
-        awaiting = system._awaiting_reaccess
+        store = system.pagestore
         reaccess_horizon = system._reaccess_horizon_ns
         c_reaccessed = system._c_promoted_reaccessed
         record_reaccess = stats.series["promoted_reaccessed_window"].record
@@ -404,27 +443,297 @@ class Machine:
         faults_live = system.faults is not None
         node_is_dram = [n.tier is MemoryTier.DRAM for n in node_list]
         node_socket = [n.socket for n in node_list]
+        # Vector-path tables: per-node latency/socket/tier as numpy rows.
+        np_read = np.asarray(node_read_ns, dtype=np.int64)
+        np_write = np.asarray(node_write_ns, dtype=np.int64)
+        np_dram = np.asarray(node_is_dram, dtype=bool)
+        np_socket = np.asarray(node_socket, dtype=np.int64)
+        col_acc = store.pte_accessed
+        col_dirty = store.pte_dirty
+        col_flags = store.flags
+        col_node = store.node
+        col_await = store.awaiting_ns
         c_total = stats.counter("accesses.total")
         c_dram = stats.counter("accesses.dram")
         c_pm = stats.counter("accesses.pm")
         c_remote = stats.counter("accesses.remote")
-        dirty_flag = PageFlags.DIRTY
+        dirty_bit = int(PageFlags.DIRTY)
         n_accesses = 0
         now = clock._now_ns
         app_accum = 0
         acc_total = acc_dram = acc_pm = acc_remote = 0
         next_deadline = scheduler.next_deadline_ns
-        # One process for the whole stream: its page-table dict and home
+        # One process for the whole stream: its page table and home
         # socket are hoisted once instead of re-checked per access.
-        pt_dict = process.page_table._entries
+        page_table = process.page_table
+        pt_dict = page_table._entries
         home_socket = process.home_socket
         reg_start = reg_end = 0  # empty range: first access misses the cache
         reg_supervised = False
+        vector_ok = inline_charge and skip_on_access
         for vpages, writes in batches:
-            vp_list = vpages.tolist() if hasattr(vpages, "tolist") else vpages
-            wr_list = writes.tolist() if hasattr(writes, "tolist") else writes
-            n_accesses += len(vp_list)
-            for vpage, is_write in zip(vp_list, wr_list):
+            vp = np.asarray(vpages, dtype=np.int64)
+            wr = np.asarray(writes, dtype=bool)
+            n = len(vp)
+            if n == 0:
+                continue
+            n_accesses += n
+            pos = 0
+            vectorable = vector_ok
+            if vectorable:
+                # The whole batch must sit in one unsupervised region;
+                # otherwise (or if the range is simply unmapped — the
+                # scalar path owns raising that SIGSEGV at the exact
+                # offending access) fall through to the scalar loop.
+                bmin = int(vp.min())
+                bmax = int(vp.max())
+                if not (reg_start <= bmin and bmax < reg_end):
+                    try:
+                        region = process.region_for(bmin)
+                    except LookupError:
+                        vectorable = False
+                    else:
+                        if bmax < region.end_vpage:
+                            reg_start = region.start_vpage
+                            reg_end = region.end_vpage
+                            reg_supervised = region.supervised
+                        else:
+                            vectorable = False
+                if vectorable and reg_supervised:
+                    vectorable = False
+            # Translations are gathered once per batch and reused; the
+            # cache is only dropped when the page table's unmap
+            # generation moves (a new mapping can never turn a cached
+            # hit stale, an unmap can).  Misses are pre-located; each
+            # candidate miss is re-checked against the live table as the
+            # scan reaches it and patched into a hit when an earlier
+            # fault in the batch already mapped that vpage — O(1) per
+            # entry, so a hot page faulting once neither fragments the
+            # batch into scalar excursions nor costs a quadratic
+            # patch-the-remainder pass per fault.
+            pfns_all = None
+            miss_pos = None
+            n_miss = mi = gen = 0
+            while vectorable and pos < n:
+                if page_table._poison_count or not page_table.dense:
+                    vectorable = False
+                    break
+                if pfns_all is None:
+                    if not page_table.ensure_dense_capacity(bmax + 1):
+                        vectorable = False
+                        break
+                    pfns_all = page_table.v2p[vp]
+                    miss_pos = np.flatnonzero(pfns_all < 0)
+                    n_miss = len(miss_pos)
+                    mi = 0
+                    gen = page_table._unmap_gen
+                # Skip consumed misses and patch stale ones: a miss
+                # recorded at gather time may have become resident via
+                # an earlier fault on the same vpage in this batch.
+                while mi < n_miss:
+                    mp = int(miss_pos[mi])
+                    if mp < pos or pfns_all[mp] >= 0:
+                        mi += 1
+                        continue
+                    live = int(page_table.v2p[vp[mp]])
+                    if live >= 0:
+                        pfns_all[mp] = live
+                        mi += 1
+                        continue
+                    break
+                nxt = int(miss_pos[mi]) if mi < n_miss else n
+                limit = nxt - pos
+                if limit == 0:
+                    # Fault on the next access: scalar excursion, then
+                    # re-hoist anything an allocation may have replaced.
+                    clock._now_ns = now
+                    clock._app_ns += app_accum
+                    c_total.n += acc_total
+                    c_dram.n += acc_dram
+                    c_pm.n += acc_pm
+                    c_remote.n += acc_remote
+                    app_accum = acc_total = acc_dram = acc_pm = acc_remote = 0
+                    slow_touch(
+                        process, int(vp[pos]), is_write=bool(wr[pos]), lines=lines
+                    )
+                    now = clock._now_ns
+                    if next_deadline <= now:
+                        run_due()
+                        now = clock._now_ns
+                        next_deadline = scheduler.next_deadline_ns
+                        if faults_live:
+                            node_read_ns = [read_ns[n_.tier] for n_ in node_list]
+                            node_write_ns = [write_ns[n_.tier] for n_ in node_list]
+                            np_read = np.asarray(node_read_ns, dtype=np.int64)
+                            np_write = np.asarray(node_write_ns, dtype=np.int64)
+                    col_acc = store.pte_accessed
+                    col_dirty = store.pte_dirty
+                    col_flags = store.flags
+                    col_node = store.node
+                    col_await = store.awaiting_ns
+                    if page_table._unmap_gen != gen:
+                        pfns_all = None
+                    pos += 1
+                    continue
+                if limit < 32:
+                    # Short run between faults: numpy's fixed per-call
+                    # cost over a couple of accesses loses to a scalar
+                    # loop on the same columns, and cold batches are
+                    # almost entirely such runs.
+                    end = pos + limit
+                    while pos < end:
+                        pfn = int(pfns_all[pos])
+                        is_write = bool(wr[pos])
+                        nid = int(col_node[pfn])
+                        access_ns = lines * (
+                            node_write_ns[nid] if is_write else node_read_ns[nid]
+                        )
+                        if multi_socket and node_socket[nid] != home_socket:
+                            access_ns = int(access_ns * remote_mult)
+                            acc_remote += 1
+                        col_acc[pfn] = True
+                        if is_write:
+                            col_dirty[pfn] = True
+                            col_flags[pfn] |= dirty_bit
+                        now += access_ns
+                        app_accum += access_ns
+                        acc_total += 1
+                        if node_is_dram[nid]:
+                            acc_dram += 1
+                        else:
+                            acc_pm += 1
+                        if system._awaiting_count:
+                            promoted_at = int(col_await[pfn])
+                            if promoted_at >= 0:
+                                col_await[pfn] = -1
+                                system._awaiting_count -= 1
+                                if record_reaccess_delay is not None:
+                                    record_reaccess_delay(now - promoted_at)
+                                if now - promoted_at <= reaccess_horizon:
+                                    c_reaccessed.n += 1
+                                    record_reaccess(promoted_at)
+                        pos += 1
+                        if next_deadline <= now:
+                            clock._now_ns = now
+                            clock._app_ns += app_accum
+                            c_total.n += acc_total
+                            c_dram.n += acc_dram
+                            c_pm.n += acc_pm
+                            c_remote.n += acc_remote
+                            app_accum = acc_total = acc_dram = acc_pm = acc_remote = 0
+                            run_due()
+                            now = clock._now_ns
+                            next_deadline = scheduler.next_deadline_ns
+                            if faults_live:
+                                node_read_ns = [read_ns[n_.tier] for n_ in node_list]
+                                node_write_ns = [write_ns[n_.tier] for n_ in node_list]
+                                np_read = np.asarray(node_read_ns, dtype=np.int64)
+                                np_write = np.asarray(node_write_ns, dtype=np.int64)
+                            col_acc = store.pte_accessed
+                            col_dirty = store.pte_dirty
+                            col_flags = store.flags
+                            col_node = store.node
+                            col_await = store.awaiting_ns
+                            # The daemons may have unmapped pages or
+                            # hint-poisoned PTEs: bounce to the outer
+                            # loop, which re-gathers or de-vectorizes.
+                            if (
+                                page_table._unmap_gen != gen
+                                or page_table._poison_count
+                            ):
+                                pfns_all = None
+                                break
+                    continue
+                seg = pfns_all[pos : pos + limit]
+                w = wr[pos : pos + limit]
+                nid_arr = col_node[seg]
+                base = np.where(w, np_write[nid_arr], np_read[nid_arr])
+                if lines != 1:
+                    base = base * lines
+                rem = None
+                if multi_socket:
+                    rem = np_socket[nid_arr] != home_socket
+                    if rem.any():
+                        # Same truncation as the scalar int(ns * mult).
+                        base[rem] = (base[rem] * remote_mult).astype(np.int64)
+                cum = np.cumsum(base)
+                total = int(cum[-1])
+                crossed = next_deadline <= now + total
+                if crossed:
+                    # First access whose end time reaches the deadline —
+                    # it is charged before the daemons run, exactly as
+                    # the scalar loop checks after each access.
+                    j = int(np.searchsorted(cum, next_deadline - now, side="left"))
+                    limit = j + 1
+                    seg = seg[:limit]
+                    w = w[:limit]
+                    nid_arr = nid_arr[:limit]
+                    cum = cum[:limit]
+                    if rem is not None:
+                        rem = rem[:limit]
+                    total = int(cum[-1])
+                # Hardware bit updates: duplicates in `seg` are fine —
+                # both stores are idempotent.
+                col_acc[seg] = True
+                if w.any():
+                    wseg = seg[w]
+                    col_dirty[wseg] = True
+                    col_flags[wseg] |= dirty_bit
+                acc_total += limit
+                nd = int(np.count_nonzero(np_dram[nid_arr]))
+                acc_dram += nd
+                acc_pm += limit - nd
+                if rem is not None:
+                    acc_remote += int(np.count_nonzero(rem))
+                if system._awaiting_count:
+                    # Promoted pages waiting for a re-access: rare, so the
+                    # hits are replayed scalar, each against the virtual
+                    # time of its own access (now + cum).  Re-reading the
+                    # column per hit makes duplicate pfns consume the
+                    # pending promotion exactly once, like the dict pop.
+                    for i2 in np.flatnonzero(col_await[seg] >= 0).tolist():
+                        hit_pfn = int(seg[i2])
+                        promoted_at = int(col_await[hit_pfn])
+                        if promoted_at < 0:
+                            continue
+                        col_await[hit_pfn] = -1
+                        system._awaiting_count -= 1
+                        now_i = now + int(cum[i2])
+                        if record_reaccess_delay is not None:
+                            record_reaccess_delay(now_i - promoted_at)
+                        if now_i - promoted_at <= reaccess_horizon:
+                            c_reaccessed.n += 1
+                            record_reaccess(promoted_at)
+                now += total
+                app_accum += total
+                pos += limit
+                if crossed:
+                    clock._now_ns = now
+                    clock._app_ns += app_accum
+                    c_total.n += acc_total
+                    c_dram.n += acc_dram
+                    c_pm.n += acc_pm
+                    c_remote.n += acc_remote
+                    app_accum = acc_total = acc_dram = acc_pm = acc_remote = 0
+                    run_due()
+                    now = clock._now_ns
+                    next_deadline = scheduler.next_deadline_ns
+                    if faults_live:
+                        node_read_ns = [read_ns[n_.tier] for n_ in node_list]
+                        node_write_ns = [write_ns[n_.tier] for n_ in node_list]
+                        np_read = np.asarray(node_read_ns, dtype=np.int64)
+                        np_write = np.asarray(node_write_ns, dtype=np.int64)
+                    col_acc = store.pte_accessed
+                    col_dirty = store.pte_dirty
+                    col_flags = store.flags
+                    col_node = store.node
+                    col_await = store.awaiting_ns
+                    if page_table._unmap_gen != gen:
+                        pfns_all = None
+            if pos >= n:
+                continue
+            # Scalar remainder: identical to touch_batch's inlined body.
+            for vpage, is_write in zip(vp[pos:].tolist(), wr[pos:].tolist()):
                 try:
                     pte = pt_dict[vpage]
                 except KeyError:
@@ -444,20 +753,28 @@ class Machine:
                         now = clock._now_ns
                         next_deadline = scheduler.next_deadline_ns
                         if faults_live:
-                            node_read_ns = [read_ns[n.tier] for n in node_list]
-                            node_write_ns = [write_ns[n.tier] for n in node_list]
+                            node_read_ns = [read_ns[n_.tier] for n_ in node_list]
+                            node_write_ns = [write_ns[n_.tier] for n_ in node_list]
+                            np_read = np.asarray(node_read_ns, dtype=np.int64)
+                            np_write = np.asarray(node_write_ns, dtype=np.int64)
+                    col_acc = store.pte_accessed
+                    col_dirty = store.pte_dirty
+                    col_flags = store.flags
+                    col_node = store.node
+                    col_await = store.awaiting_ns
                     continue
                 if not reg_start <= vpage < reg_end:
                     region = process.region_for(vpage)
                     reg_start = region.start_vpage
                     reg_end = region.end_vpage
                     reg_supervised = region.supervised
-                pte.accessed = True
                 page = pte.page
+                pfn = page.pfn
+                col_acc[pfn] = True
                 if is_write:
-                    pte.dirty = True
-                    page.flags |= dirty_flag
-                nid = page.node_id
+                    col_dirty[pfn] = True
+                    col_flags[pfn] |= dirty_bit
+                nid = col_node[pfn]
                 if inline_charge:
                     access_ns = lines * (
                         node_write_ns[nid] if is_write else node_read_ns[nid]
@@ -480,9 +797,12 @@ class Machine:
                     acc_pm += 1
                 if reg_supervised:
                     mark_accessed(page)
-                if awaiting:
-                    promoted_at = awaiting.pop(page.pfn, None)
-                    if promoted_at is not None:
+                if system._awaiting_count:
+                    promoted_at = col_await[pfn]
+                    if promoted_at >= 0:
+                        col_await[pfn] = -1
+                        system._awaiting_count -= 1
+                        promoted_at = int(promoted_at)
                         if record_reaccess_delay is not None:
                             record_reaccess_delay(now - promoted_at)
                         if now - promoted_at <= reaccess_horizon:
@@ -510,8 +830,15 @@ class Machine:
                     now = clock._now_ns
                     next_deadline = scheduler.next_deadline_ns
                     if faults_live:
-                        node_read_ns = [read_ns[n.tier] for n in node_list]
-                        node_write_ns = [write_ns[n.tier] for n in node_list]
+                        node_read_ns = [read_ns[n_.tier] for n_ in node_list]
+                        node_write_ns = [write_ns[n_.tier] for n_ in node_list]
+                        np_read = np.asarray(node_read_ns, dtype=np.int64)
+                        np_write = np.asarray(node_write_ns, dtype=np.int64)
+                    col_acc = store.pte_accessed
+                    col_dirty = store.pte_dirty
+                    col_flags = store.flags
+                    col_node = store.node
+                    col_await = store.awaiting_ns
         clock._now_ns = now
         clock._app_ns += app_accum
         c_total.n += acc_total

@@ -37,10 +37,18 @@ class Log2Histogram:
         self.max_value: int | None = None
 
     def record(self, value: int) -> None:
-        """Add one observation; ``value`` must be a non-negative integer."""
+        """Add one observation; ``value`` must be a non-negative integer.
+
+        Zero is a real observation (bucket 0: the ``[0, 0]`` range) and
+        updates every exact moment.  The value is coerced through
+        ``int`` so numpy scalars off the hot-path columns cannot leak
+        into ``total``/``min``/``max`` (where they would wrap at 64 bits
+        and break JSON export).
+        """
+        value = int(value)
         if value < 0:
             raise ValueError(f"histogram {self.name!r} got negative value {value}")
-        index = int(value).bit_length()
+        index = value.bit_length()
         self.buckets[index] = self.buckets.get(index, 0) + 1
         self.count += 1
         self.total += value

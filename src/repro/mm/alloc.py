@@ -43,6 +43,10 @@ class PageAllocator:
         if not nodes:
             raise ValueError("allocator needs at least one node")
         self._nodes = sorted(nodes, key=lambda n: (n.tier, n.node_id))
+        # The walk order depends only on the caller's home socket and
+        # static node attributes; cache it per socket (the fault path
+        # allocates once per cold page and must not re-sort every time).
+        self._walk_cache: dict[int, list[NumaNode]] = {}
         # Tracepoint sink, installed by Machine.enable_tracing.
         self.trace = None
 
@@ -72,31 +76,36 @@ class PageAllocator:
         Within each tier, nodes on the caller's home socket are preferred
         (first-touch locality, as Linux's default mempolicy does).
         """
-        walk = sorted(
-            self._nodes, key=lambda n: (n.tier, n.socket != home_socket, n.node_id)
-        )
+        walk = self._walk_cache.get(home_socket)
+        if walk is None:
+            walk = sorted(
+                self._nodes, key=lambda n: (n.tier, n.socket != home_socket, n.node_id)
+            )
+            self._walk_cache[home_socket] = walk
+        no_pressure = PressureLevel.NONE
+        dram = MemoryTier.DRAM
         pressured: list[int] = []
         chosen: NumaNode | None = None
         fell_back = False
         for node in walk:
-            if node.pressure() is not PressureLevel.NONE:
+            if node.pressure() is not no_pressure:
                 pressured.append(node.node_id)
             if chosen is None and node.can_allocate():
                 headroom_ok = node.free_pages > node.watermarks.min_pages
                 if headroom_ok:
                     chosen = node
-                    fell_back = node.tier is not MemoryTier.DRAM
+                    fell_back = node.tier is not dram
         if chosen is None:
             # Reserve walk: any frame at all, highest tier first.
             for node in walk:
                 if node.can_allocate():
                     chosen = node
-                    fell_back = node.tier is not MemoryTier.DRAM
+                    fell_back = node.tier is not dram
                     break
         if chosen is None:
             raise MemoryError("all memory nodes are full")
         page = chosen.allocate_page(is_anon=is_anon, born_ns=born_ns)
-        if chosen.pressure() is not PressureLevel.NONE and chosen.node_id not in pressured:
+        if chosen.pressure() is not no_pressure and chosen.node_id not in pressured:
             pressured.append(chosen.node_id)
         if self.trace is not None:
             self.trace.trace_mm_page_alloc(chosen.node_id, page.pfn, is_anon, fell_back)

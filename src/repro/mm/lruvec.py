@@ -6,9 +6,14 @@ promote" (Section IV).  :class:`LruVec` materialises all seven as
 intrusive doubly-linked lists so that activation, rotation and removal
 are O(1), like the kernel's ``list_head`` juggling.
 
+The links themselves live in the :class:`~repro.mm.pagestore.PageStore`
+columns (``lru_prev``/``lru_next``/``lru_id``); the list object holds
+only head/tail pfns and a count.  That keeps per-page membership a
+column read and lets scans hand whole tail segments to numpy.
+
 Conventions: the *head* of a list is where newly (re)added pages go; scans
 and eviction work from the *tail*.  A page is on at most one list at a
-time — the ``Page.lru`` back-pointer enforces this.
+time — the ``lru_id`` column enforces this.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from typing import Iterator
 
 from repro.mm.flags import PageFlags
 from repro.mm.page import Page
+from repro.mm.pagestore import NO_PFN, PageStore
 
 __all__ = ["ListKind", "LruList", "LruVec"]
 
@@ -32,14 +38,33 @@ class ListKind(enum.Enum):
 
 
 class LruList:
-    """An intrusive doubly-linked list of pages."""
+    """An intrusive doubly-linked list of pages.
 
-    def __init__(self, kind: ListKind, is_anon: bool | None) -> None:
+    A list binds to the :class:`PageStore` of the first page it sees (or
+    the one passed at construction) and registers itself there; pages
+    from a different store are rejected, since the link columns could
+    not name them.
+    """
+
+    def __init__(
+        self,
+        kind: ListKind,
+        is_anon: bool | None,
+        store: PageStore | None = None,
+    ) -> None:
         self.kind = kind
         self.is_anon = is_anon
-        self._head: Page | None = None
-        self._tail: Page | None = None
+        self._store: PageStore | None = None
+        self.list_id = -1
+        self._head = NO_PFN
+        self._tail = NO_PFN
         self._count = 0
+        if store is not None:
+            self._bind(store)
+
+    def _bind(self, store: PageStore) -> None:
+        self._store = store
+        self.list_id = store.register_list(self)
 
     def __len__(self) -> int:
         return self._count
@@ -56,89 +81,120 @@ class LruList:
 
     @property
     def head(self) -> Page | None:
-        return self._head
+        return None if self._head < 0 else self._store.pages[self._head]
 
     @property
     def tail(self) -> Page | None:
-        return self._tail
+        return None if self._tail < 0 else self._store.pages[self._tail]
+
+    def _admit(self, page: Page) -> int:
+        """Common entry checks for add_head/add_tail; returns the pfn."""
+        store = page._store
+        if store.lru_id[page.pfn] >= 0:
+            raise ValueError(f"{page!r} is already on list {page.lru.name}")
+        if self._store is None:
+            self._bind(store)
+        elif store is not self._store:
+            raise ValueError(
+                f"{page!r} belongs to a different page store than list {self.name}"
+            )
+        return page.pfn
 
     def add_head(self, page: Page) -> None:
         """Insert at the MRU end."""
-        self._check_free(page)
-        page.lru_prev = None
-        page.lru_next = self._head
-        if self._head is not None:
-            self._head.lru_prev = page
-        self._head = page
-        if self._tail is None:
-            self._tail = page
-        page.lru = self
-        page.set(PageFlags.LRU)
+        pfn = self._admit(page)
+        store = self._store
+        store.lru_prev[pfn] = NO_PFN
+        store.lru_next[pfn] = self._head
+        if self._head >= 0:
+            store.lru_prev[self._head] = pfn
+        self._head = pfn
+        if self._tail < 0:
+            self._tail = pfn
+        store.lru_id[pfn] = self.list_id
+        store.flags[pfn] |= int(PageFlags.LRU)
         self._count += 1
 
     def add_tail(self, page: Page) -> None:
         """Insert at the LRU end (next in line for a scan)."""
-        self._check_free(page)
-        page.lru_next = None
-        page.lru_prev = self._tail
-        if self._tail is not None:
-            self._tail.lru_next = page
-        self._tail = page
-        if self._head is None:
-            self._head = page
-        page.lru = self
-        page.set(PageFlags.LRU)
+        pfn = self._admit(page)
+        store = self._store
+        store.lru_next[pfn] = NO_PFN
+        store.lru_prev[pfn] = self._tail
+        if self._tail >= 0:
+            store.lru_next[self._tail] = pfn
+        self._tail = pfn
+        if self._head < 0:
+            self._head = pfn
+        store.lru_id[pfn] = self.list_id
+        store.flags[pfn] |= int(PageFlags.LRU)
         self._count += 1
 
     def remove(self, page: Page) -> None:
         """Unlink ``page`` from this list in O(1)."""
-        if page.lru is not self:
+        store = page._store
+        pfn = page.pfn
+        if store is not self._store or store.lru_id[pfn] != self.list_id:
             raise ValueError(f"{page!r} is not on list {self.name}")
-        prev, nxt = page.lru_prev, page.lru_next
-        if prev is not None:
-            prev.lru_next = nxt
+        prev = int(store.lru_prev[pfn])
+        nxt = int(store.lru_next[pfn])
+        if prev >= 0:
+            store.lru_next[prev] = nxt
         else:
             self._head = nxt
-        if nxt is not None:
-            nxt.lru_prev = prev
+        if nxt >= 0:
+            store.lru_prev[nxt] = prev
         else:
             self._tail = prev
-        page.lru_prev = page.lru_next = None
-        page.lru = None
-        page.clear(PageFlags.LRU)
+        store.lru_prev[pfn] = store.lru_next[pfn] = NO_PFN
+        store.lru_id[pfn] = -1
+        store.flags[pfn] &= ~int(PageFlags.LRU)
         self._count -= 1
 
     def pop_tail(self) -> Page | None:
         """Remove and return the LRU-end page, or None if empty."""
-        victim = self._tail
-        if victim is not None:
-            self.remove(victim)
+        if self._tail < 0:
+            return None
+        victim = self._store.pages[self._tail]
+        self.remove(victim)
         return victim
 
     def rotate_to_head(self, page: Page) -> None:
         """Move ``page`` to the MRU end — the CLOCK second chance."""
-        self.remove(page)
-        self.add_head(page)
+        store = page._store
+        pfn = page.pfn
+        if store is not self._store or store.lru_id[pfn] != self.list_id:
+            raise ValueError(f"{page!r} is not on list {self.name}")
+        if self._head == pfn:
+            return
+        prev = int(store.lru_prev[pfn])
+        nxt = int(store.lru_next[pfn])
+        store.lru_next[prev] = nxt  # prev exists: pfn is not the head
+        if nxt >= 0:
+            store.lru_prev[nxt] = prev
+        else:
+            self._tail = prev
+        store.lru_prev[pfn] = NO_PFN
+        store.lru_next[pfn] = self._head
+        store.lru_prev[self._head] = pfn
+        self._head = pfn
 
     def iter_from_tail(self) -> Iterator[Page]:
         """Iterate LRU→MRU.  Safe against removing the *yielded* page."""
         cursor = self._tail
-        while cursor is not None:
-            nxt = cursor.lru_prev
-            yield cursor
+        store = self._store
+        while cursor >= 0:
+            nxt = int(store.lru_prev[cursor])
+            yield store.pages[cursor]
             cursor = nxt
 
     def __iter__(self) -> Iterator[Page]:
         cursor = self._head
-        while cursor is not None:
-            nxt = cursor.lru_next
-            yield cursor
+        store = self._store
+        while cursor >= 0:
+            nxt = int(store.lru_next[cursor])
+            yield store.pages[cursor]
             cursor = nxt
-
-    @staticmethod
-    def _check_free(page: Page) -> None:
-        if page.lru is not None:
-            raise ValueError(f"{page!r} is already on list {page.lru.name}")
 
 
 class LruVec:
@@ -148,12 +204,14 @@ class LruVec:
     anon/file x inactive/active/promote, and one unevictable list.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: PageStore | None = None) -> None:
         self._lists: dict[tuple[ListKind, bool | None], LruList] = {}
         for kind in (ListKind.INACTIVE, ListKind.ACTIVE, ListKind.PROMOTE):
             for is_anon in (True, False):
-                self._lists[(kind, is_anon)] = LruList(kind, is_anon)
-        self._lists[(ListKind.UNEVICTABLE, None)] = LruList(ListKind.UNEVICTABLE, None)
+                self._lists[(kind, is_anon)] = LruList(kind, is_anon, store=store)
+        self._lists[(ListKind.UNEVICTABLE, None)] = LruList(
+            ListKind.UNEVICTABLE, None, store=store
+        )
 
     def list_for(self, kind: ListKind, is_anon: bool | None = None) -> LruList:
         """Look up a list; unevictable ignores the anon/file split."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.mm.hardware import MemoryTier
 from repro.mm.lruvec import LruVec
 from repro.mm.page import Page
+from repro.mm.pagestore import PageStore
 from repro.mm.watermarks import PressureLevel, Watermarks, compute_watermarks
 
 __all__ = ["NumaNode"]
@@ -26,6 +27,7 @@ class NumaNode:
         capacity_pages: int,
         watermarks: Watermarks,
         socket: int = 0,
+        store: PageStore | None = None,
     ) -> None:
         if capacity_pages <= 0:
             raise ValueError(f"node {node_id} needs positive capacity")
@@ -34,7 +36,8 @@ class NumaNode:
         self.socket = socket
         self.capacity_pages = capacity_pages
         self.watermarks = watermarks
-        self.lruvec = LruVec()
+        self.store = store
+        self.lruvec = LruVec(store=store)
         self._used_pages = 0
         self._offline_pages = 0
 
@@ -46,10 +49,11 @@ class NumaNode:
         capacity_pages: int,
         total_pages: int,
         socket: int = 0,
+        store: PageStore | None = None,
     ) -> "NumaNode":
         """Build a node with watermarks derived from machine-wide capacity."""
         marks = compute_watermarks(capacity_pages, total_pages)
-        return cls(node_id, tier, capacity_pages, marks, socket)
+        return cls(node_id, tier, capacity_pages, marks, socket, store)
 
     @property
     def is_pm(self) -> bool:
@@ -108,7 +112,7 @@ class NumaNode:
         if not self.can_allocate():
             raise MemoryError(f"node {self.node_id} has no free frames")
         self._used_pages += 1
-        return Page(self.node_id, is_anon=is_anon, born_ns=born_ns)
+        return Page(self.node_id, is_anon=is_anon, born_ns=born_ns, store=self.store)
 
     def adopt_page(self, page: Page) -> None:
         """Account an existing page migrating *into* this node.

@@ -21,6 +21,7 @@ from repro.mm.migrate import MigrationEngine
 from repro.mm.numa import NumaNode
 from repro.mm.page import Page
 from repro.mm.page_table import PageTableEntry
+from repro.mm.pagestore import PageStore
 from repro.mm.swap import BackingStore
 from repro.sim.config import SimulationConfig
 from repro.sim.stats import StatsBook
@@ -49,17 +50,22 @@ class MemorySystem:
         self.clock = VirtualClock()
         self.stats = StatsBook()
         self.hardware = HardwareModel(config.latency)
+        # The struct-of-arrays page store: every page this machine ever
+        # allocates lives here, with a dense per-machine pfn.
+        self.pagestore = PageStore()
         self.nodes: dict[int, NumaNode] = {}
         total = config.total_pages
         node_id = 0
         for i, pages in enumerate(config.dram_pages):
             self.nodes[node_id] = NumaNode.create(
-                node_id, MemoryTier.DRAM, pages, total, socket=i % config.sockets
+                node_id, MemoryTier.DRAM, pages, total,
+                socket=i % config.sockets, store=self.pagestore,
             )
             node_id += 1
         for i, pages in enumerate(config.pm_pages):
             self.nodes[node_id] = NumaNode.create(
-                node_id, MemoryTier.PM, pages, total, socket=i % config.sockets
+                node_id, MemoryTier.PM, pages, total,
+                socket=i % config.sockets, store=self.pagestore,
             )
             node_id += 1
         self.allocator = PageAllocator(list(self.nodes.values()))
@@ -73,7 +79,10 @@ class MemorySystem:
         self.stats.make_series("demotions_window", config.stats_window_s)
         self.stats.make_series("promoted_total_window", config.stats_window_s)
         self.stats.make_series("promoted_reaccessed_window", config.stats_window_s)
-        self._awaiting_reaccess: dict[int, int] = {}
+        # Promotions awaiting their first re-access live in the store's
+        # ``awaiting_ns`` column (-1 = not waiting); the count lets hot
+        # loops skip the column probe entirely when nothing is pending.
+        self._awaiting_count = 0
         # Fig 9 counts a promotion as "re-accessed" only when the access
         # lands within one scan interval of the promotion: the paper's
         # metric is "pages that have been promoted in the last scan, get
@@ -194,14 +203,22 @@ class MemorySystem:
     def _note_promotion(self, page: Page) -> None:
         """Record a promotion and start watching for its first re-access."""
         self.stats.record("promoted_total_window", self.clock.now_ns)
-        self._awaiting_reaccess[page.pfn] = self.clock.now_ns
+        column = self.pagestore.awaiting_ns
+        if column[page.pfn] < 0:
+            self._awaiting_count += 1
+        column[page.pfn] = self.clock.now_ns
 
     def _note_reaccess(self, page: Page) -> None:
         """First access after a promotion counts toward Fig 9's numerator,
         but only if it arrives within the re-access horizon."""
-        promoted_at = self._awaiting_reaccess.pop(page.pfn, None)
-        if promoted_at is None:
+        if self._awaiting_count == 0:
             return
+        column = self.pagestore.awaiting_ns
+        promoted_at = int(column[page.pfn])
+        if promoted_at < 0:
+            return
+        column[page.pfn] = -1
+        self._awaiting_count -= 1
         if self.metrics is not None:
             self.metrics.reaccess_delay.record(self.clock.now_ns - promoted_at)
         if self.clock.now_ns - promoted_at <= self._reaccess_horizon_ns:

@@ -202,32 +202,49 @@ def shrink_inactive_list(
     lruvec = node.lruvec
     inactive = lruvec.list_for(ListKind.INACTIVE, is_anon)
     tr = system.trace
+    # Per-page state lives in the store columns; hoist them and the flag
+    # masks so each visit costs a couple of int ops instead of a chain
+    # of Page property calls.  Nothing in this loop creates pages, so
+    # the columns cannot reallocate mid-scan.
+    store = system.pagestore
+    col_flags = store.flags
+    col_acc = store.pte_accessed
+    col_map = store.mapcount
+    pinned_mask = int(PageFlags.LOCKED | PageFlags.UNEVICTABLE)
+    ref_bit = int(PageFlags.REFERENCED)
     for page in inactive.iter_from_tail():
         if result.scanned >= budget or (result.demoted + result.evicted) >= target_free:
             break
         result.scanned += 1
-        if page.test(PageFlags.LOCKED) or page.test(PageFlags.UNEVICTABLE):
+        pfn = page.pfn
+        flags = int(col_flags[pfn])
+        if flags & pinned_mask:
             # Rotate, don't just skip: a bare continue leaves the pinned
             # page at the tail, so every subsequent scan burns budget
             # re-visiting it and reclaim stalls behind it.
             inactive.rotate_to_head(page)
             continue
-        accessed = page.harvest_accessed()
-        if accessed and page.test(PageFlags.REFERENCED):
-            _activate(node, page)
-            result.activated += 1
-            if tr is not None:
-                tr.trace_mm_lru_activate(node.node_id, page.pfn, scanner)
-            continue
+        # Inlined Page.harvest_accessed: test-and-clear the PTE accessed
+        # bit, counting only mapped pages.
+        accessed = bool(col_acc[pfn]) and col_map[pfn] > 0
         if accessed:
-            page.set(PageFlags.REFERENCED)
+            col_acc[pfn] = False
+            if flags & ref_bit:
+                _activate(node, page)
+                result.activated += 1
+                if tr is not None:
+                    tr.trace_mm_lru_activate(node.node_id, pfn, scanner)
+                continue
+            col_flags[pfn] = flags | ref_bit
             inactive.rotate_to_head(page)
             result.referenced += 1
             continue
         if demote_dest is not None and demote_dest.can_allocate():
             outcome = system.migrator.migrate_with_retry(page, demote_dest)
             if outcome.ok:
-                page.clear(PageFlags.REFERENCED)
+                # Fresh read-modify-write: migration may have touched
+                # the flag word since it was sampled above.
+                col_flags[pfn] &= ~ref_bit
                 demote_dest.lruvec.list_for(ListKind.INACTIVE, is_anon).add_head(page)
                 result.demoted += 1
                 if tr is not None:

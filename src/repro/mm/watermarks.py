@@ -27,6 +27,14 @@ class PressureLevel(enum.IntEnum):
     MIN = 2
 
 
+# Member lookup on an Enum class goes through ``EnumType.__getattr__``;
+# the allocator classifies every node on every fault, so bind the members
+# once at module level.
+_NONE = PressureLevel.NONE
+_LOW = PressureLevel.LOW
+_MIN = PressureLevel.MIN
+
+
 @dataclass(frozen=True)
 class Watermarks:
     """The min/low/high free-page thresholds for one node."""
@@ -45,10 +53,10 @@ class Watermarks:
     def pressure(self, free_pages: int) -> PressureLevel:
         """Classify the current free-page count."""
         if free_pages < self.min_pages:
-            return PressureLevel.MIN
+            return _MIN
         if free_pages < self.low_pages:
-            return PressureLevel.LOW
-        return PressureLevel.NONE
+            return _LOW
+        return _NONE
 
     def below_high(self, free_pages: int) -> bool:
         """True while kswapd should keep reclaiming."""

@@ -28,6 +28,10 @@ from repro.sim.events import Daemon
 
 __all__ = ["PolicyFeatures", "TieringPolicy", "register_policy", "create_policy", "policy_names"]
 
+# Bound once: the allocation hook tests this flag on every fault, and
+# Enum member lookup costs a ``__getattr__`` round trip per access.
+_UNEVICTABLE = int(PageFlags.UNEVICTABLE)
+
 
 @dataclass(frozen=True)
 class PolicyFeatures:
@@ -63,11 +67,10 @@ class TieringPolicy(abc.ABC):
 
     def on_page_allocated(self, page: Page) -> None:
         """Place a freshly faulted page; default: inactive-list head."""
-        if page.test(PageFlags.UNEVICTABLE):
-            node = self.system.nodes[page.node_id]
+        node = self.system.nodes[page.node_id]
+        if page._store.flags[page.pfn] & _UNEVICTABLE:
             node.lruvec.list_for(ListKind.UNEVICTABLE).add_head(page)
             return
-        node = self.system.nodes[page.node_id]
         node.lruvec.list_of(page, ListKind.INACTIVE).add_head(page)
 
     def mark_page_accessed(self, page: Page) -> None:

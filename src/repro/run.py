@@ -205,6 +205,8 @@ def run_numeric_stream(
     config: SimulationConfig,
     stream: list,
     policy: str = "multiclock",
+    *,
+    machine: Machine | None = None,
 ) -> RunResult:
     """Replay a pre-generated numeric access stream for ``workload``.
 
@@ -217,8 +219,13 @@ def run_numeric_stream(
     ``lines`` width; the result is bit-identical to
     ``run_workload(workload, config, policy)`` because ``accesses()`` is
     by definition the emission of exactly these batches.
+
+    A pre-built ``machine`` may be supplied (mirroring
+    :func:`run_workload`) so callers can arm tracing or metrics before
+    the stream runs.
     """
-    machine = Machine(config, policy)
+    if machine is None:
+        machine = Machine(config, policy)
     workload.setup(machine)
     process = workload.process  # type: ignore[attr-defined]
     start_ns = machine.clock.now_ns

@@ -176,6 +176,10 @@ class SweepResult:
     #: Per-host outcomes (:class:`repro.sweep.remote.HostOutcome`) when
     #: the sweep ran through ``run_remote_sweep``; empty for local runs.
     host_outcomes: tuple = ()
+    #: Cells settled from the result cache *after* dispatch began (a
+    #: requeued cell whose fingerprint-identical sibling finished first).
+    #: Start-of-run cache hits show as ``CellOutcome.cached`` instead.
+    cache_hits: int = 0
 
     @property
     def ok(self) -> bool:

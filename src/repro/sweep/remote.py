@@ -356,6 +356,7 @@ class _RemoteScheduler:
         self.active: dict[str, _Lease] = {}  # lease id -> lease
         self.durations: list[float] = []  # committed cell wall times
         self.spawned_agents = 0
+        self.cache_hits = 0  # cells settled from the result cache mid-run
         # Entries carry the transport they were read from: after a
         # reconnect, lines (and the EOF marker) from the *previous*
         # transport's reader thread must not poison the new connection.
@@ -539,7 +540,40 @@ class _RemoteScheduler:
                 cell, attempt = self.pending.popleft()
                 if cell.id in self.outcomes:
                     continue
+                if self._serve_from_cache(cell):
+                    continue
                 self._lease_to(host, cell, attempt)
+
+    def _serve_from_cache(self, cell: SweepCell) -> bool:
+        """Settle ``cell`` from the result cache if its payload landed
+        there after the sweep started.
+
+        ``_prepare`` only consults the cache once, before dispatch; a
+        cell requeued later — host lost mid-cell, or a retry — may by
+        then have its fingerprint in the cache because an identical
+        (runner, params) cell finished elsewhere in the meantime.
+        Without this check the driver re-executes work it already holds
+        the answer to.  Determinism makes the served payload identical
+        to what a re-run would produce.
+        """
+        if self.cache is None:
+            return False
+        key = cell_fingerprint(cell)
+        entry = self.cache.load(key) if key is not None else None
+        if entry is None:
+            return False
+        attempts = entry.get("attempts", 1)
+        if not isinstance(attempts, int) or attempts < 1:
+            attempts = 1
+        self.cache_hits += 1
+        self.outcomes[cell.id] = CellOutcome(
+            cell=cell, status="done", attempts=attempts,
+            payload=entry["payload"], cached=True,
+        )
+        self.book.record_done(cell.id, attempts, entry["payload"])
+        self.note(f"[{len(self.outcomes)}/{self.total}] {cell.id}: "
+                  f"served from result cache ({key[:12]})")
+        return True
 
     def _lease_to(self, host: _Host, cell: SweepCell, attempt: int) -> None:
         self._lease_seq += 1
@@ -771,6 +805,7 @@ def run_remote_sweep(
             else tuple(HostOutcome(host=h.name, state="unused")
                        for h in host_specs)
         ),
+        cache_hits=scheduler.cache_hits if scheduler is not None else 0,
     )
 
 

@@ -44,6 +44,43 @@ def test_rejects_negative_values():
     assert hist.count == 0
 
 
+def test_negative_error_is_one_line_and_names_the_histogram():
+    hist = Log2Histogram("promotion_lat")
+    with pytest.raises(ValueError) as excinfo:
+        hist.record(-7)
+    message = str(excinfo.value)
+    assert "promotion_lat" in message
+    assert "-7" in message
+    assert "\n" not in message
+
+
+def test_zero_is_a_real_observation_with_exact_moments():
+    hist = Log2Histogram("t")
+    hist.record(0)
+    assert hist.count == 1
+    assert hist.total == 0
+    assert hist.min_value == 0
+    assert hist.max_value == 0
+    assert hist.mean == 0.0
+    assert hist.buckets == {0: 1}
+    assert hist.dense_buckets() == [(0, 1)]
+    data = hist.to_dict()
+    assert data["count"] == 1 and data["sum"] == 0
+    assert data["min"] == 0 and data["max"] == 0
+
+
+def test_numpy_scalars_coerce_to_python_ints():
+    np = pytest.importorskip("numpy")
+    hist = Log2Histogram("t")
+    hist.record(np.int64(0))
+    hist.record(np.int64(5))
+    assert type(hist.total) is int
+    assert type(hist.min_value) is int and type(hist.max_value) is int
+    assert hist.buckets == {0: 1, 3: 1}
+    with pytest.raises(ValueError, match="negative"):
+        hist.record(np.int64(-3))
+
+
 def test_dense_buckets_fill_gaps():
     hist = Log2Histogram("t")
     hist.record(1)

@@ -110,6 +110,44 @@ def test_duplicate_result_discarded_at_most_once(tmp_path):
     assert not scheduler.active
 
 
+def test_redispatch_consults_result_cache(tmp_path):
+    """A cell requeued after dispatch began is served from the result
+    cache when a fingerprint-identical cell has completed in the
+    meantime, instead of being re-executed on a host."""
+    from repro.sweep.manifest import ResultCache
+    from repro.sweep.spec import cell_fingerprint
+
+    params = {"mode": "ok", "payload": "shared"}
+    first = SweepCell("first", "flaky", params)
+    second = SweepCell("second", "flaky", params)  # same fingerprint
+    spec = SweepSpec("cache-consult", (first, second))
+    cache = ResultCache(str(tmp_path / "cache"))
+    # "first" finished elsewhere while "second" sat requeued after a
+    # host loss: its payload is cached under the shared fingerprint.
+    cache.store(cell_fingerprint(first), cell_id="first", attempts=1,
+                payload={"value": 41})
+
+    notes = []
+    outcomes = {}
+    pending = deque([(second, 1)])
+    scheduler = _RemoteScheduler(
+        spec, parse_hosts("loopback"),
+        outcomes=outcomes, pending=pending, book=Manifest(None, spec),
+        cache=cache, timeout_s=None, max_attempts=3, heartbeat_s=1.0,
+        straggler_factor=None, connect_timeout_s=5.0, reconnect_attempts=0,
+        note=notes.append,
+    )
+    host = scheduler.hosts[0]
+    host.state = "ready"
+    host.transport = object()  # must never be used: the cache serves it
+    scheduler._dispatch()
+    assert scheduler.cache_hits == 1
+    assert not pending and not scheduler.active
+    assert outcomes["second"].ok and outcomes["second"].cached
+    assert outcomes["second"].payload == {"value": 41}
+    assert any("served from result cache" in n for n in notes)
+
+
 def test_unreachable_ssh_host_dies_cleanly():
     """A host that never says hello is dead after its connect timeout;
     the surviving loopback host completes the sweep."""

@@ -181,3 +181,21 @@ def test_sweep_bad_straggler_factor_one_line_error(capsys):
     assert err.startswith("error:")
     assert "--straggler-factor" in err
     assert err.count("\n") == 1
+
+
+def test_sweep_hosts_sidecar_reports_cache_hits(tmp_path, capsys):
+    """A distributed sweep's sidecar carries the mid-run cache-hit count
+    alongside the per-host outcomes (zero on an uneventful run)."""
+    import json
+
+    out = tmp_path / "report.json"
+    code = main([
+        "sweep", *SWEEP_SIZING, "--hosts", "loopback",
+        "--out", str(out), "--cache-dir", str(tmp_path / "cache"),
+    ])
+    capsys.readouterr()
+    assert code == 0
+    sidecar = json.loads((tmp_path / "report.json.hosts.json").read_text())
+    assert sidecar["cache_hits"] == 0
+    assert sidecar["hosts"][0]["host"] == "loopback#0"
+    assert sidecar["hosts"][0]["state"] == "ok"
