@@ -56,6 +56,12 @@ import sys
 # order of magnitude, so dipping below means the fast path fell off.
 FLOOR = 1_455_757
 
+# The columnar deactivate scan measures ~3.4M pages/s at smoke size
+# (scalar reference: ~135k); a floor 10x under that still sits well
+# above the scalar loop, so tripping it means the vector guard stopped
+# taking the fast path.
+DEACTIVATE_FLOOR = 300_000
+
 bench = json.load(open(sys.argv[1]))
 touch = bench["touch"]
 assert touch["identical"] is True, f"touch drivers diverged: {touch}"
@@ -64,6 +70,17 @@ assert rate >= FLOOR, (
     f"batched touch regressed: {rate:,.0f} ops/s < floor {FLOOR:,} ops/s"
 )
 print(f"batched touch {rate:,.0f} ops/s >= floor {FLOOR:,} ops/s")
+
+deact = bench["deactivate"]
+assert deact["identical"] is True, f"deactivate paths diverged: {deact}"
+drate = deact["vector_pages_per_sec"]
+assert drate >= DEACTIVATE_FLOOR, (
+    f"vector deactivate regressed: {drate:,.0f} pages/s"
+    f" < floor {DEACTIVATE_FLOOR:,} pages/s"
+)
+print(f"vector deactivate {drate:,.0f} pages/s >= floor {DEACTIVATE_FLOOR:,}"
+      f" pages/s (scalar {deact['scalar_pages_per_sec']:,.0f},"
+      f" speedup {deact['speedup']}x)")
 PYEOF
 
 echo "== chaos smoke (2 policies x 1 workload under faults) =="
@@ -187,5 +204,41 @@ assert result["samples"] > 0 and result["observations"] > 0, result
 print(f"metrics are a measured nop: {result['samples']} samples, "
       f"{result['observations']} observations, identical=True")
 PYEOF
+
+echo "== colocation smoke (3 tenants, memcg armed, OOM kill + co-tenants survive) =="
+COLO_TMP="$(mktemp -d)"
+COLO_ARGS=(--tenants 3 --records 600 --ops 1500
+           --dram-pages 96 --pm-pages 300 --swap-pages 16
+           --limits none,80,none --seed 7)
+# Tight swap pins the limited tenant over its cap at the crunch, so the
+# OOM killer selects it; the other two must run to completion.
+python -m repro colo "${COLO_ARGS[@]}" --vmstat > "$COLO_TMP/colo.txt"
+grep -q "KILLED" "$COLO_TMP/colo.txt"
+grep -q "2/3 tenants finished" "$COLO_TMP/colo.txt"
+grep -q "1 OOM group kill" "$COLO_TMP/colo.txt"
+# p50/p99 reach all four exposition formats: vmstat ...
+grep -q "tenant_tenant0_latency_ns_p99" "$COLO_TMP/colo.txt"
+# ... Prometheus ...
+python -m repro colo "${COLO_ARGS[@]}" --prometheus \
+    | grep -q '^repro_tenant_tenant0_latency_ns_p50'
+# ... JSON snapshot ...
+python -m repro colo "${COLO_ARGS[@]}" \
+    --snapshot "$COLO_TMP/colo_snap.json" > /dev/null
+python - "$COLO_TMP/colo_snap.json" <<'PYEOF'
+import json, sys
+
+snapshot = json.load(open(sys.argv[1]))
+hists = snapshot["histograms"]
+for tenant in ("tenant0", "tenant2"):  # the survivors
+    data = hists[f"tenant_{tenant}_latency_ns"]
+    assert data["count"] > 0 and data["p50"] is not None, (tenant, data)
+    assert data["p99"] >= data["p50"], (tenant, data)
+print("snapshot carries per-tenant p50/p99 for every survivor")
+PYEOF
+# ... and the HTML dashboard, via the save -> report round trip.
+python -m repro report --snapshot "$COLO_TMP/colo_snap.json" \
+    --out "$COLO_TMP/colo.html" >/dev/null
+grep -q "tenant_tenant0_latency_ns" "$COLO_TMP/colo.html"
+grep -q "<svg" "$COLO_TMP/colo.html"
 
 echo "CI OK"

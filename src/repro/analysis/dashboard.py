@@ -233,6 +233,11 @@ def _hist_section(snapshot: Mapping[str, Any]) -> str:
             f'{data["count"]:,} samples, mean {format_si(mean)}{unit}, '
             f'max {format_si(data["max"])}{unit}'
         )
+        p50, p99 = data.get("p50"), data.get("p99")
+        if p50 is not None and p99 is not None:
+            caption += (
+                f", p50 {format_si(p50)}{unit}, p99 {format_si(p99)}{unit}"
+            )
         cards.append(
             f'<div class="card"><h3>{escape(name)}</h3>'
             f'<p class="meta">{escape(caption)}</p>'

@@ -7,7 +7,12 @@ Commands:
   result summary and memory report.
 * ``experiment`` — regenerate one of the paper's tables/figures by name
   (``fig1`` ... ``fig10``, ``table1``, ``table2``, ``overhead``,
-  ``ablation-*``, ``ext-*``).
+  ``ablation-*``, ``ext-*``, ``colo``).
+* ``colo`` — colocate N heterogeneous KV tenants on one machine with
+  memcg accounting armed; prints the per-tenant p50/p99 table, with the
+  usual exposition outputs (``--vmstat``, ``--prometheus``, ``--json``),
+  a saved metrics snapshot (``--snapshot``) and an HTML dashboard
+  (``--html``).
 * ``record`` / ``replay`` — capture a workload's access trace to a file,
   or replay a trace under any policy.
 * ``bench`` — host-wall-clock microbenchmarks of the simulator's hot
@@ -89,6 +94,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     ),
     "ext-workload-e": _lazy("ext_workload_e", "run_ext_workload_e", "render_ext_workload_e"),
     "ext-dual-socket": _lazy("ext_dual_socket", "run_ext_dual_socket", "render_ext_dual_socket"),
+    "colo": _lazy("colo", "run_colo", "render_colo"),
 }
 
 WORKLOADS = ("zipf", "uniform", "seqscan", "shifting-hotset")
@@ -271,6 +277,40 @@ def build_parser() -> argparse.ArgumentParser:
     agent_p.add_argument("--workers", type=int, default=1,
                          help="size of this agent's local worker pool")
 
+    colo_p = sub.add_parser(
+        "colo", help="colocate N KV tenants with memcg accounting armed"
+    )
+    colo_p.add_argument("--policy", default="multiclock", help="tiering policy name")
+    colo_p.add_argument("--tenants", type=int, default=3,
+                        help="number of colocated KV tenants")
+    colo_p.add_argument("--records", type=int, default=None,
+                        help="records per tenant (default: scaled 2000)")
+    colo_p.add_argument("--ops", type=int, default=None,
+                        help="operations per tenant after its load phase "
+                             "(default: scaled 8000)")
+    colo_p.add_argument("--limits", default=None,
+                        help="comma-separated per-tenant memcg page limits, "
+                             "positional; 'none' (or empty) = unlimited, "
+                             "e.g. --limits none,400,none")
+    colo_p.add_argument("--dram-pages", type=int, default=None,
+                        help="DRAM node size (default: combined footprint / 3)")
+    colo_p.add_argument("--pm-pages", type=int, default=None,
+                        help="PM node size (default: combined footprint * 2)")
+    colo_p.add_argument("--swap-pages", type=int, default=1 << 20,
+                        help="backing-store capacity in pages")
+    colo_p.add_argument("--seed", type=int, default=7)
+    colo_p.add_argument("--json", action="store_true",
+                        help="print the metrics snapshot as JSON (nothing else)")
+    colo_p.add_argument("--prometheus", action="store_true",
+                        help="print the Prometheus text exposition (nothing else)")
+    colo_p.add_argument("--vmstat", action="store_true",
+                        help="also print the vmstat-style metrics dump")
+    colo_p.add_argument("--snapshot", default=None, metavar="PATH",
+                        help="also write the metrics snapshot JSON "
+                             "(feed it to `repro report --snapshot`)")
+    colo_p.add_argument("--html", default=None, metavar="PATH",
+                        help="also write an HTML dashboard of the run")
+
     stat_p = sub.add_parser(
         "stat", help="run a workload with metrics armed, print a snapshot"
     )
@@ -303,6 +343,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default: auto-detect in cwd)")
     report_p.add_argument("--title", default=None,
                           help="dashboard title (default: workload on policy)")
+    report_p.add_argument("--snapshot", default=None, metavar="PATH",
+                          help="render a saved metrics snapshot JSON (from "
+                               "`repro colo --snapshot` or `repro stat --json`) "
+                               "instead of running a workload")
 
     trace_p = sub.add_parser(
         "trace", help="run a workload with tracepoints armed"
@@ -634,6 +678,69 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _parse_limits(raw: str) -> list[int | None]:
+    """``--limits none,400,none`` → ``[None, 400, None]``."""
+    limits: list[int | None] = []
+    for token in raw.split(","):
+        token = token.strip().lower()
+        if token in ("", "none", "max", "-"):
+            limits.append(None)
+            continue
+        try:
+            limits.append(int(token))
+        except ValueError:
+            raise ValueError(
+                f"invalid --limits entry {token!r}: must be an integer page "
+                f"count or 'none'"
+            ) from None
+    return limits
+
+
+def _cmd_colo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.colo import render_colo, run_colo
+
+    limits = _parse_limits(args.limits) if args.limits else None
+    result = run_colo(
+        n_tenants=args.tenants,
+        records_per_tenant=args.records,
+        ops_per_tenant=args.ops,
+        policy=args.policy,
+        dram_pages=args.dram_pages,
+        pm_pages=args.pm_pages,
+        swap_pages=args.swap_pages,
+        limits=limits,
+        seed=args.seed,
+    )
+    registry = result["registry"]
+    if args.json:
+        print(json.dumps(registry.to_json(), indent=2, sort_keys=True))
+        return 0
+    if args.prometheus:
+        sys.stdout.write(registry.to_prometheus())
+        return 0
+    print(render_colo(result))
+    if args.vmstat:
+        sys.stdout.write(registry.to_vmstat(None))
+    if args.snapshot:
+        with open(args.snapshot, "w", encoding="utf-8") as fh:
+            json.dump(registry.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"snapshot written to {args.snapshot}")
+    if args.html:
+        from repro.analysis.dashboard import build_dashboard
+
+        html = build_dashboard(
+            registry.to_json(), None,
+            title=f"colocation: {args.tenants} tenants on {args.policy}",
+        )
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(html)
+        print(f"dashboard written to {args.html}")
+    return 0
+
+
 def _run_with_metrics(args: argparse.Namespace):
     """Build a machine, arm metrics, drive the workload; returns both."""
     machine = Machine(_build_config(args), args.policy)
@@ -724,11 +831,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
         with open(path, "r", encoding="utf-8") as fh:
             return json.load(fh)
 
-    _, registry, result = _run_with_metrics(args)
     sweep = load_report(args.sweep, DEFAULT_SWEEP_REPORT)
     from repro.faults.chaos import DEFAULT_REPORT as DEFAULT_CHAOS_REPORT
 
     chaos = load_report(args.chaos, DEFAULT_CHAOS_REPORT)
+    if args.snapshot:
+        # Saved-snapshot mode: render what a prior run recorded (e.g.
+        # `repro colo --snapshot`) instead of driving a workload here.
+        if not os.path.exists(args.snapshot):
+            raise ValueError(f"snapshot file not found: {args.snapshot}")
+        with open(args.snapshot, "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+        title = args.title or f"saved snapshot: {args.snapshot}"
+        html = build_dashboard(
+            snapshot, None, sweep=sweep, chaos=chaos, title=title
+        )
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(html)
+        print(f"dashboard written to {args.out}")
+        return 0
+    _, registry, result = _run_with_metrics(args)
     title = args.title or f"{result.workload} on {result.policy}"
     html = build_dashboard(
         registry.to_json(), result, sweep=sweep, chaos=chaos, title=title
@@ -801,6 +923,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.sweep.remote import agent_main
 
         return agent_main(workers=args.workers)
+    if args.command == "colo":
+        return _cmd_colo(args)
     if args.command == "stat":
         return _cmd_stat(args)
     if args.command == "report":

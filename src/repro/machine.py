@@ -151,6 +151,27 @@ class Machine:
         system.backing.metrics = registry
         return registry
 
+    def enable_memcg(self) -> "object":
+        """Install a :class:`~repro.mm.memcg.MemcgController`.
+
+        Arms per-tenant accounting: pages are charged to their faulting
+        process's group, limits drive targeted + proportional reclaim,
+        and the OOM killer selects a victim group instead of aborting
+        the machine.  Armed but with no limits set, runs stay
+        bit-identical to unarmed runs (the controller only maintains its
+        own books).  One controller per machine; enabling twice raises.
+        Returns the controller.
+        """
+        from repro.mm.memcg import MemcgController
+
+        system = self.system
+        if system.memcg is not None:
+            raise RuntimeError("memcg accounting is already enabled on this machine")
+        controller = MemcgController(system)
+        system.memcg = controller
+        system.migrator.memcg = controller
+        return controller
+
     def install_invariant_checker(
         self, interval_s: float = 0.005, *, strict: bool = False
     ) -> "object":

@@ -76,6 +76,9 @@ def render_vmstat(registry: "MetricsRegistry", node: int | None = None) -> str:
     for hist in registry.histograms.values():
         lines.append(f"{hist.name}_count {hist.count}")
         lines.append(f"{hist.name}_sum {hist.total}")
+        if hist.count:
+            lines.append(f"{hist.name}_p50 {_fmt(hist.quantile(0.5))}")
+            lines.append(f"{hist.name}_p99 {_fmt(hist.quantile(0.99))}")
     return "\n".join(lines) + "\n"
 
 
@@ -126,6 +129,19 @@ def render_prometheus(registry: "MetricsRegistry") -> str:
         out.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
         out.append(f"{name}_sum {hist.total}")
         out.append(f"{name}_count {hist.count}")
+    for hist in registry.histograms.values():
+        if not hist.count:
+            continue
+        # Quantiles are their own gauge families (not histogram samples:
+        # the text-format grammar only allows _bucket/_sum/_count under
+        # a histogram family's metadata).
+        name = PROM_PREFIX + hist.name
+        for label, q in (("p50", 0.5), ("p99", 0.99)):
+            family(
+                f"{name}_{label}", "gauge",
+                f"{label} of {hist.name} (log2-bucket midpoint estimate)",
+            )
+            out.append(f"{name}_{label} {_fmt(hist.quantile(q))}")
 
     return "\n".join(out) + "\n"
 

@@ -108,7 +108,11 @@ class Log2Histogram:
         return float(self.max_value if self.max_value is not None else 0)
 
     def to_dict(self) -> dict[str, object]:
-        """JSON-ready snapshot."""
+        """JSON-ready snapshot.
+
+        Quantiles are ``None`` (not NaN) when the histogram is empty so
+        the snapshot stays round-trippable through strict JSON.
+        """
         return {
             "name": self.name,
             "unit": self.unit,
@@ -116,6 +120,8 @@ class Log2Histogram:
             "sum": self.total,
             "min": self.min_value,
             "max": self.max_value,
+            "p50": self.quantile(0.5) if self.count else None,
+            "p99": self.quantile(0.99) if self.count else None,
             "buckets": [
                 {"le": self.bucket_upper_bound(i), "count": c}
                 for i, c in self.dense_buckets()

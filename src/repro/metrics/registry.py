@@ -127,6 +127,25 @@ class MetricsRegistry:
         """Node ids that have at least one sampled gauge, sorted."""
         return sorted({node_id for (_, node_id) in self.gauges})
 
+    # -- per-tenant latency ----------------------------------------------------
+
+    def tenant_histogram(self, tenant: str) -> Log2Histogram:
+        """The per-operation latency histogram for one tenant, created on
+        first use.  Lives in :attr:`histograms` beside the predeclared
+        specs, so every exposition format picks tenants up for free."""
+        import re
+
+        slug = re.sub(r"[^0-9A-Za-z_]", "_", tenant)
+        name = f"tenant_{slug}_latency_ns"
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Log2Histogram(
+                name,
+                f"per-operation access latency of tenant {tenant}",
+            )
+            self.histograms[name] = hist
+        return hist
+
     # -- vmscan event series -------------------------------------------------
 
     def note_vmscan(

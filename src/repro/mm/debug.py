@@ -20,6 +20,11 @@ Checks, mirroring their kernel analogues:
 * rmap symmetry    — every PTE is in its page's rmap and vice versa;
 * swap accounting  — the backing store's slot count is consistent and
   within capacity;
+* memcg accounting — when the controller is armed, every group's per-node
+  RSS books match a recount of resident frames charged to it (via the
+  page store's ``memcg_id`` column), no book is negative, totals are the
+  sum of per-node entries, charged frames name a real group, and a
+  killed group holds no residual charge;
 * counter monotonicity — stat counters only ever grow between checks
   (the stateful part, held by :class:`InvariantChecker`).
 """
@@ -62,9 +67,11 @@ def check_invariants(system: "MemorySystem") -> list[Violation]:
     """Validate the whole machine's MM state; returns all violations found."""
     violations: list[Violation] = []
     seen_on_lists: dict[int, str] = {}  # pfn -> list description
+    resident_by_node: dict[int, set[int]] = {}  # node id -> resident pfns
 
     for node in system.nodes.values():
         node_resident: set[int] = set()
+        resident_by_node[node.node_id] = node_resident
         for lst in node.lruvec.all_lists():
             where = f"node{node.node_id}:{lst.name}"
             count = 0
@@ -184,6 +191,59 @@ def check_invariants(system: "MemorySystem") -> list[Violation]:
             f"swap_outs-swap_ins {backing.swap_outs}-{backing.swap_ins} "
             f"!= resident slots {backing.swapped_pages}",
         ))
+
+    # Memcg accounting: the controller's O(1) books must equal a recount
+    # of resident frames from the store's memcg_id column.
+    memcg = system.memcg
+    if memcg is not None:
+        memcg_col = system.pagestore.memcg_id
+        recount: dict[tuple[int, int], int] = {}  # (group id, node id) -> pages
+        for node_id, resident in resident_by_node.items():
+            for pfn in resident:
+                group_id = int(memcg_col[pfn])
+                if group_id < 0:
+                    continue  # uncharged frame (allocated before arming)
+                if group_id >= len(memcg.groups):
+                    violations.append(Violation(
+                        "memcg-accounting",
+                        f"pfn={pfn} on node{node_id} is charged to group "
+                        f"{group_id}, but only {len(memcg.groups)} exist",
+                    ))
+                    continue
+                key = (group_id, node_id)
+                recount[key] = recount.get(key, 0) + 1
+        for group in memcg.groups:
+            for node_id, count in group.rss.items():
+                if count < 0:
+                    violations.append(Violation(
+                        "memcg-accounting",
+                        f"group {group.name!r} books negative rss {count} "
+                        f"on node{node_id}",
+                    ))
+            if group.rss_total != sum(group.rss.values()):
+                violations.append(Violation(
+                    "memcg-accounting",
+                    f"group {group.name!r} rss_total {group.rss_total} != "
+                    f"sum of per-node books {sum(group.rss.values())}",
+                ))
+            if group.killed and group.rss_total != 0:
+                violations.append(Violation(
+                    "memcg-accounting",
+                    f"killed group {group.name!r} still holds "
+                    f"{group.rss_total} resident pages",
+                ))
+            node_ids = set(group.rss) | {
+                nid for (gid, nid) in recount if gid == group.id
+            }
+            for node_id in sorted(node_ids):
+                booked = group.rss.get(node_id, 0)
+                actual = recount.get((group.id, node_id), 0)
+                if booked != actual:
+                    violations.append(Violation(
+                        "memcg-accounting",
+                        f"group {group.name!r} books {booked} pages on "
+                        f"node{node_id} but {actual} frames are charged to it",
+                    ))
     return violations
 
 

@@ -90,6 +90,9 @@ class MigrationEngine:
         self.trace = None
         # Metrics registry, installed by Machine.enable_metrics.
         self.metrics = None
+        # Memcg controller, installed by Machine.enable_memcg: a migrated
+        # page keeps its charge but moves it between per-node RSS books.
+        self.memcg = None
 
     def node_of(self, page: Page) -> NumaNode:
         return self._nodes[page.node_id]
@@ -142,6 +145,8 @@ class MigrationEngine:
             page.lru.remove(page)
         source.release_frame(page)
         dest.adopt_page(page)
+        if self.memcg is not None:
+            self.memcg.note_migrated(page, source.node_id, dest.node_id)
         self._clock.advance_system(self._hardware.migrate_ns())
         self._account_direction(source, dest, page)
         return MigrationOutcome.MIGRATED

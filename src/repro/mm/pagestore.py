@@ -58,6 +58,7 @@ class PageStore:
     ``pte_dirty``       bool      harvested OR of the mapping PTEs' dirty
     ``mapcount``        int32     live reverse mappings (len of ``Page.rmap``)
     ``awaiting_ns``     int64     promotion time awaiting first re-access, -1
+    ``memcg_id``        int32     charging :class:`MemCgroup` id, -1 uncharged
     ==================  ========  ===========================================
 
     ``pte_accessed``/``pte_dirty`` keep the *page-level* reference signal
@@ -82,6 +83,7 @@ class PageStore:
         self.pte_dirty = np.zeros(capacity, dtype=bool)
         self.mapcount = np.zeros(capacity, dtype=np.int32)
         self.awaiting_ns = np.full(capacity, -1, dtype=np.int64)
+        self.memcg_id = np.full(capacity, -1, dtype=np.int32)
         #: identity registry: pages[pfn] is THE view object for that pfn.
         self.pages: list[Page] = []
         #: registered lists; a page's ``lru_id`` indexes this.
@@ -112,7 +114,7 @@ class PageStore:
         for name in (
             "node", "flags", "is_anon", "born_ns", "last_promoted",
             "lru_id", "lru_prev", "lru_next", "pte_accessed", "pte_dirty",
-            "mapcount", "awaiting_ns",
+            "mapcount", "awaiting_ns", "memcg_id",
         ):
             old = getattr(self, name)
             grown = np.empty(new_capacity, dtype=old.dtype)
@@ -228,6 +230,7 @@ _FILL = {
     "pte_dirty": False,
     "mapcount": 0,
     "awaiting_ns": -1,
+    "memcg_id": -1,
 }
 
 

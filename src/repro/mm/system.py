@@ -17,6 +17,7 @@ from repro.mm.address_space import MemoryRegion, Process
 from repro.mm.alloc import PageAllocator
 from repro.mm.flags import PageFlags
 from repro.mm.hardware import HardwareModel, MemoryTier
+from repro.mm.memcg import ProcessKilledError
 from repro.mm.migrate import MigrationEngine
 from repro.mm.numa import NumaNode
 from repro.mm.page import Page
@@ -30,7 +31,12 @@ from repro.sim.vclock import VirtualClock
 if TYPE_CHECKING:  # pragma: no cover
     from repro.policies.base import TieringPolicy
 
-__all__ = ["MemorySystem", "OutOfMemoryError", "OOM_RECLAIM_RETRIES"]
+__all__ = [
+    "MemorySystem",
+    "OutOfMemoryError",
+    "ProcessKilledError",
+    "OOM_RECLAIM_RETRIES",
+]
 
 OOM_RECLAIM_RETRIES = 4
 """Direct-reclaim passes the touch path absorbs before the OOM killer
@@ -113,6 +119,9 @@ class MemorySystem:
         # Metrics registry; None means metrics are compiled out — the
         # same nop discipline as tracing, enforced at every site below.
         self.metrics = None
+        # Memcg controller; None means per-tenant accounting is compiled
+        # out and OOM aborts the whole machine (the historical behaviour).
+        self.memcg = None
 
     # -- wiring -------------------------------------------------------------
 
@@ -241,14 +250,23 @@ class MemorySystem:
             self.clock.advance_app(latency.minor_fault_ns)
             charged += latency.minor_fault_ns
             self._c_faults_minor.n += 1
-        page = self._allocate_page(region, process.home_socket)
+        if self.memcg is not None:
+            self.memcg.try_charge(process)
+        page = self._allocate_page(region, process.home_socket, process)
         pte = process.page_table.map(vpage, page)
+        if self.memcg is not None:
+            self.memcg.commit_charge(page, process)
         if region.mlocked:
             page.set(PageFlags.UNEVICTABLE)
         self.policy.on_page_allocated(page)
         return pte, charged
 
-    def _allocate_page(self, region: MemoryRegion, home_socket: int = 0) -> Page:
+    def _allocate_page(
+        self,
+        region: MemoryRegion,
+        home_socket: int = 0,
+        process: Process | None = None,
+    ) -> Page:
         """Allocate with fallback, degrading gracefully under exhaustion.
 
         Allocation failure never escapes as a raw ``MemoryError``: each
@@ -256,7 +274,10 @@ class MemorySystem:
         reclaim (counted in ``vm.oom_stalls``) and retries, for up to
         :data:`OOM_RECLAIM_RETRIES` passes while reclaim keeps making
         progress.  Only when reclaim frees nothing does the OOM killer
-        fire, with the per-node occupancy in the message.
+        fire, with the per-node occupancy in the message.  With memcg
+        accounting armed the killer picks a victim group instead of
+        aborting the machine, so ``_oom`` may *return* after freeing the
+        victim's frames and the walk retries.
         """
         result = None
         for __ in range(1 + OOM_RECLAIM_RETRIES):
@@ -276,9 +297,24 @@ class MemorySystem:
                         self.clock.now_ns - stall_start_ns
                     )
                 if freed <= 0:
-                    self._oom("reclaim freed nothing")
+                    self._oom("reclaim freed nothing", process)
         if result is None:
-            self._oom(f"reclaim kept stalling ({OOM_RECLAIM_RETRIES} retries)")
+            # Reclaim stalled through every retry.  Without memcg this
+            # raises; with a victim killed it returns and the freed
+            # frames satisfy one final walk.
+            self._oom(
+                f"reclaim kept stalling ({OOM_RECLAIM_RETRIES} retries)", process
+            )
+            try:
+                result = self.allocator.allocate(
+                    is_anon=region.is_anon, born_ns=self.clock.now_ns,
+                    home_socket=home_socket,
+                )
+            except MemoryError:
+                raise OutOfMemoryError(
+                    "allocation failed even after an OOM kill — "
+                    f"{self.allocator.occupancy()}"
+                ) from None
         if result.fell_back:
             self.stats.inc("alloc.fallback_pm")
         if result.pressured_nodes:
@@ -286,9 +322,33 @@ class MemorySystem:
         self._c_alloc_pages.n += 1
         return result.page
 
-    def _oom(self, why: str) -> None:
-        """Fire the OOM killer: count it and report node occupancy."""
+    def _oom(self, why: str, process: Process | None = None) -> None:
+        """Fire the OOM killer.
+
+        Historical (no-memcg) behaviour: count the kill and raise
+        :class:`OutOfMemoryError` with the per-node occupancy — the whole
+        run dies.  With memcg accounting armed, select a victim group
+        (the over-limit or largest-footprint tenant), unmap its pages so
+        the frames return to the free lists, and *return* so the caller
+        can retry — unless the faulting process itself was the victim,
+        in which case :class:`ProcessKilledError` kills just that tenant.
+        """
         self.stats.inc("oom.kills")
+        if self.memcg is not None:
+            victim = self.memcg.select_victim(process)
+            if victim is not None:
+                pid = self.memcg.victim_pid(victim)
+                freed = self.memcg.kill(victim)
+                self.stats.inc("oom.pages_freed", freed)
+                if self.trace is not None:
+                    self.trace.trace_oom_kill(why, pid=pid)
+                if (process is not None
+                        and self.memcg.group_of(process.pid) is victim):
+                    raise ProcessKilledError(
+                        f"OOM killed group {victim.name!r} (pid {pid}, "
+                        f"{freed} pages freed) and {why}"
+                    ) from None
+                return
         if self.trace is not None:
             self.trace.trace_oom_kill(why)
         raise OutOfMemoryError(
@@ -316,6 +376,8 @@ class MemorySystem:
             if page.lru is not None:
                 page.lru.remove(page)
             page.clear(PageFlags.UNEVICTABLE)
+            if self.memcg is not None:
+                self.memcg.uncharge(page)
             self.nodes[page.node_id].release_frame(page)
             if self.trace is not None:
                 self.trace.trace_mm_page_free(page.node_id, page.pfn, "discard")
@@ -357,6 +419,8 @@ class MemorySystem:
             self.backing.writeback_file()
         if page.lru is not None:
             page.lru.remove(page)
+        if self.memcg is not None:
+            self.memcg.uncharge(page)
         self.nodes[page.node_id].release_frame(page)
         self.stats.inc("reclaim.evictions")
         if self.trace is not None:

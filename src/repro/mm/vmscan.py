@@ -26,6 +26,7 @@ from repro.mm.flags import PageFlags
 from repro.mm.lruvec import ListKind
 from repro.mm.numa import NumaNode
 from repro.mm.page import Page
+from repro.mm.pagestore import NO_PFN
 from repro.mm.system import MemorySystem
 from repro.sim.config import PAGE_SIZE
 
@@ -35,11 +36,16 @@ __all__ = [
     "deactivate_excess_active",
     "shrink_inactive_list",
     "ScanResult",
+    "ScanWeightFn",
 ]
 
 from dataclasses import dataclass
 
 SecondReferenceHook = Callable[[NumaNode, Page], None]
+
+#: Per-pfn reclaim pressure: 1 keeps vanilla CLOCK behaviour, anything
+#: higher strips the page's second chance (memcg proportional reclaim).
+ScanWeightFn = Callable[[int], int]
 
 _GIB = 1 << 30
 
@@ -124,6 +130,7 @@ def deactivate_excess_active(
     on_second_reference: SecondReferenceHook | None = None,
     ratio_cap: float | None = None,
     force: bool = False,
+    scan_weight: ScanWeightFn | None = None,
 ) -> ScanResult:
     """Rebalance one active list (the ``shrink_active_list`` analogue).
 
@@ -133,10 +140,61 @@ def deactivate_excess_active(
     referenced-once pages get their flag and a second chance; pages
     referenced *again* go to the promote list via the hook (edge 10) or,
     without a hook, rotate to the head (vanilla CLOCK).
+
+    ``scan_weight`` (auto-wired from an armed memcg controller carrying
+    limits) applies proportional reclaim: a page weighing more than 1
+    loses every second chance and deactivates on first sight.
+
+    The forced scan with no tracer, hook or weights — the direct-reclaim
+    escalation and every baseline kswapd pass — runs on pagestore columns
+    instead of per-page objects: a tail segment is classified with
+    boolean masks and the list is rebuilt with batch splices.  The
+    columnar walk restarts where a rotation would have wrapped, which
+    revisits pages in exactly the order the scalar wraparound does, so
+    the two paths are bit-identical (asserted by tests and the bench).
     """
     result = ScanResult()
     lruvec = node.lruvec
     active = lruvec.list_for(ListKind.ACTIVE, is_anon)
+    if scan_weight is None and system.memcg is not None and system.memcg.has_limits:
+        scan_weight = system.memcg.scan_weight
+    if (
+        force
+        and system.trace is None
+        and on_second_reference is None
+        and scan_weight is None
+        and len(active)
+    ):
+        _deactivate_vector(system, node, active, is_anon, budget, result)
+    else:
+        _deactivate_scalar(
+            system, node, active, is_anon, budget,
+            on_second_reference, ratio_cap, force, scan_weight, result,
+        )
+    result.system_ns = system.hardware.scan_ns(result.scanned)
+    if system.metrics is not None:
+        system.metrics.note_vmscan(
+            node.node_id, system.clock.now_ns,
+            scanned=result.scanned, stolen=0, deactivated=result.deactivated,
+        )
+    return result
+
+
+def _deactivate_scalar(
+    system: MemorySystem,
+    node: NumaNode,
+    active,
+    is_anon: bool,
+    budget: int,
+    on_second_reference: SecondReferenceHook | None,
+    ratio_cap: float | None,
+    force: bool,
+    scan_weight: ScanWeightFn | None,
+    result: ScanResult,
+) -> None:
+    """Page-at-a-time reference path: tracing, hooks, ratio checks, weights."""
+    lruvec = node.lruvec
+    inactive = lruvec.list_for(ListKind.INACTIVE, is_anon)
     threshold = active_ratio_threshold(node, ratio_cap)
     tr = system.trace
     for page in active.iter_from_tail():
@@ -146,6 +204,18 @@ def deactivate_excess_active(
             break
         result.scanned += 1
         accessed = page.harvest_accessed()
+        if scan_weight is not None and scan_weight(page.pfn) > 1:
+            # Proportional reclaim: the over-limit group's page forfeits
+            # its recency ladder and deactivates immediately, arriving on
+            # the inactive list unreferenced so the shrinker can take it.
+            page.clear(PageFlags.ACTIVE)
+            page.clear(PageFlags.REFERENCED)
+            active.remove(page)
+            inactive.add_head(page)
+            result.deactivated += 1
+            if tr is not None:
+                tr.trace_mm_lru_deactivate(node.node_id, page.pfn, "memcg")
+            continue
         if accessed and page.test(PageFlags.REFERENCED):
             if on_second_reference is not None:
                 on_second_reference(node, page)
@@ -166,17 +236,78 @@ def deactivate_excess_active(
         else:
             page.clear(PageFlags.ACTIVE)
             active.remove(page)
-            lruvec.list_for(ListKind.INACTIVE, is_anon).add_head(page)
+            inactive.add_head(page)
             result.deactivated += 1
             if tr is not None:
                 tr.trace_mm_lru_deactivate(node.node_id, page.pfn, "vmscan")
-    result.system_ns = system.hardware.scan_ns(result.scanned)
-    if system.metrics is not None:
-        system.metrics.note_vmscan(
-            node.node_id, system.clock.now_ns,
-            scanned=result.scanned, stolen=0, deactivated=result.deactivated,
-        )
-    return result
+
+
+def _deactivate_vector(
+    system: MemorySystem,
+    node: NumaNode,
+    active,
+    is_anon: bool,
+    budget: int,
+    result: ScanResult,
+) -> None:
+    """Columnar force-scan over a whole tail segment per pass.
+
+    Each pass classifies ``min(budget left, list length)`` tail pages at
+    once: the accessed bit is harvested with one gather, referenced state
+    with another, and the four scalar outcomes collapse to two masks —
+    survivors rotate (via one :meth:`PageStore.rebuild_after_scan`
+    splice, preserving visit order) and the rest move to the inactive
+    head in one :meth:`PageStore.prepend_head_block`.  A budget larger
+    than the list re-enters the loop, matching the scalar iterator's
+    wraparound over freshly rotated pages: every page deactivates within
+    three visits, so the passes terminate.
+    """
+    store = system.pagestore
+    inactive = node.lruvec.list_for(ListKind.INACTIVE, is_anon)
+    col_flags = store.flags
+    col_acc = store.pte_accessed
+    col_map = store.mapcount
+    ref_bit = int(PageFlags.REFERENCED)
+    active_bit = int(PageFlags.ACTIVE)
+    lru_bit = int(PageFlags.LRU)
+    while result.scanned < budget:
+        n = len(active)
+        if n == 0:
+            break
+        k = min(budget - result.scanned, n)
+        visited = store.walk_tail(active, k)
+        # Harvest: the accessed bit counts (and clears) only on mapped
+        # pages, exactly Page.harvest_accessed.
+        acc = col_acc[visited] & (col_map[visited] > 0)
+        hit = visited[acc]
+        if len(hit):
+            col_acc[hit] = False
+        ref = (col_flags[visited] & ref_bit) != 0
+        keep = acc | ref
+        survivors = visited[keep]
+        movers = visited[~keep]
+        gain_ref = visited[acc & ~ref]
+        if len(gain_ref):
+            col_flags[gain_ref] |= ref_bit
+        lose_ref = visited[~acc & ref]
+        if len(lose_ref):
+            col_flags[lose_ref] &= ~ref_bit
+        result.scanned += k
+        result.referenced += int(acc.sum())
+        # The unvisited remainder keeps its internal links; sample its
+        # tail before the splice below rewrites the visited links.
+        rest_tail = NO_PFN if k >= n else int(store.lru_prev[int(visited[-1])])
+        store.rebuild_after_scan(active, survivors, rest_tail, len(movers))
+        if len(movers):
+            col_flags[movers] &= ~active_bit
+            store.prepend_head_block(inactive, movers, lru_bit)
+            result.deactivated += len(movers)
+        if k >= n and not keep[:-1].any():
+            # The scalar iterator captures its next hop before each
+            # yield: visiting the original head it sees the first
+            # rotated survivor — or, when nothing rotated ahead of it,
+            # the end of the list, and stops with budget to spare.
+            break
 
 
 def shrink_inactive_list(
@@ -187,6 +318,7 @@ def shrink_inactive_list(
     budget: int,
     demote_dest: NumaNode | None,
     scanner: str = "direct",
+    scan_weight: ScanWeightFn | None = None,
 ) -> ScanResult:
     """Reclaim from one inactive list (the ``shrink_inactive_list`` analogue).
 
@@ -197,10 +329,16 @@ def shrink_inactive_list(
     ``scanner`` tags the emitted tracepoints with who is reclaiming
     ("kswapd", "demand", or the default direct-reclaim path), so a trace
     can be cross-checked against the per-daemon counters.
+
+    ``scan_weight`` (auto-wired from an armed memcg controller carrying
+    limits) applies proportional reclaim: a page weighing more than 1 is
+    denied the activate/rotate ladder and reclaimed as if idle.
     """
     result = ScanResult()
     lruvec = node.lruvec
     inactive = lruvec.list_for(ListKind.INACTIVE, is_anon)
+    if scan_weight is None and system.memcg is not None and system.memcg.has_limits:
+        scan_weight = system.memcg.scan_weight
     tr = system.trace
     # Per-page state lives in the store columns; hoist them and the flag
     # masks so each visit costs a couple of int ops instead of a chain
@@ -229,16 +367,19 @@ def shrink_inactive_list(
         accessed = bool(col_acc[pfn]) and col_map[pfn] > 0
         if accessed:
             col_acc[pfn] = False
-            if flags & ref_bit:
-                _activate(node, page)
-                result.activated += 1
-                if tr is not None:
-                    tr.trace_mm_lru_activate(node.node_id, pfn, scanner)
+            if scan_weight is None or scan_weight(pfn) <= 1:
+                if flags & ref_bit:
+                    _activate(node, page)
+                    result.activated += 1
+                    if tr is not None:
+                        tr.trace_mm_lru_activate(node.node_id, pfn, scanner)
+                    continue
+                col_flags[pfn] = flags | ref_bit
+                inactive.rotate_to_head(page)
+                result.referenced += 1
                 continue
-            col_flags[pfn] = flags | ref_bit
-            inactive.rotate_to_head(page)
-            result.referenced += 1
-            continue
+            # Over-limit group: no recency ladder — fall through and
+            # reclaim the page as if it were idle (proportional reclaim).
         if demote_dest is not None and demote_dest.can_allocate():
             outcome = system.migrator.migrate_with_retry(page, demote_dest)
             if outcome.ok:

@@ -142,6 +142,46 @@ def run_workload_cell(params: dict[str, Any]) -> dict[str, Any]:
     return result.to_dict()
 
 
+@register_runner("colo")
+def colo_cell(params: dict[str, Any]) -> dict[str, Any]:
+    """Declarative colocation cell: N KV tenants, memcg armed.
+
+    Params mirror :func:`repro.experiments.colo.run_colo` keywords
+    (``n_tenants``, ``records_per_tenant``, ``ops_per_tenant``,
+    ``policy``, ``limits``, ``seed``, sizing overrides) — all plain
+    JSON, so colo cells cache and resume like ``run-workload`` cells.
+    The payload is the per-tenant row set, not the live machine."""
+    from repro.experiments.colo import run_colo
+
+    allowed = (
+        "n_tenants", "records_per_tenant", "ops_per_tenant", "policy",
+        "dram_pages", "pm_pages", "swap_pages", "limits", "interval_s",
+        "seed",
+    )
+    kwargs = {k: params[k] for k in allowed if k in params}
+    result = run_colo(**kwargs)
+    return {
+        "policy": result["policy"],
+        "oom_kills": result["oom_kills"],
+        "tenants": [
+            {
+                "name": row.name,
+                "alpha": row.alpha,
+                "limit_pages": row.limit_pages,
+                "footprint_pages": row.footprint_pages,
+                "ops_completed": row.ops_completed,
+                "killed": row.killed,
+                "p50_ns": row.p50_ns,
+                "p99_ns": row.p99_ns,
+                "rss_pages": row.rss_pages,
+                "rss_by_node": {str(k): v for k, v in row.rss_by_node.items()},
+                "swap_pages": row.swap_pages,
+            }
+            for row in result["rows"]
+        ],
+    }
+
+
 @register_runner("policy-factory")
 def policy_factory_cell(params: dict[str, Any]) -> dict[str, Any]:
     """Factory cell for ``run_policies(workers=N)``: params carry the

@@ -112,8 +112,14 @@ class Tracer:
     def trace_mm_swap_in(self, process_id: int, vpage: int) -> None:
         self.emit("mm_swap_in", pid=process_id, vpage=vpage)
 
-    def trace_oom_kill(self, reason: str) -> None:
-        self.emit("oom_kill", reason=reason)
+    def trace_oom_kill(self, reason: str, pid: int = -1) -> None:
+        # The pid field (the victim process of a memcg OOM kill) is only
+        # emitted when set, so machine-wide OOM events keep their
+        # historical shape byte-for-byte.
+        if pid >= 0:
+            self.emit("oom_kill", reason=reason, pid=pid)
+        else:
+            self.emit("oom_kill", reason=reason)
 
     # -- daemon tracepoints --------------------------------------------------
 

@@ -13,10 +13,15 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-from repro.machine import Machine
-from repro.workloads.base import PageAccess, Workload
+import numpy as np
 
-__all__ = ["MultiTenantWorkload"]
+from repro.machine import Machine
+from repro.mm.address_space import Process
+from repro.sim.rng import make_rng
+from repro.workloads.base import PageAccess, Workload
+from repro.workloads.kvstore import PageTouch, SlabKVStore
+
+__all__ = ["MultiTenantWorkload", "KVTenantWorkload"]
 
 
 class MultiTenantWorkload(Workload):
@@ -39,6 +44,12 @@ class MultiTenantWorkload(Workload):
         self.home_sockets = list(home_sockets) if home_sockets else None
         self.batch = batch
         self.name = "multitenant[" + "+".join(t.name for t in tenants) + "]"
+        # Derived, not inherited: the class default (False) made a
+        # combination of boundary-marking tenants report accesses/s
+        # instead of real zero-op results when a phase completed no
+        # operations.  Any child that marks boundaries is enough — the
+        # runner only needs to know markers can appear in the stream.
+        self.marks_op_boundaries = any(t.marks_op_boundaries for t in self.tenants)
 
     def setup(self, machine: Machine) -> None:
         for i, tenant in enumerate(self.tenants):
@@ -75,3 +86,115 @@ class MultiTenantWorkload(Workload):
                     yield access
             for index in finished:
                 live.remove(index)
+
+
+class KVTenantWorkload(Workload):
+    """One Memcached-like tenant of a colocated service machine.
+
+    A :class:`~repro.workloads.kvstore.SlabKVStore` driven by
+    Zipf-distributed key popularity, with the two time-varying behaviours
+    colocation experiments need:
+
+    * **diurnal traffic** — ``phases`` are relative traffic weights; the
+      operation budget is split across them proportionally, so a tenant
+      with ``phases=(1.0, 0.2, 1.0)`` goes quiet in its second phase
+      while the round-robin interleave keeps serving busier tenants;
+    * **hotspot shift** — each phase draws a fresh popularity-rank →
+      key permutation, so yesterday's hot records go cold and the
+      tiering policy has to chase the new hot set.
+
+    The stream starts with the load phase (every record inserted in slab
+    order), then runs GET/SET traffic at ``read_ratio``.  Each operation
+    is a hash-bucket probe plus a record touch; the last touch of every
+    operation carries ``op_boundary``.  ``operations()`` exposes the
+    per-op touch lists directly for drivers that meter per-operation
+    latency (the colocation experiment); a stream is single-use because
+    it mutates the slab layout as it loads.
+    """
+
+    marks_op_boundaries = True
+
+    def __init__(
+        self,
+        tenant_name: str,
+        n_records: int,
+        ops: int,
+        *,
+        alpha: float = 1.1,
+        read_ratio: float = 0.9,
+        phases: Sequence[float] = (1.0,),
+        value_size: int = 1024,
+        seed: int = 7,
+    ) -> None:
+        if n_records <= 0 or ops <= 0:
+            raise ValueError("n_records and ops must be positive")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if not 0.0 <= read_ratio <= 1.0:
+            raise ValueError("read_ratio must lie in [0, 1]")
+        if not phases or any(w < 0 for w in phases) or sum(phases) <= 0:
+            raise ValueError("phases must be non-negative weights summing > 0")
+        self.name = tenant_name
+        self.n_records = n_records
+        self.ops = ops
+        self.alpha = alpha
+        self.read_ratio = read_ratio
+        self.phases = tuple(float(w) for w in phases)
+        self.seed = seed
+        self.store = SlabKVStore(value_size=value_size)
+        self.process: Process | None = None
+
+    def setup(self, machine: Machine) -> None:
+        self.process = machine.create_process(self.name)
+        store = self.store
+        data_pages = max(1, (self.n_records - 1) // store.items_per_page + 1)
+        self.process.mmap_anon(store.hash_base, store.hash_pages(self.n_records))
+        self.process.mmap_anon(store.data_base, data_pages)
+
+    def footprint_pages(self) -> int:
+        return self.store.footprint_pages(self.n_records)
+
+    def phase_ops(self) -> list[int]:
+        """Operation budget per diurnal phase (sums to ``ops`` exactly)."""
+        weights = np.asarray(self.phases, dtype=np.float64)
+        bounds = np.floor(np.cumsum(weights) / weights.sum() * self.ops).astype(int)
+        counts = np.diff(bounds, prepend=0)
+        counts[-1] += self.ops - int(bounds[-1])
+        return counts.tolist()
+
+    def operations(self) -> Iterator[list[PageTouch]]:
+        """Per-operation touch lists: the load phase, then the traffic."""
+        for key in range(self.n_records):
+            yield self.store.insert(key)
+        rng = make_rng(
+            self.seed, f"kv-{self.name}-{self.n_records}-{self.alpha}"
+        )
+        ranks = np.arange(1, self.n_records + 1, dtype=np.float64)
+        weights = ranks ** (-self.alpha)
+        weights /= weights.sum()
+        for count in self.phase_ops():
+            # Hotspot shift: a fresh rank -> key mapping every phase.
+            key_of_rank = rng.permutation(self.n_records)
+            emitted = 0
+            while emitted < count:
+                n = min(512, count - emitted)
+                picks = rng.choice(self.n_records, size=n, p=weights)
+                keys = key_of_rank[picks]
+                reads = rng.random(n) < self.read_ratio
+                for key, is_read in zip(keys.tolist(), reads.tolist()):
+                    yield (
+                        self.store.read(key) if is_read
+                        else self.store.update(key)
+                    )
+                emitted += n
+
+    def accesses(self) -> Iterator[PageAccess]:
+        process = self.process
+        assert process is not None, "setup() must run before accesses()"
+        for touches in self.operations():
+            last = len(touches) - 1
+            for i, touch in enumerate(touches):
+                yield PageAccess(
+                    process, touch.vpage, is_write=touch.is_write,
+                    op_boundary=(i == last), lines=touch.lines,
+                )

@@ -195,3 +195,61 @@ def test_snapshot_round_trips_through_json(registry):
         assert histogram["count"] == sum(
             bucket["count"] for bucket in histogram["buckets"]
         )
+
+
+# -- p50/p99 quantiles across the formats ------------------------------------
+
+
+def test_vmstat_emits_quantiles_for_populated_histograms(registry):
+    text = registry.to_vmstat()
+    lines = dict(
+        line.rsplit(" ", 1) for line in text.strip().splitlines()
+    )
+    for hist in registry.histograms.values():
+        if hist.count:
+            assert float(lines[f"{hist.name}_p50"]) == hist.quantile(0.5)
+            assert float(lines[f"{hist.name}_p99"]) == hist.quantile(0.99)
+        else:
+            # Empty histograms have no quantile lines (nothing to parse).
+            assert f"{hist.name}_p50" not in lines
+            assert f"{hist.name}_p99" not in lines
+
+
+def test_prometheus_quantiles_are_separate_gauge_families(registry):
+    text = registry.to_prometheus()
+    lines = text.splitlines()
+    for hist in registry.histograms.values():
+        if not hist.count:
+            continue
+        for label, q in (("p50", 0.5), ("p99", 0.99)):
+            name = f"repro_{hist.name}_{label}"
+            assert f"# TYPE {name} gauge" in lines
+            sample = next(l for l in lines if l.startswith(f"{name} "))
+            assert float(sample.split()[1]) == hist.quantile(q)
+
+
+def test_json_snapshot_carries_quantiles(registry):
+    snapshot = json.loads(json.dumps(registry.to_json()))
+    for name, data in snapshot["histograms"].items():
+        hist = registry.histograms[name]
+        if hist.count:
+            assert data["p50"] == hist.quantile(0.5)
+            assert data["p99"] == hist.quantile(0.99)
+        else:
+            # None, never NaN: the snapshot must survive a JSON round trip.
+            assert data["p50"] is None and data["p99"] is None
+
+
+def test_tenant_histograms_flow_through_every_format(registry):
+    hist = registry.tenant_histogram("svc-a")
+    hist.record(1000)
+    hist.record(50_000)
+    try:
+        assert registry.tenant_histogram("svc-a") is hist  # get-or-create
+        assert "tenant_svc_a_latency_ns_p99" in registry.to_vmstat()
+        assert "repro_tenant_svc_a_latency_ns_p50" in registry.to_prometheus()
+        snapshot = registry.to_json()
+        assert snapshot["histograms"]["tenant_svc_a_latency_ns"]["p50"] is not None
+    finally:
+        # The module-scoped registry is shared; drop the side histogram.
+        del registry.histograms["tenant_svc_a_latency_ns"]

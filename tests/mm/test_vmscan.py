@@ -278,3 +278,76 @@ def test_active_ratio_threshold_ignores_offline_frames():
     )
     node.bring_online(3 * (1 << 18))
     assert active_ratio_threshold(node) == pytest.approx(full)
+
+
+# -- columnar deactivate == scalar deactivate (bit-identity) -----------------
+
+
+def _warmed_machine():
+    """A machine with populated, perturbed active lists on every node."""
+    machine = Machine(
+        SimulationConfig(dram_pages=(128,), pm_pages=(512,)), "multiclock"
+    )
+    process = machine.create_process()
+    process.mmap_anon(0, 500)
+    for vpage in range(500):
+        machine.system.touch(process, vpage)
+    for vpage in range(500):
+        machine.system.touch(process, vpage)  # second touch activates
+    machine.clock.advance_app(int(5e8))
+    machine.drain_daemons()
+    # Deterministic perturbation: mixed accessed bits and REFERENCED
+    # flags so the scan exercises all four classification outcomes.
+    store = machine.system.pagestore
+    ref = int(PageFlags.REFERENCED)
+    store.pte_accessed[:] = False
+    store.pte_accessed[::3] = True
+    store.flags[::5] |= ref
+    store.flags[2::7] &= ~ref
+    return machine
+
+
+def _digest(machine):
+    store = machine.system.pagestore
+    state = []
+    for node in machine.system.nodes.values():
+        for lst in node.lruvec.all_lists():
+            order = [page.pfn for page in lst]
+            state.append((
+                lst.name,
+                order,
+                [int(store.flags[pfn]) for pfn in order],
+                [bool(store.pte_accessed[pfn]) for pfn in order],
+            ))
+    return state
+
+
+@pytest.mark.parametrize("budget", [7, 64, 300, 5000])
+def test_vector_deactivate_bit_identical_to_scalar(budget):
+    from repro.mm import vmscan
+
+    vec = _warmed_machine()
+    ref = _warmed_machine()
+    assert _digest(vec) == _digest(ref)  # identical starting states
+
+    for node_id in list(vec.system.nodes):
+        for is_anon in (True, False):
+            node_v = vec.system.nodes[node_id]
+            node_r = ref.system.nodes[node_id]
+            if not len(node_v.lruvec.list_for(ListKind.ACTIVE, is_anon)):
+                continue
+            # Vector arm: the public forced entry (no trace/hook/weights).
+            rv = deactivate_excess_active(
+                vec.system, node_v, is_anon, budget, force=True
+            )
+            # Scalar arm: the reference loop, called directly.
+            rr = vmscan.ScanResult()
+            vmscan._deactivate_scalar(
+                ref.system, node_r,
+                node_r.lruvec.list_for(ListKind.ACTIVE, is_anon),
+                is_anon, budget, None, None, True, None, rr,
+            )
+            assert (rv.scanned, rv.deactivated, rv.referenced) == (
+                rr.scanned, rr.deactivated, rr.referenced
+            )
+    assert _digest(vec) == _digest(ref)

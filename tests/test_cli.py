@@ -199,3 +199,53 @@ def test_sweep_hosts_sidecar_reports_cache_hits(tmp_path, capsys):
     assert sidecar["cache_hits"] == 0
     assert sidecar["hosts"][0]["host"] == "loopback#0"
     assert sidecar["hosts"][0]["state"] == "ok"
+
+
+def test_colo_prints_tenant_table(capsys):
+    assert main([
+        "colo", "--tenants", "2", "--records", "200", "--ops", "500",
+        "--limits", "none,60",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "tenant0" in out and "tenant1" in out
+    assert "p50_ns" in out and "p99_ns" in out
+    assert "tenants finished" in out
+
+
+def test_colo_bad_limits_one_line_error(capsys):
+    assert main(["colo", "--limits", "12,oops"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "oops" in err
+    assert "Traceback" not in err
+
+
+def test_colo_snapshot_report_roundtrip(tmp_path, capsys):
+    snap = tmp_path / "colo_snap.json"
+    html = tmp_path / "colo.html"
+    out = tmp_path / "report.html"
+    assert main([
+        "colo", "--tenants", "2", "--records", "200", "--ops", "500",
+        "--snapshot", str(snap), "--html", str(html),
+    ]) == 0
+    capsys.readouterr()
+    assert snap.exists() and html.exists()
+    assert "tenant_tenant0_latency_ns" in html.read_text()
+    assert main([
+        "report", "--snapshot", str(snap), "--out", str(out),
+    ]) == 0
+    text = out.read_text()
+    assert "tenant_tenant0_latency_ns" in text
+    assert "p50" in text and "p99" in text
+
+
+def test_report_missing_snapshot_one_line_error(tmp_path, capsys):
+    assert main([
+        "report", "--snapshot", str(tmp_path / "nope.json"),
+        "--out", str(tmp_path / "x.html"),
+    ]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "nope.json" in err
+
+
+def test_experiment_list_includes_colo():
+    assert "colo" in EXPERIMENTS

@@ -73,3 +73,104 @@ def test_footprint_sums_tenants():
 def test_name_mentions_tenants():
     workload = MultiTenantWorkload([ZipfWorkload(10, 10), UniformWorkload(10, 10)])
     assert "zipf" in workload.name and "uniform" in workload.name
+
+
+# -- op-boundary derivation (regression) -------------------------------------
+
+
+def test_marks_op_boundaries_derived_from_children():
+    """Regression: the combinator used to inherit the class default
+    (False) even when every child marked boundaries, so a phase that
+    completed zero operations reported accesses/s as its throughput."""
+    from repro.workloads.base import Workload
+
+    class Unmarked(Workload):
+        name = "unmarked"
+
+        def setup(self, machine):
+            pass
+
+        def footprint_pages(self):
+            return 0
+
+        def accesses(self):
+            return iter(())
+
+    marking = MultiTenantWorkload([ZipfWorkload(10, 10), UniformWorkload(10, 10)])
+    assert marking.marks_op_boundaries is True
+
+    plain = MultiTenantWorkload([Unmarked(), Unmarked()])
+    assert plain.marks_op_boundaries is False
+
+    mixed = MultiTenantWorkload([Unmarked(), ZipfWorkload(10, 10)])
+    assert mixed.marks_op_boundaries is True
+
+
+def test_marking_combination_reports_ops_not_accesses():
+    from repro.workloads.kvstore import SlabKVStore  # noqa: F401 (import check)
+    from repro.workloads.multitenant import KVTenantWorkload
+
+    tenants = [
+        KVTenantWorkload("a", 60, 200, seed=1),
+        KVTenantWorkload("b", 60, 200, seed=2),
+    ]
+    workload = MultiTenantWorkload(tenants)
+    result = run_workload(workload, CONFIG, policy="static")
+    # load (60 inserts) + 200 traffic ops per tenant; each op is several
+    # accesses, so ops == the marked boundaries, not the access count.
+    assert result.operations == 2 * 260
+    assert result.accesses > result.operations
+
+
+# -- the KV tenant workload --------------------------------------------------
+
+
+def make_kv(**kwargs):
+    from repro.workloads.multitenant import KVTenantWorkload
+
+    defaults = dict(alpha=1.1, read_ratio=0.9, phases=(1.0,), seed=3)
+    defaults.update(kwargs)
+    return KVTenantWorkload("t", 80, 300, **defaults)
+
+
+def test_kv_tenant_validation():
+    from repro.workloads.multitenant import KVTenantWorkload
+
+    with pytest.raises(ValueError):
+        KVTenantWorkload("t", 0, 10)
+    with pytest.raises(ValueError):
+        KVTenantWorkload("t", 10, 10, alpha=0.0)
+    with pytest.raises(ValueError):
+        KVTenantWorkload("t", 10, 10, read_ratio=1.5)
+    with pytest.raises(ValueError):
+        KVTenantWorkload("t", 10, 10, phases=())
+    with pytest.raises(ValueError):
+        KVTenantWorkload("t", 10, 10, phases=(0.0, 0.0))
+
+
+def test_kv_tenant_phase_budget_sums_exactly():
+    workload = make_kv(phases=(1.0, 0.35, 1.0))
+    assert sum(workload.phase_ops()) == workload.ops
+    workload = make_kv(phases=(0.3, 0.3, 0.3, 0.1))
+    assert sum(workload.phase_ops()) == workload.ops
+
+
+def test_kv_tenant_stream_shape():
+    workload = make_kv()
+    machine = Machine(CONFIG, "static")
+    workload.setup(machine)
+    ops = list(workload.operations())
+    # load phase inserts every record, then the traffic ops.
+    assert len(ops) == workload.n_records + workload.ops
+    boundaries = 0
+    fresh = make_kv()
+    fresh.setup(Machine(CONFIG, "static"))
+    for access in fresh.accesses():
+        boundaries += access.op_boundary
+    assert boundaries == fresh.n_records + fresh.ops
+
+
+def test_kv_tenant_runs_end_to_end():
+    workload = make_kv(phases=(1.0, 0.2, 1.0))
+    result = run_workload(workload, CONFIG, policy="multiclock")
+    assert result.operations == workload.n_records + workload.ops
