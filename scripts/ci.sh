@@ -81,6 +81,12 @@ assert drate >= DEACTIVATE_FLOOR, (
 print(f"vector deactivate {drate:,.0f} pages/s >= floor {DEACTIVATE_FLOOR:,}"
       f" pages/s (scalar {deact['scalar_pages_per_sec']:,.0f},"
       f" speedup {deact['speedup']}x)")
+
+journal = bench["journal"]
+assert journal["identical"] is True, f"journal-armed sweep diverged: {journal}"
+assert journal["journal_events"] > 0, journal
+print(f"span journal is a measured nop: {journal['journal_events']} events, "
+      f"overhead {journal['overhead']}x, identical=True")
 PYEOF
 
 echo "== chaos smoke (2 policies x 1 workload under faults) =="
@@ -147,12 +153,15 @@ cmp "$SWEEP_TMP/remote.json" "$SWEEP_TMP/seq.json"
 test -s "$SWEEP_TMP/remote.json.hosts.json"
 echo "2-host loopback sweep: byte-identical report, host sidecar written"
 
-echo "== distributed sweep fault smoke (agent killed mid-run heals) =="
+echo "== distributed sweep fault smoke (agent killed mid-run heals, journal armed) =="
 python - "$(mktemp -d)" <<'PYEOF'
 import sys
+from repro.obs import (Journal, SweepObserver, pair_spans, read_journal,
+                       timeline_records)
 from repro.sweep import SweepCell, SweepSpec, run_remote_sweep, run_sweep
 
-marker = sys.argv[1] + "/killed.marker"
+tmp = sys.argv[1]
+marker = tmp + "/killed.marker"
 cells = [
     SweepCell(f"c{i}", "flaky",
               {"mode": "sleep", "sleep_s": 0.05, "payload": f"p{i}"})
@@ -163,13 +172,59 @@ cells.insert(3, SweepCell("killer", "flaky",
                            "payload": "recovered"}))
 spec = SweepSpec(name="ci-kill-agent", cells=tuple(cells))
 sequential = run_sweep(spec, workers=1)
+journal_path = tmp + "/sweep.journal.ndjson"
+obs = SweepObserver(journal=Journal(journal_path))
 remote = run_remote_sweep(spec, "loopback,loopback", heartbeat_s=0.5,
-                          reconnect_attempts=2)
+                          reconnect_attempts=2, obs=obs)
+obs.close("done")
 assert remote.ok, [o.error for o in remote.outcomes if not o.ok]
 assert remote.payloads() == sequential.payloads(), "results diverged"
+
+# The journal must tell the same story: the killed host's cell.run span
+# and its re-run elsewhere share the cell id, the cell commits once,
+# and the merged timeline shows the whole fleet (driver + 2 hosts).
+events = read_journal(journal_path)
+runs = [s for s in pair_spans(events)
+        if s.span == "cell.run" and s.cell == "killer"]
+assert len(runs) >= 2 and any(s.aborted for s in runs), runs
+commits = [e for e in events if e["ev"] == "point"
+           and e["span"] == "commit" and e.get("cell") == "killer"]
+assert len(commits) == 1, commits
+_, lanes = timeline_records(events)
+assert lanes >= 3, f"expected >=3 timeline lanes, got {lanes}"
 print("agent SIGKILLed mid-sweep: every cell re-dispatched and completed, "
-      "results identical to sequential")
+      "results identical to sequential; journal shows the re-run "
+      f"({len(runs)} cell.run spans, 1 commit, {lanes} timeline lanes)")
 PYEOF
+
+echo "== observability smoke (journal -> top -> timeline -> byte-identity) =="
+OBS_TMP="$(mktemp -d)"
+python -m repro sweep "${SWEEP_ARGS[@]}" --no-cache \
+    --hosts loopback,loopback --heartbeat-s 1 --journal \
+    --out "$OBS_TMP/armed.json" >/dev/null 2>&1
+python -m repro top "$OBS_TMP/armed.json" --once | grep -q "done 2"
+python -m repro timeline "$OBS_TMP/armed.json" \
+    --out "$OBS_TMP/trace.json" >/dev/null
+python - "$OBS_TMP" <<'PYEOF'
+import json, sys
+
+tmp = sys.argv[1]
+trace = json.load(open(tmp + "/trace.json"))  # perfetto export is JSON
+lanes = {r["pid"] for r in trace["traceEvents"]}
+assert len(lanes) >= 3, f"expected >=3 lanes, got {len(lanes)}"
+report = json.load(open(tmp + "/armed.json"))
+profile = report.pop("profile")
+timing = report.pop("timing")
+assert profile["coverage"] >= 0.95, profile
+assert timing == sorted(timing, key=lambda r: (r["cell"], r["attempt"]))
+with open(tmp + "/stripped.json", "w") as fh:
+    json.dump(report, fh, indent=2, sort_keys=True)
+    fh.write("\n")
+print(f"timeline has {len(lanes)} lanes; profile covers "
+      f"{100 * profile['coverage']:.1f}% of measured wall")
+PYEOF
+cmp "$OBS_TMP/stripped.json" "$SWEEP_TMP/seq.json"
+echo "journal-armed report minus timing/profile is byte-identical to journal-off"
 
 echo "== trace smoke (run -> export -> audit) =="
 TRACE_TMP="$(mktemp -d)"

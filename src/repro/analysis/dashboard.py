@@ -297,6 +297,45 @@ def _sweep_section(sweep: Mapping[str, Any]) -> str:
     )
 
 
+def _profile_section(profile: Mapping[str, Any]) -> str:
+    """The sweep wall-time attribution table (present when the sweep ran
+    with ``--journal``): where the control plane spent its wall."""
+    wall = profile.get("wall_s", 0.0) or 0.0
+    phase_rows = []
+    for name, seconds in (profile.get("phases") or {}).items():
+        label = name[:-2] if name.endswith("_s") else name
+        share = 100.0 * seconds / wall if wall else 0.0
+        phase_rows.append(
+            f"<tr><td>{escape(label)}</td>"
+            f'<td class="num">{seconds:.3f}</td>'
+            f'<td class="num">{share:.1f}%</td></tr>'
+        )
+    attr_rows = []
+    for name, seconds in (profile.get("attribution") or {}).items():
+        label = name[:-2] if name.endswith("_s") else name
+        attr_rows.append(
+            f"<tr><td>{escape(label)}</td>"
+            f'<td class="num">{seconds:.3f}</td><td></td></tr>'
+        )
+    coverage = 100.0 * (profile.get("coverage") or 0.0)
+    counts = profile.get("counts") or {}
+    summary = (
+        f"{wall:.3f}s wall · {coverage:.1f}% phase coverage · "
+        f"{counts.get('commits', 0)} commits · "
+        f"{counts.get('cell_runs', 0)} cell runs"
+    )
+    return (
+        f'<p class="meta">{escape(summary)}</p>'
+        '<div class="card"><table>'
+        '<tr><th>phase</th><th class="num">seconds</th>'
+        '<th class="num">share</th></tr>'
+        f"{''.join(phase_rows)}"
+        '<tr><th>attribution (busy)</th><th class="num">seconds</th><th></th></tr>'
+        f"{''.join(attr_rows)}"
+        "</table></div>"
+    )
+
+
 def _chaos_section(chaos: Mapping[str, Any]) -> str:
     rows = []
     for cell in chaos.get("cells", []):
@@ -369,6 +408,9 @@ def build_dashboard(
     if sweep is not None:
         sections.append("<h2>Sweep report</h2>")
         sections.append(_sweep_section(sweep))
+        if sweep.get("profile"):
+            sections.append("<h2>Sweep wall-time profile</h2>")
+            sections.append(_profile_section(sweep["profile"]))
     if chaos is not None:
         sections.append("<h2>Chaos report</h2>")
         sections.append(_chaos_section(chaos))

@@ -40,6 +40,12 @@ benchmarks, written to ``BENCH_perf.json``:
   versus the page-at-a-time reference loop on identical list states.
   Reports pages/sec for both, the speedup, and an ``identical`` flag
   asserting both arms made the same scan decisions page for page.
+* ``journal`` — the control-plane span journal's cost: the same local
+  pool sweep with the journal off versus armed.  Reports both wall
+  times, the overhead ratio, the journal's event count, and an
+  ``identical`` flag asserting the armed run's merged payloads equal
+  the journal-off run's exactly (observability must never change
+  results — the same property the byte-identical report pins).
 
 Each benchmark takes a best-of-``repeats`` timing to shrug off host
 scheduling noise.  ``--smoke`` shrinks the workloads to CI size.
@@ -67,6 +73,7 @@ __all__ = [
     "bench_trace",
     "bench_sweep",
     "bench_remote",
+    "bench_journal",
     "bench_metrics",
     "run_suite",
     "write_results",
@@ -622,6 +629,80 @@ def bench_remote(
     }
 
 
+def bench_journal(
+    *,
+    pages: int = 800,
+    ops: int = 8_000,
+    policies: tuple[str, ...] = ("static", "multiclock"),
+    workers: int = 2,
+    seed: int = 42,
+) -> dict[str, Any]:
+    """The same local-pool sweep with the span journal off vs armed.
+
+    The journal writes one flushed NDJSON line per control-plane event —
+    a per-*cell* cost, so its overhead must stay invisible next to the
+    cells themselves.  ``identical`` pins the contract that buys the
+    byte-identical journal-off report: arming observability never
+    changes what the sweep computes.
+    """
+    import tempfile
+
+    from repro.obs import Journal, SweepObserver, read_journal
+    from repro.sweep import SweepCell, SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        name="bench-journal",
+        cells=tuple(
+            SweepCell(
+                id=policy,
+                runner="run-workload",
+                params={
+                    "policy": policy,
+                    "workload": {
+                        "kind": "zipf", "pages": pages, "ops": ops,
+                        "seed": seed, "write_ratio": 0.2,
+                    },
+                    "config": {"dram_pages": 1024, "pm_pages": 8192,
+                               "seed": seed},
+                },
+            )
+            for policy in policies
+        ),
+    )
+
+    gc.collect()
+    with _gc_paused():
+        start = time.perf_counter()
+        off = run_sweep(spec, workers=workers)
+        off_s = time.perf_counter() - start
+
+    with tempfile.NamedTemporaryFile(suffix=".ndjson", delete=False) as tmp:
+        journal_path = tmp.name
+    try:
+        obs = SweepObserver(journal=Journal(journal_path))
+        gc.collect()
+        with _gc_paused():
+            start = time.perf_counter()
+            armed = run_sweep(spec, workers=workers, obs=obs)
+            armed_s = time.perf_counter() - start
+        obs.close("done")
+        events = len(read_journal(journal_path))
+    finally:
+        os.unlink(journal_path)
+
+    return {
+        "cells": len(policies),
+        "ops_per_cell": ops,
+        "workers": workers,
+        "off_s": round(off_s, 3),
+        "armed_s": round(armed_s, 3),
+        "overhead": round(armed_s / off_s, 3) if off_s > 0 else 0.0,
+        "journal_events": events,
+        "identical": off.ok and armed.ok
+        and armed.payloads() == off.payloads(),
+    }
+
+
 def run_suite(*, smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
     """Run all benchmarks; smoke mode uses CI-sized workloads."""
     if smoke:
@@ -636,6 +717,7 @@ def run_suite(*, smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
         # over repeated runs); at this sizing it holds 1.3x+.
         sweep = bench_sweep(pages=1500, ops=20_000)
         remote = bench_remote(pages=400, ops=4_000)
+        journal = bench_journal(pages=400, ops=4_000)
         metrics = bench_metrics(30_000, pages=2000, repeats=max(1, min(repeats, 2)))
         deactivate = bench_deactivate(pages=1000, warm_ops=10_000, rounds=10)
     else:
@@ -645,6 +727,7 @@ def run_suite(*, smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
         trace = bench_trace(repeats=repeats)
         sweep = bench_sweep()
         remote = bench_remote()
+        journal = bench_journal()
         metrics = bench_metrics(repeats=repeats)
         deactivate = bench_deactivate()
     return {
@@ -659,6 +742,7 @@ def run_suite(*, smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
         "trace": trace,
         "sweep": sweep,
         "remote": remote,
+        "journal": journal,
         "metrics": metrics,
         "deactivate": deactivate,
     }
@@ -715,6 +799,15 @@ def render(results: dict[str, Any]) -> str:
             f"  loopback host {remote['loopback_host_s']}s"
             f"  protocol tax {remote['overhead_s']}s"
             f"  identical={remote['identical']}"
+        )
+    journal = results.get("journal")
+    if journal is not None:
+        lines.append(
+            f"journal    {journal['cells']} cells off {journal['off_s']}s"
+            f"  armed {journal['armed_s']}s"
+            f"  overhead {journal['overhead']:.3f}x"
+            f"  ({journal['journal_events']:,} events)"
+            f"  identical={journal['identical']}"
         )
     deactivate = results.get("deactivate")
     if deactivate is not None:

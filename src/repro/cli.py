@@ -30,9 +30,17 @@ Commands:
   writes a deterministic ``SWEEP_report.json`` whose bytes do not
   depend on the worker count.  With ``--hosts``, cells shard across
   remote ``sweep-agent`` processes with heartbeats, lease re-dispatch,
-  and graceful degradation to the local pool.
+  and graceful degradation to the local pool.  ``--journal`` arms the
+  control-plane span journal (drives ``top``/``timeline`` and the
+  report's timing/profile sections).
 * ``sweep-agent`` — the host-side half of ``sweep --hosts``: serves
   cells to a driver over stdin/stdout (started via ssh, not by hand).
+* ``top`` — live progress view of a running ``sweep --journal``: polls
+  the atomically-rewritten ``<out>.status.json`` (``--once`` for one
+  frame, ``--prometheus`` for scrapers).
+* ``timeline`` — export a sweep's span journal as Chrome trace-event
+  JSON with one lane per driver/host/worker; loads directly in
+  https://ui.perfetto.dev.
 * ``stat`` — run a workload with the metrics registry armed and print a
   one-shot snapshot: ``/proc/vmstat``-style ``name value`` lines by
   default, ``--prometheus`` text exposition, pure ``--json``, or a
@@ -49,6 +57,7 @@ simulated memory) exit with a one-line message, not a traceback.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable
 
@@ -268,6 +277,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seconds to wait for an agent's hello")
     sweep_p.add_argument("--reconnect-attempts", type=int, default=1,
                          help="reconnects per lost host before it is dead")
+    sweep_p.add_argument("--journal", nargs="?", const="", default=None,
+                         metavar="PATH",
+                         help="arm the span journal: write control-plane "
+                              "begin/end spans as NDJSON (default path "
+                              "<out>.journal.ndjson), keep a live "
+                              "<out>.status.json for `repro top`, and add "
+                              "timing/profile sections to the report")
 
     agent_p = sub.add_parser(
         "sweep-agent",
@@ -276,6 +292,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     agent_p.add_argument("--workers", type=int, default=1,
                          help="size of this agent's local worker pool")
+
+    top_p = sub.add_parser(
+        "top",
+        help="live progress view of a running `sweep --journal` "
+             "(reads <out>.status.json)",
+    )
+    top_p.add_argument("path", nargs="?", default=DEFAULT_SWEEP_REPORT,
+                       help="sweep report path or its .status.json "
+                            "(default SWEEP_report.json)")
+    top_p.add_argument("--once", action="store_true",
+                       help="render one frame and exit (for scripts/CI)")
+    top_p.add_argument("--interval", type=float, default=1.0,
+                       help="refresh interval in seconds (default 1)")
+    top_p.add_argument("--prometheus", action="store_true",
+                       help="print the Prometheus text exposition of one "
+                            "snapshot and exit (implies --once)")
+
+    timeline_p = sub.add_parser(
+        "timeline",
+        help="export a sweep's span journal as Chrome trace-event JSON "
+             "(loads in https://ui.perfetto.dev)",
+    )
+    timeline_p.add_argument("journal", nargs="?", default=DEFAULT_SWEEP_REPORT,
+                            help="journal NDJSON path, or a sweep report "
+                                 "path to derive <out>.journal.ndjson from "
+                                 "(default SWEEP_report.json)")
+    timeline_p.add_argument("--out", default=None,
+                            help="output path (default <journal>.trace.json)")
 
     colo_p = sub.add_parser(
         "colo", help="colocate N KV tenants with memcg accounting armed"
@@ -502,10 +546,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         DEFAULT_HEARTBEAT_S,
         DEFAULT_STRAGGLER_FACTOR,
         SweepCell,
+        SweepInterrupted,
         SweepSpec,
+        build_report,
         parse_hosts,
         run_remote_sweep,
         run_sweep,
+        write_report,
     )
 
     # Validate the distributed-mode flags up front: a bad host list or a
@@ -585,56 +632,83 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     manifest = args.manifest or f"{out}.manifest.json"
     cache_dir = (args.cache_dir or f"{out}.cache") if args.cache else None
     note = lambda msg: print(f"  {msg}", file=sys.stderr)  # noqa: E731
-    if hosts is not None:
-        result = run_remote_sweep(
-            spec,
-            hosts,
-            timeout_s=args.timeout_s,
-            max_attempts=args.max_attempts,
-            manifest_path=manifest,
-            resume=args.resume,
-            cache_dir=cache_dir,
-            heartbeat_s=heartbeat_s,
-            straggler_factor=straggler_factor,
-            connect_timeout_s=args.connect_timeout_s,
-            reconnect_attempts=args.reconnect_attempts,
-            local_workers=args.workers,
-            workers_per_host=args.workers,
-            progress=note,
-        )
-    else:
-        result = run_sweep(
-            spec,
-            workers=args.workers,
-            timeout_s=args.timeout_s,
-            max_attempts=args.max_attempts,
-            manifest_path=manifest,
-            resume=args.resume,
-            cache_dir=cache_dir,
-            progress=note,
-        )
 
-    # The report is deterministic: cells in grid order, no attempt
-    # counts or host timings (those live in the manifest), so the bytes
-    # are independent of --workers and of scheduling.
-    report = {
-        "grid": {
+    # --journal arms the observability plane: the NDJSON span journal,
+    # the live <out>.status.json that `repro top` polls, and the
+    # timing/profile sections of the report.  Without it `obs` stays
+    # None and the sweep layer builds its null observer, so the report
+    # bytes are identical to a journal-off run (CI pins this with cmp).
+    obs = None
+    journal_path = None
+    if args.journal is not None:
+        from repro.obs import Journal, StatusBoard, SweepObserver
+
+        journal_path = args.journal or f"{out}.journal.ndjson"
+        journal = Journal(journal_path)
+        obs = SweepObserver(
+            progress=note,
+            journal=journal,
+            status=StatusBoard(f"{out}.status.json", total=len(cells),
+                               spec=spec.name, trace=journal.trace_id),
+        )
+    try:
+        if hosts is not None:
+            result = run_remote_sweep(
+                spec,
+                hosts,
+                timeout_s=args.timeout_s,
+                max_attempts=args.max_attempts,
+                manifest_path=manifest,
+                resume=args.resume,
+                cache_dir=cache_dir,
+                heartbeat_s=heartbeat_s,
+                straggler_factor=straggler_factor,
+                connect_timeout_s=args.connect_timeout_s,
+                reconnect_attempts=args.reconnect_attempts,
+                local_workers=args.workers,
+                workers_per_host=args.workers,
+                progress=note,
+                obs=obs,
+            )
+        else:
+            result = run_sweep(
+                spec,
+                workers=args.workers,
+                timeout_s=args.timeout_s,
+                max_attempts=args.max_attempts,
+                manifest_path=manifest,
+                resume=args.resume,
+                cache_dir=cache_dir,
+                progress=note,
+                obs=obs,
+            )
+    except (SweepInterrupted, KeyboardInterrupt):
+        # The journal gets its synthetic aborted ends and the status
+        # file its terminal state even on Ctrl-C — a consumer must
+        # never see a journal whose begins lack ends.
+        if obs is not None:
+            obs.close("interrupted")
+        raise
+
+    timing = profile = None
+    if obs is not None:
+        obs.close("done" if result.ok else "failed")
+        from repro.obs import fold_profile, read_journal
+
+        profile = fold_profile(read_journal(journal_path))
+        timing = obs.timing_rows()
+
+    report = build_report(
+        result,
+        grid={
             "policies": policies,
             "workloads": workload_names,
             "seeds": seeds,
         },
-        "cells": [
-            {
-                "id": o.cell.id,
-                "status": o.status,
-                **({"result": o.payload} if o.ok else {"error": o.error}),
-            }
-            for o in result.outcomes
-        ],
-    }
-    with open(out, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+        timing=timing,
+        profile=profile,
+    )
+    write_report(report, out)
 
     if hosts is not None:
         # Per-host outcomes go to a sidecar, never into the report: the
@@ -670,12 +744,60 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   f"{100 * r.dram_access_fraction:5.1f}% DRAM")
         else:
             print(f"{o.cell.id:>40}  FAILED: {o.error}")
+    if profile is not None:
+        from repro.obs import render_profile
+
+        print(render_profile(profile), file=sys.stderr)
+        print(f"  journal written to {journal_path}", file=sys.stderr)
+
     done = sum(1 for o in result.outcomes if o.ok)
     cached = sum(1 for o in result.outcomes if o.cached)
     print(f"{done}/{len(result.outcomes)} cells done "
           f"({cached} cached, {result.spawned_workers} worker(s) spawned); "
           f"report written to {out}")
     return 0 if result.ok else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import read_status, render_prometheus, render_top
+
+    path = args.path
+    if not path.endswith(".status.json"):
+        path = f"{path}.status.json"
+    if args.prometheus:
+        print(render_prometheus(read_status(path)), end="")
+        return 0
+    while True:
+        status = read_status(path)
+        if not args.once and sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")
+        print(render_top(status))
+        if args.once or status.get("state") != "running":
+            return 0
+        time.sleep(max(0.1, args.interval))
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.obs import read_journal, timeline_records
+    from repro.trace import write_trace_events
+
+    path = args.journal
+    if not path.endswith(".ndjson"):
+        path = f"{path}.journal.ndjson"
+    events = read_journal(path)
+    if not events:
+        raise ValueError(
+            f"no journal events in {path}; run the sweep with --journal "
+            f"(and the same --out) first"
+        )
+    records, lanes = timeline_records(events)
+    out = args.out or f"{path}.trace.json"
+    write_trace_events(records, out)
+    print(f"{len(records)} trace records across {lanes} lane(s) "
+          f"written to {out}")
+    return 0
 
 
 def _parse_limits(raw: str) -> list[int | None]:
@@ -923,6 +1045,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.sweep.remote import agent_main
 
         return agent_main(workers=args.workers)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "timeline":
+        return _cmd_timeline(args)
     if args.command == "colo":
         return _cmd_colo(args)
     if args.command == "stat":
@@ -950,6 +1076,14 @@ def main(argv: list[str] | None = None) -> int:
         # Second signal (or an interrupt outside a sweep): force-killed.
         print("error: interrupted", file=sys.stderr)
         return 130
+    except BrokenPipeError:
+        # Downstream closed early (`repro top --once | grep -q ...`).
+        # Point stdout at devnull so the interpreter's exit-time flush of
+        # the dead pipe cannot raise a second time, and exit cleanly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        os.close(devnull)
+        return 0
     except OutOfMemoryError as exc:
         # Message already names the failing allocation and per-node occupancy.
         print(f"error: out of memory: {exc}", file=sys.stderr)

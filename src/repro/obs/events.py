@@ -1,0 +1,116 @@
+"""The control-plane event catalog and its human-readable formatters.
+
+Before PR 10 the schedulers narrated themselves with pre-formatted
+``note("...")`` strings — readable, but dead on arrival for tooling.
+Every one of those lines is now a *structured event*: the schedulers
+emit ``obs.emit("cell.done", cell=..., attempt=..., ...)`` and this
+module owns turning the fields back into the exact strings operators
+(and the fault-path tests) already grep for.  The journal records the
+fields; the string is a *rendering*, produced on demand.
+
+Adding an event means adding one formatter here — the schedulers never
+format prose again.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["render_event", "EVENT_FORMATTERS"]
+
+
+def _where(fields: dict[str, Any]) -> str:
+    host = fields.get("host")
+    return f" on {host}" if host else ""
+
+
+def _cell_resumed(f: dict[str, Any]) -> str:
+    return (f"{f['cell']}: resumed from manifest "
+            f"(done in {f['attempts']} attempt(s))")
+
+
+def _cell_cache_hit(f: dict[str, Any]) -> str:
+    if f.get("when") == "redispatch":
+        return (f"[{f['done']}/{f['total']}] {f['cell']}: "
+                f"served from result cache ({f['key']})")
+    return f"{f['cell']}: cache hit ({f['key']})"
+
+
+def _cell_done(f: dict[str, Any]) -> str:
+    return (f"[{f['done']}/{f['total']}] {f['cell']}: "
+            f"done{_where(f)} (attempt {f['attempt']})")
+
+
+def _cell_retry(f: dict[str, Any]) -> str:
+    return (f"{f['cell']}: attempt {f['attempt']} failed{_where(f)} "
+            f"({f['error']}); retrying")
+
+
+def _cell_failed(f: dict[str, Any]) -> str:
+    return (f"[{f['done']}/{f['total']}] {f['cell']}: FAILED after "
+            f"{f['attempt']} attempt(s): {f['error']}")
+
+
+def _cell_interrupted(f: dict[str, Any]) -> str:
+    return f"{f['cell']}: interrupted in flight; recorded as pending"
+
+
+def _cell_redispatch(f: dict[str, Any]) -> str:
+    return f"{f['cell']}: host {f['host']} lost mid-cell; re-dispatching"
+
+
+def _cell_duplicate(f: dict[str, Any]) -> str:
+    return f"{f['cell']}: late/duplicate result from {f['host']} discarded"
+
+
+def _cell_straggler(f: dict[str, Any]) -> str:
+    return (f"{f['cell']}: straggling on {f['host']} "
+            f"({f['elapsed_s']:.2f}s); duplicating to {f['to']}")
+
+
+def _host_ready(f: dict[str, Any]) -> str:
+    return f"host {f['host']}: ready ({f['workers']} worker(s))"
+
+
+def _host_lost(f: dict[str, Any]) -> str:
+    return (f"host {f['host']}: lost ({f['reason']}); reconnect "
+            f"{f['attempt']}/{f['limit']} in {f['delay_s']:.2f}s")
+
+
+def _host_dead(f: dict[str, Any]) -> str:
+    return f"host {f['host']}: dead ({f['reason']})"
+
+
+def _sweep_degraded(f: dict[str, Any]) -> str:
+    return (f"all {f['hosts']} host(s) lost; degrading to the "
+            f"local pool for {f['cells']} cell(s)")
+
+
+EVENT_FORMATTERS: dict[str, Callable[[dict[str, Any]], str]] = {
+    "cell.resumed": _cell_resumed,
+    "cell.cache_hit": _cell_cache_hit,
+    "cell.done": _cell_done,
+    "cell.retry": _cell_retry,
+    "cell.failed": _cell_failed,
+    "cell.interrupted": _cell_interrupted,
+    "cell.redispatch": _cell_redispatch,
+    "cell.duplicate": _cell_duplicate,
+    "cell.straggler": _cell_straggler,
+    "host.ready": _host_ready,
+    "host.lost": _host_lost,
+    "host.dead": _host_dead,
+    "sweep.degraded": _sweep_degraded,
+}
+
+
+def render_event(event: str, fields: dict[str, Any]) -> str | None:
+    """The human-readable line for ``event``, or None for events that
+    have no prose form (an unknown event never crashes a sweep)."""
+    formatter = EVENT_FORMATTERS.get(event)
+    if formatter is None:
+        return None
+    try:
+        return formatter(fields)
+    except (KeyError, TypeError, ValueError):
+        # A malformed emit site loses its narration, never the sweep.
+        return f"{event}: {fields!r}"

@@ -16,7 +16,7 @@ every host dies — finishes the sweep on the local pool.  See
 DESIGN.md §7.
 """
 
-from repro.sweep.manifest import Manifest, ResultCache
+from repro.sweep.manifest import Manifest, ResultCache, atomic_write_json
 from repro.sweep.pool import (
     DEFAULT_MAX_ATTEMPTS,
     CellOutcome,
@@ -24,6 +24,7 @@ from repro.sweep.pool import (
     SweepResult,
     run_sweep,
 )
+from repro.sweep.report import build_report, write_report
 from repro.sweep.remote import (
     DEFAULT_HEARTBEAT_S,
     DEFAULT_STRAGGLER_FACTOR,
@@ -57,6 +58,9 @@ __all__ = [
     "SweepInterrupted",
     "Manifest",
     "ResultCache",
+    "atomic_write_json",
+    "build_report",
+    "write_report",
     "run_sweep",
     "run_remote_sweep",
     "HostSpec",

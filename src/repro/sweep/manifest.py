@@ -32,9 +32,24 @@ from typing import Any
 
 from repro.sweep.spec import SweepSpec
 
-__all__ = ["Manifest", "ResultCache"]
+__all__ = ["Manifest", "ResultCache", "atomic_write_json"]
 
 _VERSION = 1
+
+
+def atomic_write_json(path: str, blob: Any, *, indent: int | None = None) -> None:
+    """Write ``blob`` as sorted JSON via tmp-file + ``os.replace``.
+
+    This is the one write protocol every control-plane sidecar uses —
+    manifest, result cache, and the live status board — so a concurrent
+    reader (``--resume``, ``repro top``) always sees a complete previous
+    or next snapshot, never a torn one.
+    """
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(blob, fh, indent=indent, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
 
 
 class Manifest:
@@ -109,11 +124,7 @@ class Manifest:
             "fingerprint": self.fingerprint,
             "cells": self.cells,
         }
-        tmp = f"{self.path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(blob, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        os.replace(tmp, self.path)
+        atomic_write_json(self.path, blob, indent=2)
 
 
 class ResultCache:
@@ -156,8 +167,4 @@ class ResultCache:
             "attempts": attempts,
             "payload": payload,
         }
-        tmp = f"{self._path(key)}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(entry, fh, sort_keys=True)
-            fh.write("\n")
-        os.replace(tmp, self._path(key))
+        atomic_write_json(self._path(key), entry)

@@ -51,7 +51,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.sweep.manifest import Manifest, ResultCache
 from repro.sweep.spec import (
@@ -62,6 +62,9 @@ from repro.sweep.spec import (
     resolve_runner,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports sweep)
+    from repro.obs import SweepObserver
+
 __all__ = [
     "CellOutcome",
     "SweepResult",
@@ -71,6 +74,18 @@ __all__ = [
 ]
 
 DEFAULT_MAX_ATTEMPTS = 3
+
+
+def _default_obs(progress: Callable[[str], None] | None) -> "SweepObserver":
+    """A journal-less observer that only narrates to ``progress``.
+
+    Imported lazily: :mod:`repro.obs` imports back into the sweep
+    package (for ``atomic_write_json``), so a module-level import here
+    would be a cycle.
+    """
+    from repro.obs import SweepObserver
+
+    return SweepObserver(progress=progress)
 
 
 class SweepInterrupted(RuntimeError):
@@ -214,11 +229,17 @@ def _worker_main(cells: tuple[SweepCell, ...], conn: Any) -> None:
         if index is None:
             return
         cell = cells[index]
+        # t0/t1 bracket the runner only — the parent differences them into
+        # the journal's compute time; journal-off parents ignore the keys.
+        t0 = time.time()
         try:
             payload = resolve_runner(cell.runner)(cell.params)
             blob: dict[str, Any] = {"ok": True, "payload": payload}
         except BaseException as exc:  # noqa: BLE001 - isolation boundary
             blob = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        blob["t0"] = t0
+        blob["t1"] = time.time()
+        blob["pid"] = os.getpid()
         try:
             wire = json.dumps(blob, sort_keys=True)
         except TypeError as exc:
@@ -241,6 +262,7 @@ class _Worker:
     attempt: int = 0
     deadline: float | None = None
     started: float = 0.0
+    run_sid: str | None = None  # open cell.run span in the journal
 
     @property
     def busy(self) -> bool:
@@ -302,6 +324,7 @@ def run_sweep(
     resume: bool = False,
     cache_dir: str | None = None,
     progress: Callable[[str], None] | None = None,
+    obs: "SweepObserver | None" = None,
 ) -> SweepResult:
     """Execute every cell of ``spec`` across a pool of ``workers``.
 
@@ -313,32 +336,53 @@ def run_sweep(
     attempt counts through to the outcomes.  With ``cache_dir`` set,
     completed payloads are memoized by cell fingerprint and unchanged
     cells are served from the cache without spawning any worker.
+
+    ``obs`` carries the journal/status sinks (:mod:`repro.obs`); when
+    None, a null observer narrating only to ``progress`` is used and
+    the sweep's outputs are byte-identical to pre-observability runs.
     """
     workers = max(1, int(workers))
     max_attempts = max(1, int(max_attempts))
-    note = progress or (lambda msg: None)
+    if obs is None:
+        obs = _default_obs(progress)
     total = len(spec.cells)
 
-    outcomes, pending, book, cache = _prepare(
-        spec, manifest_path=manifest_path, resume=resume,
-        cache_dir=cache_dir, note=note,
-    )
+    sweep_sid = obs.begin("sweep", spec=spec.name, cells=total,
+                          workers=workers)
+    try:
+        prep_sid = obs.begin("prepare")
+        outcomes, pending, book, cache = _prepare(
+            spec, manifest_path=manifest_path, resume=resume,
+            cache_dir=cache_dir, obs=obs,
+        )
+        obs.end(prep_sid, pending=len(pending), settled=len(outcomes))
+        obs.status_tick(pending=len(pending), leased=0, force=True)
 
-    spawned = 0
-    if pending:
-        with _SignalGuard(note) as guard:
-            spawned = _run_pool(
-                spec, pending, outcomes, book, cache,
-                workers=workers, timeout_s=timeout_s, max_attempts=max_attempts,
-                note=note, total=total, guard=guard,
-            )
+        spawned = 0
+        if pending:
+            with _SignalGuard(obs.note) as guard:
+                spawned = _run_pool(
+                    spec, pending, outcomes, book, cache,
+                    workers=workers, timeout_s=timeout_s,
+                    max_attempts=max_attempts,
+                    obs=obs, total=total, guard=guard,
+                )
 
-    return SweepResult(
-        spec=spec,
-        outcomes=tuple(outcomes[cell.id] for cell in spec.cells),
-        workers=workers,
-        spawned_workers=spawned,
-    )
+        merge_sid = obs.begin("merge")
+        result = SweepResult(
+            spec=spec,
+            outcomes=tuple(outcomes[cell.id] for cell in spec.cells),
+            workers=workers,
+            spawned_workers=spawned,
+        )
+        obs.end(merge_sid, cells=len(result.outcomes))
+    except SweepInterrupted:
+        obs.end(sweep_sid, state="interrupted")
+        obs.status_tick(force=True)
+        raise
+    obs.end(sweep_sid, state="done" if result.ok else "failed")
+    obs.status_tick(pending=0, leased=0, force=True)
+    return result
 
 
 def _prepare(
@@ -347,7 +391,7 @@ def _prepare(
     manifest_path: str | None,
     resume: bool,
     cache_dir: str | None,
-    note: Callable[[str], None],
+    obs: "SweepObserver",
 ) -> tuple[dict[str, CellOutcome], deque[tuple[SweepCell, int]],
            Manifest, ResultCache | None]:
     """The manifest-resume > result-cache > live precedence pass.
@@ -375,7 +419,7 @@ def _prepare(
                 cell=cell, status="done", attempts=attempts,
                 payload=done_before[cell.id], resumed=True,
             )
-            note(f"{cell.id}: resumed from manifest (done in {attempts} attempt(s))")
+            obs.emit("cell.resumed", cell=cell.id, attempts=attempts)
         else:
             pending.append((cell, 1))
 
@@ -398,7 +442,7 @@ def _prepare(
                 payload=entry["payload"], cached=True,
             )
             book.record_done(cell.id, attempts, entry["payload"])
-            note(f"{cell.id}: cache hit ({key[:12]})")
+            obs.emit("cell.cache_hit", cell=cell.id, key=key[:12])
         pending = live
 
     return outcomes, pending, book, cache
@@ -414,7 +458,7 @@ def _run_pool(
     workers: int,
     timeout_s: float | None,
     max_attempts: int,
-    note: Callable[[str], None],
+    obs: "SweepObserver",
     total: int,
     guard: "_SignalGuard | None" = None,
 ) -> int:
@@ -457,7 +501,8 @@ def _run_pool(
         spawned += 1
         return _Worker(proc, parent_conn)
 
-    def settle(cell: SweepCell, attempt: int, ok: bool, payload: Any, error: str) -> None:
+    def settle(cell: SweepCell, attempt: int, ok: bool, payload: Any,
+               error: str, wall_s: float | None = None) -> None:
         if ok:
             outcomes[cell.id] = CellOutcome(cell, "done", attempt, payload)
             book.record_done(cell.id, attempt, payload)
@@ -465,19 +510,21 @@ def _run_pool(
                 key = cell_fingerprint(cell)
                 if key is not None:
                     cache.store(key, cell_id=cell.id, attempts=attempt, payload=payload)
-            note(f"[{len(outcomes)}/{total}] {cell.id}: done (attempt {attempt})")
+            obs.emit("cell.done", cell=cell.id, done=len(outcomes),
+                     total=total, attempt=attempt, wall_s=wall_s)
         elif attempt < max_attempts:
-            note(f"{cell.id}: attempt {attempt} failed ({error}); retrying")
+            obs.emit("cell.retry", cell=cell.id, attempt=attempt,
+                     error=error, wall_s=wall_s)
             # Front of the queue: on a wide sweep the retry must not wait
             # behind every untried cell and become the run's straggler.
             pending.appendleft((cell, attempt + 1))
         else:
             outcomes[cell.id] = CellOutcome(cell, "failed", attempt, None, error)
             book.record_failed(cell.id, attempt, error)
-            note(
-                f"[{len(outcomes)}/{total}] {cell.id}: FAILED after "
-                f"{attempt} attempt(s): {error}"
-            )
+            obs.emit("cell.failed", cell=cell.id, done=len(outcomes),
+                     total=total, attempt=attempt, error=error, wall_s=wall_s)
+        obs.status_tick(pending=len(pending),
+                        leased=sum(1 for w in pool if w.busy))
 
     def settle_dead_worker(worker: _Worker, error: str) -> None:
         """A worker died (crash or timeout kill): charge its in-flight
@@ -487,13 +534,16 @@ def _run_pool(
             worker.conn.close()
         except OSError:
             pass
+        elapsed = time.monotonic() - worker.started
+        obs.end(worker.run_sid, ok=False, error=error)
+        worker.run_sid = None
         cell, attempt = worker.take()
-        settle(cell, attempt, False, None, error)
+        settle(cell, attempt, False, None, error, wall_s=elapsed)
 
     try:
         while pending or any(w.busy for w in pool):
             if guard is not None and guard.stop:
-                _graceful_stop(pool, book, note)
+                _graceful_stop(pool, book, obs)
                 done = sum(1 for o in outcomes.values() if o.ok)
                 failed = len(outcomes) - done
                 raise SweepInterrupted(done, failed, total, book.path)
@@ -525,6 +575,10 @@ def _run_pool(
                     pending.appendleft((cell, attempt))
                     pool.remove(worker)
                     break  # re-enter the loop to respawn and reassign
+                worker.run_sid = obs.begin(
+                    "cell.run", actor=f"worker/local/{worker.proc.pid}",
+                    cell=cell.id, attempt=attempt,
+                )
 
             busy = [w for w in pool if w.busy]
             if not busy:
@@ -551,11 +605,20 @@ def _run_pool(
                         worker.proc.join(1.0)
                         settle_dead_worker(worker, _crash_error(worker.proc))
                         continue
+                    elapsed = time.monotonic() - worker.started
+                    end_fields: dict[str, Any] = {"ok": bool(blob.get("ok"))}
+                    if isinstance(blob.get("t0"), (int, float)) and \
+                            isinstance(blob.get("t1"), (int, float)):
+                        end_fields["compute_s"] = max(
+                            0.0, blob["t1"] - blob["t0"])
+                    obs.end(worker.run_sid, **end_fields)
+                    worker.run_sid = None
                     cell, attempt = worker.take()
                     settle(
                         cell, attempt,
                         bool(blob.get("ok")), blob.get("payload"),
                         str(blob.get("error", "worker reported failure")),
+                        wall_s=elapsed,
                     )
                 elif worker.proc.sentinel in ready:
                     worker.proc.join(1.0)
@@ -586,15 +649,17 @@ def _run_pool(
 
 
 def _graceful_stop(pool: list[_Worker], book: Manifest,
-                   note: Callable[[str], None]) -> None:
+                   obs: "SweepObserver") -> None:
     """First-signal shutdown: stop dispatching, flush in-flight cells to
     the manifest as pending (they re-run on ``--resume``), then stop
     every worker with the escalating SIGTERM-grace-SIGKILL."""
     for worker in pool:
         if worker.busy:
+            obs.end(worker.run_sid, ok=False, interrupted=True)
+            worker.run_sid = None
             cell, attempt = worker.take()
             book.record_pending(cell.id, attempt)
-            note(f"{cell.id}: interrupted in flight; recorded as pending")
+            obs.emit("cell.interrupted", cell=cell.id)
     for worker in pool:
         try:
             worker.conn.close()

@@ -16,6 +16,7 @@ agent →    ``spec-ack``  ``{fingerprint}`` — must match the driver's
 driver →   ``lease``   ``{lease, cell}`` — run one cell
 agent →    ``heartbeat`` ``{busy: [lease ids], done}`` — every interval
 agent →    ``result``  ``{lease, cell, ok, payload | error}``
+agent →    ``journal`` ``{events}`` — buffered spans, journal mode only
 driver →   ``cancel``  ``{lease}`` — kill that lease's worker
 driver →   ``shutdown``  drain and exit
 ========== =========== ====================================================
@@ -60,7 +61,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection
 from statistics import median
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.sweep import pool as _pool
 from repro.sweep.manifest import Manifest, ResultCache
@@ -68,11 +69,15 @@ from repro.sweep.pool import (
     CellOutcome,
     SweepInterrupted,
     SweepResult,
+    _default_obs,
     _kill,
     _prepare,
     _run_pool,
     _SignalGuard,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports sweep)
+    from repro.obs import SweepObserver
 from repro.sweep.spec import SweepCell, SweepSpec, cell_fingerprint
 from repro.sweep.wire import (
     WireError,
@@ -182,6 +187,13 @@ class HostOutcome:
     reconnects: int = 0
     duplicates_discarded: int = 0
     error: str = ""
+    #: Heartbeat round-trip health, for the ``<out>.hosts.json`` sidecar:
+    #: how many beats arrived, the widest observed gap between two, and
+    #: how stale the last one was when the sweep finished (None if the
+    #: host never beat at all).
+    heartbeats: int = 0
+    max_heartbeat_gap_s: float = 0.0
+    last_heartbeat_age_s: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -192,6 +204,9 @@ class HostOutcome:
             "reconnects": self.reconnects,
             "duplicates_discarded": self.duplicates_discarded,
             "error": self.error,
+            "heartbeats": self.heartbeats,
+            "max_heartbeat_gap_s": self.max_heartbeat_gap_s,
+            "last_heartbeat_age_s": self.last_heartbeat_age_s,
         }
 
 
@@ -291,6 +306,7 @@ class _Lease:
     attempt: int
     host: "_Host"
     started: float
+    sid: str | None = None  # open lease span in the journal
 
 
 @dataclass
@@ -300,10 +316,13 @@ class _Host:
     transport: _AgentTransport | None = None
     capacity: int = 1
     last_seen: float = 0.0
+    last_beat: float = 0.0  # monotonic time of the last heartbeat *kind*
     connect_deadline: float = 0.0
     backoff_until: float = 0.0
     reconnects_used: int = 0
     leases: dict[str, _Lease] = field(default_factory=dict)
+    connect_sid: str | None = None  # open ssh.connect span
+    reconnect_sid: str | None = None  # open reconnect (backoff) span
     outcome: HostOutcome = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
@@ -335,7 +354,8 @@ class _RemoteScheduler:
         straggler_factor: float | None,
         connect_timeout_s: float,
         reconnect_attempts: int,
-        note: Callable[[str], None],
+        note: Callable[[str], None] | None = None,
+        obs: "SweepObserver | None" = None,
         guard: _SignalGuard | None = None,
     ) -> None:
         self.spec = spec
@@ -349,7 +369,7 @@ class _RemoteScheduler:
         self.straggler_factor = straggler_factor
         self.connect_timeout_s = connect_timeout_s
         self.reconnect_attempts = reconnect_attempts
-        self.note = note
+        self.obs = obs if obs is not None else _default_obs(note)
         self.guard = guard
         self.total = len(spec.cells)
         self.hosts = [_Host(spec=h) for h in hosts]
@@ -364,11 +384,22 @@ class _RemoteScheduler:
             queue.Queue()
         )
         self._lease_seq = 0
-        self._spec_line = encode_spec(spec, heartbeat_s=heartbeat_s)
+        # With a journal armed, the spec envelope asks every agent to
+        # buffer its own spans and ship them back as `journal` lines;
+        # journal-off sweeps send exactly the pre-observability bytes.
+        extras: dict[str, Any] = {"heartbeat_s": heartbeat_s}
+        if self.obs.journal is not None:
+            extras["journal"] = True
+            extras["trace"] = self.obs.trace_id
+        self._spec_line = encode_spec(spec, **extras)
 
     # -- host lifecycle ----------------------------------------------------
 
     def _connect(self, host: _Host) -> None:
+        host.connect_sid = self.obs.begin(
+            "ssh.connect", host=host.spec.name, kind=host.spec.kind,
+            attempt=host.reconnects_used,
+        )
         try:
             host.transport = _AgentTransport(host.spec)
         except OSError as exc:  # ssh/python binary missing, fork failure
@@ -399,25 +430,32 @@ class _RemoteScheduler:
         it dead once reconnects are exhausted)."""
         if host.state == "dead":
             return
+        self.obs.end(host.connect_sid, ok=False, reason=reason)
+        host.connect_sid = None
         if host.transport is not None:
             host.transport.close()
             host.transport = None
         for lease in list(host.leases.values()):
             host.leases.pop(lease.id, None)
             self.active.pop(lease.id, None)
+            self.obs.end(lease.sid, outcome="host-lost")
+            lease.sid = None
             if lease.cell.id in self.outcomes or self._has_sibling(lease):
                 continue
             # The host failed, not the cell: requeue without charging an
             # attempt, at the front so redispatch beats untried work.
             self.pending.appendleft((lease.cell, lease.attempt))
-            self.note(f"{lease.cell.id}: host {host.spec.name} lost mid-cell; "
-                      f"re-dispatching")
+            self.obs.emit("cell.redispatch", cell=lease.cell.id,
+                          host=host.spec.name)
         if host.reconnects_used >= self.reconnect_attempts:
+            self.obs.end(host.reconnect_sid, ok=False, reason=reason)
+            host.reconnect_sid = None
             host.state = "dead"
             host.outcome.state = "dead"
             host.outcome.error = reason
-            self.note(f"host {host.spec.name}: dead ({reason})")
+            self.obs.emit("host.dead", host=host.spec.name, reason=reason)
             return
+        self.obs.end(host.reconnect_sid, ok=False, reason=reason)
         host.reconnects_used += 1
         host.outcome.reconnects += 1
         delay = min(
@@ -426,9 +464,12 @@ class _RemoteScheduler:
         ) * _jitter(host.spec.name, host.reconnects_used)
         host.state = "lost"
         host.backoff_until = time.monotonic() + delay
-        self.note(
-            f"host {host.spec.name}: lost ({reason}); reconnect "
-            f"{host.reconnects_used}/{self.reconnect_attempts} in {delay:.2f}s"
+        self.obs.emit("host.lost", host=host.spec.name, reason=reason,
+                      attempt=host.reconnects_used,
+                      limit=self.reconnect_attempts, delay_s=delay)
+        host.reconnect_sid = self.obs.begin(
+            "reconnect", host=host.spec.name,
+            attempt=host.reconnects_used, delay_s=round(delay, 6),
         )
 
     def _has_sibling(self, lease: _Lease) -> bool:
@@ -461,41 +502,66 @@ class _RemoteScheduler:
             host.state = "ready"
             if host.outcome.state == "unused":
                 host.outcome.state = "ok"
-            self.note(f"host {host.spec.name}: ready "
-                      f"({host.capacity} worker(s))")
+            self.obs.end(host.connect_sid, ok=True, workers=host.capacity)
+            host.connect_sid = None
+            self.obs.end(host.reconnect_sid, ok=True)
+            host.reconnect_sid = None
+            self.obs.emit("host.ready", host=host.spec.name,
+                          workers=host.capacity)
         elif kind == "heartbeat":
-            pass  # last_seen already refreshed
+            now = time.monotonic()
+            gap = now - host.last_beat if host.last_beat else 0.0
+            host.last_beat = now
+            host.outcome.heartbeats += 1
+            if gap > host.outcome.max_heartbeat_gap_s:
+                host.outcome.max_heartbeat_gap_s = round(gap, 3)
+            busy = body.get("busy")
+            self.obs.point(
+                "heartbeat", host=host.spec.name, gap_s=round(gap, 6),
+                busy=len(busy) if isinstance(busy, list) else 0,
+                done=body.get("done", 0),
+            )
         elif kind == "result":
             self._on_result(host, body)
+        elif kind == "journal":
+            events = body.get("events")
+            if isinstance(events, list):
+                self.obs.record_remote(host.spec.name, events)
         # unknown kinds are ignored: forward-compatible within a version
 
     def _on_result(self, host: _Host, body: dict[str, Any]) -> None:
         lease = self.active.pop(str(body.get("lease")), None)
         host.leases.pop(str(body.get("lease")), None)
         if lease is None or lease.cell.id in self.outcomes:
+            if lease is not None:
+                self.obs.end(lease.sid, outcome="duplicate")
+                lease.sid = None
             host.outcome.duplicates_discarded += 1
-            self.note(
-                f"{body.get('cell')}: late/duplicate result from "
-                f"{host.spec.name} discarded"
-            )
+            self.obs.emit("cell.duplicate", cell=str(body.get("cell")),
+                          host=host.spec.name)
             return
         # First result wins: cancel any straggler sibling outright.
         for other in [o for o in self.active.values()
                       if o.cell.id == lease.cell.id]:
             self._cancel(other)
-        self.durations.append(time.monotonic() - lease.started)
+        wall = time.monotonic() - lease.started
+        self.durations.append(wall)
         ok = bool(body.get("ok"))
         payload = body.get("payload")
         error = str(body.get("error", "agent reported failure"))
+        self.obs.end(lease.sid, outcome="result", ok=ok)
+        lease.sid = None
         if ok:
             host.outcome.done += 1
-        self._settle(lease.cell, lease.attempt, ok, payload, error, host)
+        self._settle(lease.cell, lease.attempt, ok, payload, error, host,
+                     wall_s=wall)
 
     def _settle(self, cell: SweepCell, attempt: int, ok: bool,
-                payload: Any, error: str, host: _Host | None) -> None:
+                payload: Any, error: str, host: _Host | None,
+                wall_s: float | None = None) -> None:
         """At-most-once commit of one cell attempt — same retry policy as
         the local pool's ``settle``."""
-        where = f" on {host.spec.name}" if host is not None else ""
+        where = host.spec.name if host is not None else None
         if ok:
             self.outcomes[cell.id] = CellOutcome(cell, "done", attempt, payload)
             self.book.record_done(cell.id, attempt, payload)
@@ -504,11 +570,12 @@ class _RemoteScheduler:
                 if key is not None:
                     self.cache.store(key, cell_id=cell.id, attempts=attempt,
                                      payload=payload)
-            self.note(f"[{len(self.outcomes)}/{self.total}] {cell.id}: "
-                      f"done{where} (attempt {attempt})")
+            self.obs.emit("cell.done", cell=cell.id,
+                          done=len(self.outcomes), total=self.total,
+                          attempt=attempt, host=where, wall_s=wall_s)
         elif attempt < self.max_attempts:
-            self.note(f"{cell.id}: attempt {attempt} failed{where} "
-                      f"({error}); retrying")
+            self.obs.emit("cell.retry", cell=cell.id, attempt=attempt,
+                          error=error, host=where, wall_s=wall_s)
             self.pending.appendleft((cell, attempt + 1))
         else:
             self.outcomes[cell.id] = CellOutcome(cell, "failed", attempt,
@@ -516,12 +583,19 @@ class _RemoteScheduler:
             self.book.record_failed(cell.id, attempt, error)
             if host is not None:
                 host.outcome.failed += 1
-            self.note(f"[{len(self.outcomes)}/{self.total}] {cell.id}: "
-                      f"FAILED after {attempt} attempt(s): {error}")
+            self.obs.emit("cell.failed", cell=cell.id,
+                          done=len(self.outcomes), total=self.total,
+                          attempt=attempt, error=error, host=where,
+                          wall_s=wall_s)
+        self.obs.status_tick(pending=len(self.pending),
+                             leased=len(self.active),
+                             hosts=self._host_status())
 
     def _cancel(self, lease: _Lease) -> None:
         self.active.pop(lease.id, None)
         lease.host.leases.pop(lease.id, None)
+        self.obs.end(lease.sid, outcome="cancelled")
+        lease.sid = None
         if lease.host.transport is not None and lease.host.state == "ready":
             try:
                 lease.host.transport.send_line(
@@ -571,8 +645,9 @@ class _RemoteScheduler:
             payload=entry["payload"], cached=True,
         )
         self.book.record_done(cell.id, attempts, entry["payload"])
-        self.note(f"[{len(self.outcomes)}/{self.total}] {cell.id}: "
-                  f"served from result cache ({key[:12]})")
+        self.obs.emit("cell.cache_hit", cell=cell.id, key=key[:12],
+                      when="redispatch", done=len(self.outcomes),
+                      total=self.total)
         return True
 
     def _lease_to(self, host: _Host, cell: SweepCell, attempt: int) -> None:
@@ -582,14 +657,23 @@ class _RemoteScheduler:
             host=host, started=time.monotonic(),
         )
         assert host.transport is not None
+        dispatch_sid = self.obs.begin("dispatch", host=host.spec.name,
+                                      cell=cell.id, lease=lease.id)
         try:
             host.transport.send_line(
-                encode_envelope("lease", {"lease": lease.id, "cell": cell.id})
+                encode_envelope("lease", {
+                    "lease": lease.id, "cell": cell.id, "attempt": attempt,
+                })
             )
         except OSError as exc:
+            self.obs.end(dispatch_sid, ok=False)
             self.pending.appendleft((cell, attempt))
             self._lose_host(host, f"send failed: {exc}")
             return
+        self.obs.end(dispatch_sid, ok=True)
+        lease.sid = self.obs.begin("lease", host=host.spec.name,
+                                   cell=cell.id, lease=lease.id,
+                                   attempt=attempt)
         host.leases[lease.id] = lease
         self.active[lease.id] = lease
 
@@ -598,10 +682,9 @@ class _RemoteScheduler:
             if (host is lease.host or host.state != "ready"
                     or len(host.leases) >= host.capacity):
                 continue
-            self.note(
-                f"{lease.cell.id}: straggling on {lease.host.spec.name} "
-                f"({now - lease.started:.2f}s); duplicating to {host.spec.name}"
-            )
+            self.obs.emit("cell.straggler", cell=lease.cell.id,
+                          host=lease.host.spec.name,
+                          elapsed_s=now - lease.started, to=host.spec.name)
             self._lease_to(host, lease.cell, lease.attempt)
             return
 
@@ -632,7 +715,7 @@ class _RemoteScheduler:
                     lease.cell, lease.attempt, False, None,
                     f"timeout: attempt {lease.attempt} cancelled after "
                     f"{now - lease.started:.2f}s wall (limit {self.timeout_s}s)",
-                    lease.host,
+                    lease.host, wall_s=now - lease.started,
                 )
         if self.straggler_factor and len(self.durations) >= 3:
             threshold = self.straggler_factor * median(self.durations)
@@ -686,17 +769,21 @@ class _RemoteScheduler:
                     else:
                         self._on_line(host, line)
                 self._check_deadlines(time.monotonic())
+                self.obs.status_tick(pending=len(self.pending),
+                                     leased=len(self.active),
+                                     hosts=self._host_status())
         finally:
             self._shutdown_hosts()
 
     def _interrupt(self) -> None:
         flushed: set[str] = set()
         for lease in list(self.active.values()):
+            self.obs.end(lease.sid, outcome="interrupted")
+            lease.sid = None
             if lease.cell.id not in self.outcomes and lease.cell.id not in flushed:
                 self.book.record_pending(lease.cell.id, lease.attempt)
                 flushed.add(lease.cell.id)
-                self.note(f"{lease.cell.id}: interrupted in flight; "
-                          f"recorded as pending")
+                self.obs.emit("cell.interrupted", cell=lease.cell.id)
         done = sum(1 for o in self.outcomes.values() if o.ok)
         failed = len(self.outcomes) - done
         raise SweepInterrupted(done, failed, self.total, self.book.path)
@@ -712,7 +799,29 @@ class _RemoteScheduler:
             host.transport.close()
             host.transport = None
 
+    def _host_status(self) -> dict[str, dict[str, Any]]:
+        """Live per-host rows for the status sidecar (`repro top`)."""
+        now = time.monotonic()
+        return {
+            h.spec.name: {
+                "state": h.state,
+                "busy": len(h.leases),
+                "done": h.outcome.done,
+                "failed": h.outcome.failed,
+                "reconnects": h.outcome.reconnects,
+                "heartbeat_age_s": (
+                    round(now - h.last_beat, 3) if h.last_beat else None
+                ),
+                "workers": h.capacity,
+            }
+            for h in self.hosts
+        }
+
     def host_outcomes(self) -> tuple[HostOutcome, ...]:
+        now = time.monotonic()
+        for h in self.hosts:
+            if h.last_beat:
+                h.outcome.last_heartbeat_age_s = round(now - h.last_beat, 3)
         return tuple(h.outcome for h in self.hosts)
 
 
@@ -732,6 +841,7 @@ def run_remote_sweep(
     local_workers: int = 1,
     workers_per_host: int = 1,
     progress: Callable[[str], None] | None = None,
+    obs: "SweepObserver | None" = None,
 ) -> SweepResult:
     """Execute ``spec`` across remote host agents; always completes.
 
@@ -755,58 +865,72 @@ def run_remote_sweep(
             f"--straggler-factor must be >= 1 (or 0 to disable), "
             f"got {straggler_factor!r}"
         )
-    note = progress or (lambda msg: None)
+    if obs is None:
+        obs = _default_obs(progress)
     total = len(spec.cells)
     # Fail fast on a non-portable grid — before any agent is started.
     encode_spec(spec)
 
-    outcomes, pending, book, cache = _prepare(
-        spec, manifest_path=manifest_path, resume=resume,
-        cache_dir=cache_dir, note=note,
-    )
+    sweep_sid = obs.begin("sweep", spec=spec.name, cells=total,
+                          hosts=len(host_specs))
+    try:
+        prep_sid = obs.begin("prepare")
+        outcomes, pending, book, cache = _prepare(
+            spec, manifest_path=manifest_path, resume=resume,
+            cache_dir=cache_dir, obs=obs,
+        )
+        obs.end(prep_sid, pending=len(pending), settled=len(outcomes))
+        obs.status_tick(pending=len(pending), leased=0, force=True)
 
-    scheduler = None
-    spawned = 0
-    if pending:
-        with _SignalGuard(note) as guard:
-            scheduler = _RemoteScheduler(
-                spec, host_specs,
-                outcomes=outcomes, pending=pending, book=book, cache=cache,
-                timeout_s=timeout_s, max_attempts=max_attempts,
-                heartbeat_s=heartbeat_s, straggler_factor=straggler_factor,
-                connect_timeout_s=connect_timeout_s,
-                reconnect_attempts=reconnect_attempts,
-                note=note, guard=guard,
-            )
-            scheduler.run()
-            spawned = scheduler.spawned_agents
-            if len(outcomes) < total:
-                # Graceful degradation: every host is gone, the grid is
-                # not.  Anything still leased was already requeued by
-                # _lose_host, so `pending` is exactly the unfinished set.
-                note(
-                    f"all {len(host_specs)} host(s) lost; degrading to the "
-                    f"local pool for {total - len(outcomes)} cell(s)"
+        scheduler = None
+        spawned = 0
+        if pending:
+            with _SignalGuard(obs.note) as guard:
+                scheduler = _RemoteScheduler(
+                    spec, host_specs,
+                    outcomes=outcomes, pending=pending, book=book, cache=cache,
+                    timeout_s=timeout_s, max_attempts=max_attempts,
+                    heartbeat_s=heartbeat_s, straggler_factor=straggler_factor,
+                    connect_timeout_s=connect_timeout_s,
+                    reconnect_attempts=reconnect_attempts,
+                    obs=obs, guard=guard,
                 )
-                spawned += _run_pool(
-                    spec, pending, outcomes, book, cache,
-                    workers=local_workers, timeout_s=timeout_s,
-                    max_attempts=max_attempts, note=note, total=total,
-                    guard=guard,
-                )
+                scheduler.run()
+                spawned = scheduler.spawned_agents
+                if len(outcomes) < total:
+                    # Graceful degradation: every host is gone, the grid is
+                    # not.  Anything still leased was already requeued by
+                    # _lose_host, so `pending` is exactly the unfinished set.
+                    obs.emit("sweep.degraded", hosts=len(host_specs),
+                             cells=total - len(outcomes))
+                    spawned += _run_pool(
+                        spec, pending, outcomes, book, cache,
+                        workers=local_workers, timeout_s=timeout_s,
+                        max_attempts=max_attempts, obs=obs, total=total,
+                        guard=guard,
+                    )
 
-    return SweepResult(
-        spec=spec,
-        outcomes=tuple(outcomes[cell.id] for cell in spec.cells),
-        workers=sum(h.workers for h in host_specs),
-        spawned_workers=spawned,
-        host_outcomes=(
-            scheduler.host_outcomes() if scheduler is not None
-            else tuple(HostOutcome(host=h.name, state="unused")
-                       for h in host_specs)
-        ),
-        cache_hits=scheduler.cache_hits if scheduler is not None else 0,
-    )
+        merge_sid = obs.begin("merge")
+        result = SweepResult(
+            spec=spec,
+            outcomes=tuple(outcomes[cell.id] for cell in spec.cells),
+            workers=sum(h.workers for h in host_specs),
+            spawned_workers=spawned,
+            host_outcomes=(
+                scheduler.host_outcomes() if scheduler is not None
+                else tuple(HostOutcome(host=h.name, state="unused")
+                           for h in host_specs)
+            ),
+            cache_hits=scheduler.cache_hits if scheduler is not None else 0,
+        )
+        obs.end(merge_sid, cells=len(result.outcomes))
+    except SweepInterrupted:
+        obs.end(sweep_sid, state="interrupted")
+        obs.status_tick(force=True)
+        raise
+    obs.end(sweep_sid, state="done" if result.ok else "failed")
+    obs.status_tick(pending=0, leased=0, force=True)
+    return result
 
 
 # --------------------------------------------------------------------------
@@ -844,12 +968,22 @@ class _AgentPool:
         child_conn.close()
         return _pool._Worker(proc, parent_conn)
 
-    def dispatch(self, lease_id: str, cell_id: str) -> str | None:
-        """Start a cell; returns an error string if it cannot start."""
+    def claim(self, cell_id: str) -> tuple[str | None, Any, int | None]:
+        """Reserve a worker for ``cell_id`` without starting the cell;
+        returns ``(error, worker, index)``.  Split from :meth:`start` so
+        the agent can journal the cell's ``begin`` span *before* the
+        worker could possibly run (and, in the kill-agent fault mode,
+        murder this process ahead of its own begin event)."""
         index = self.index_of.get(cell_id)
         if index is None:
-            return f"agent does not know cell {cell_id!r}"
+            return f"agent does not know cell {cell_id!r}", None, None
         worker = self.idle.pop() if self.idle else self._spawn()
+        return None, worker, index
+
+    def start(self, lease_id: str, worker: Any, index: int) -> str | None:
+        """Send a claimed cell to its worker; returns an error or None.
+        A worker that died idle is replaced once (the begin span then
+        carries the stale pid — a cosmetic casualty of a rare path)."""
         try:
             worker.conn.send(index)
         except (BrokenPipeError, OSError):
@@ -984,6 +1118,46 @@ def agent_main(workers: int = 1) -> int:
     pool = _AgentPool(spec.cells, max(1, int(workers)))
     stdin = _StdinLines(sys.stdin.fileno())
 
+    # Journal mode (spec extras carry the driver's request): buffer
+    # begin/end events for this agent's cell.run spans and ship them as
+    # `journal` envelopes.  The driver namespaces actors and sids by
+    # host on receipt; a SIGKILLed agent simply never flushes its last
+    # buffer, and the driver synthesises the missing ends at close.
+    journal_on = bool(extras.get("journal"))
+    journal_events: list[dict[str, Any]] = []
+    open_spans: dict[str, tuple[str, str, str]] = {}  # lease -> (sid, actor, cell)
+    span_seq = 0
+
+    def span_begin(lease_id: str, cell_id: str, pid: int | None,
+                   attempt: Any) -> None:
+        nonlocal span_seq
+        if not journal_on:
+            return
+        span_seq += 1
+        sid = f"a{span_seq}"
+        actor = f"worker/{pid}" if pid is not None else "agent"
+        open_spans[lease_id] = (sid, actor, cell_id)
+        event: dict[str, Any] = {
+            "ev": "begin", "span": "cell.run", "sid": sid, "actor": actor,
+            "cell": cell_id, "lease": lease_id, "t": time.time(),
+        }
+        if attempt is not None:
+            event["fields"] = {"attempt": attempt}
+        journal_events.append(event)
+
+    def span_end(lease_id: str, **fields: Any) -> None:
+        if not journal_on:
+            return
+        entry = open_spans.pop(lease_id, None)
+        if entry is None:
+            return
+        sid, actor, cell_id = entry
+        journal_events.append({
+            "ev": "end", "span": "cell.run", "sid": sid, "actor": actor,
+            "cell": cell_id, "lease": lease_id, "t": time.time(),
+            "fields": fields,
+        })
+
     lease_cells: dict[str, str] = {}
     # Heartbeats at half the driver's interval: one drop never kills us.
     beat_every = max(0.05, heartbeat_s / 2.0)
@@ -1005,12 +1179,28 @@ def agent_main(workers: int = 1) -> int:
                     print(f"error: {exc}", file=sys.stderr)
                     continue
                 if kind == "shutdown":
+                    # Flush any ends buffered in this drain batch (a
+                    # cancel riding with the shutdown) before dying,
+                    # or they would surface as synthetic aborted ends.
+                    if journal_events:
+                        emit("journal", {"events": journal_events})
                     return 0
                 if kind == "lease":
                     lease_id = str(body["lease"])
                     cell_id = str(body["cell"])
-                    error = pool.dispatch(lease_id, cell_id)
+                    error, worker, index = pool.claim(cell_id)
+                    if error is None:
+                        # Begin span on the wire BEFORE the cell starts:
+                        # a cell that SIGKILLs this agent must never
+                        # outrace its own begin event to the driver.
+                        span_begin(lease_id, cell_id, worker.proc.pid,
+                                   body.get("attempt"))
+                        if journal_events:
+                            emit("journal", {"events": journal_events})
+                            journal_events = []
+                        error = pool.start(lease_id, worker, index)
                     if error is not None:
+                        span_end(lease_id, ok=False, error=error)
                         emit("result", {
                             "lease": lease_id, "cell": cell_id,
                             "ok": False, "error": error,
@@ -1021,7 +1211,20 @@ def agent_main(workers: int = 1) -> int:
                     lease_id = str(body["lease"])
                     pool.cancel(lease_id)
                     lease_cells.pop(lease_id, None)
+                    span_end(lease_id, ok=False, cancelled=True)
             for lease_id, blob in pool.poll(timeout=0.0):
+                end_fields: dict[str, Any] = {"ok": bool(blob.get("ok"))}
+                if isinstance(blob.get("t0"), (int, float)) and \
+                        isinstance(blob.get("t1"), (int, float)):
+                    end_fields["compute_s"] = max(0.0, blob["t1"] - blob["t0"])
+                span_end(lease_id, **end_fields)
+                # Journal before result: the driver may stop reading
+                # the moment the last result settles the sweep, and
+                # the pipe preserves order — so the span's real end
+                # always lands before the result that retires it.
+                if journal_events:
+                    emit("journal", {"events": journal_events})
+                    journal_events = []
                 emit("result", {
                     "lease": lease_id,
                     "cell": lease_cells.pop(lease_id, "?"),
@@ -1029,6 +1232,9 @@ def agent_main(workers: int = 1) -> int:
                     "payload": blob.get("payload"),
                     "error": blob.get("error", ""),
                 })
+            if journal_events:
+                emit("journal", {"events": journal_events})
+                journal_events = []
             now = time.monotonic()
             if now >= next_beat:
                 emit("heartbeat", {

@@ -24,6 +24,14 @@ A spec envelope additionally carries the spec's own
 :meth:`~repro.sweep.spec.SweepSpec.fingerprint`; the decoder rebuilds
 the spec and verifies the rebuilt fingerprint matches, so an agent can
 never silently run a grid different from the one the driver holds.
+
+Span context (PR 10) rides the same rails: a journal-armed driver adds
+``journal: true`` and the sweep-wide ``trace`` id to the spec extras,
+and agents answer with ``journal`` envelopes — ``{"events": [...]}``
+batches of begin/end span events the driver stitches onto its own
+journal.  Both are *additive*: an older peer ignores unknown kinds and extra
+body keys by design, and a journal-off driver sends no journal extras
+at all.
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ from repro.trace.export import (
     render_tail,
     write_ndjson,
     write_perfetto,
+    write_trace_events,
 )
 from repro.trace.tracer import Tracer
 
@@ -35,4 +36,5 @@ __all__ = [
     "render_tail",
     "write_ndjson",
     "write_perfetto",
+    "write_trace_events",
 ]

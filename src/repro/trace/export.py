@@ -24,9 +24,25 @@ __all__ = [
     "iter_events",
     "write_ndjson",
     "write_perfetto",
+    "write_trace_events",
     "render_tail",
     "render_summary",
 ]
+
+
+def write_trace_events(records: Iterable[dict], path: str | Path) -> Path:
+    """Write prepared Chrome trace-event records as one loadable JSON file.
+
+    The shared writer behind :func:`write_perfetto` (simulated-machine
+    tracepoints) and ``repro timeline`` (control-plane journal spans) —
+    both emit ``{"traceEvents": [...]}`` that https://ui.perfetto.dev
+    opens directly.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump({"traceEvents": list(records), "displayTimeUnit": "ms"}, fh)
+        fh.write("\n")
+    return path
 
 
 def iter_events(
@@ -74,11 +90,7 @@ def write_perfetto(events: Iterable[TraceEvent], path: str | Path) -> Path:
                 "args": args,
             }
         )
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as fh:
-        json.dump({"traceEvents": records, "displayTimeUnit": "ms"}, fh)
-        fh.write("\n")
-    return path
+    return write_trace_events(records, path)
 
 
 def render_tail(events: Sequence[TraceEvent], count: int) -> str:

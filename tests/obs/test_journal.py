@@ -1,0 +1,122 @@
+"""Unit tests for the span journal: pairing, synthetic ends, remote
+event stitching, and the tolerant reader."""
+
+import json
+
+from repro.obs import Journal, pair_spans, read_journal
+
+
+def test_begin_end_pairing_merges_fields(tmp_path):
+    path = str(tmp_path / "j.ndjson")
+    journal = Journal(path)
+    sid = journal.begin("lease", cell="c1", lease="L1", attempt=1)
+    journal.end(sid, outcome="result", ok=True)
+    journal.close()
+
+    spans = pair_spans(read_journal(path))
+    assert len(spans) == 1
+    span = spans[0]
+    assert span.span == "lease" and span.cell == "c1" and span.lease == "L1"
+    assert span.complete and not span.aborted
+    assert span.fields == {"attempt": 1, "outcome": "result", "ok": True}
+    assert span.t1 >= span.t0
+
+
+def test_every_line_carries_trace_and_monotonic_seq(tmp_path):
+    path = str(tmp_path / "j.ndjson")
+    journal = Journal(path)
+    sid = journal.begin("sweep")
+    journal.point("heartbeat", host="h1")
+    journal.end(sid)
+    journal.close()
+
+    events = read_journal(path)
+    assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+    assert {e["trace"] for e in events} == {journal.trace_id}
+
+
+def test_close_synthesises_aborted_ends(tmp_path):
+    path = str(tmp_path / "j.ndjson")
+    journal = Journal(path)
+    journal.begin("sweep")
+    journal.begin("cell.run", actor="worker/local/1", cell="c1")
+    journal.close()
+    journal.close()  # idempotent
+
+    spans = pair_spans(read_journal(path))
+    assert len(spans) == 2
+    assert all(s.complete for s in spans)
+    assert all(s.aborted for s in spans)
+
+
+def test_end_is_noop_for_unknown_or_settled_sids(tmp_path):
+    path = str(tmp_path / "j.ndjson")
+    journal = Journal(path)
+    sid = journal.begin("lease", cell="c1")
+    journal.end(sid, outcome="result")
+    journal.end(sid, outcome="host-lost")  # second settle: dropped
+    journal.end("nope")
+    journal.end(None)
+    journal.close()
+
+    events = read_journal(path)
+    assert sum(1 for e in events if e["ev"] == "end") == 1
+
+
+def test_record_remote_namespaces_actors_and_sids(tmp_path):
+    path = str(tmp_path / "j.ndjson")
+    journal = Journal(path)
+    journal.record_remote("loopback#0", [
+        {"ev": "begin", "span": "cell.run", "sid": "a1",
+         "actor": "worker/4711", "cell": "c1", "t": 1.0},
+        {"ev": "end", "span": "cell.run", "sid": "a1",
+         "actor": "worker/4711", "cell": "c1", "t": 2.0},
+        {"ev": "point", "span": "note", "sid": "", "actor": "agent",
+         "t": 2.5},
+        "not-an-event", {"ev": "bogus"},  # ignored, never a crash
+    ])
+    journal.close()
+
+    events = read_journal(path)
+    assert len(events) == 3
+    begin, end, point = events
+    assert begin["actor"] == end["actor"] == "worker/loopback#0/4711"
+    assert begin["sid"] == end["sid"] == "loopback#0/a1"
+    assert point["actor"] == "host/loopback#0"
+
+
+def test_remote_begin_without_end_gets_synthetic_abort(tmp_path):
+    """A SIGKILLed agent ships its begin but never the end; the driver's
+    close must still leave a pairable journal."""
+    path = str(tmp_path / "j.ndjson")
+    journal = Journal(path)
+    journal.record_remote("h1", [
+        {"ev": "begin", "span": "cell.run", "sid": "a1",
+         "actor": "worker/99", "cell": "killer", "t": 1.0},
+    ])
+    journal.close()
+
+    spans = pair_spans(read_journal(path))
+    assert len(spans) == 1
+    assert spans[0].complete and spans[0].aborted
+    assert spans[0].cell == "killer"
+
+
+def test_read_journal_tolerates_missing_and_torn_files(tmp_path):
+    assert read_journal(str(tmp_path / "absent.ndjson")) == []
+
+    path = tmp_path / "torn.ndjson"
+    good = json.dumps({"ev": "point", "span": "note", "sid": "", "t": 1.0})
+    path.write_text(good + "\n" + '{"ev": "point", "spa', encoding="utf-8")
+    events = read_journal(str(path))
+    assert len(events) == 1  # the torn tail is skipped, never an error
+
+
+def test_pair_spans_keeps_incomplete_spans_visible():
+    spans = pair_spans([
+        {"ev": "begin", "span": "lease", "sid": "d1", "actor": "driver",
+         "t": 1.0},
+    ])
+    assert len(spans) == 1
+    assert not spans[0].complete
+    assert spans[0].duration == 0.0

@@ -1,0 +1,128 @@
+"""The journal consumers: wall-time attribution (fold_profile) and the
+Chrome trace-event export (timeline_records)."""
+
+import math
+
+from repro.obs import (
+    Journal,
+    fold_profile,
+    read_journal,
+    render_profile,
+    timeline_records,
+)
+
+
+def synthetic_sweep_journal(path):
+    """A hand-timed two-host sweep: exact phase boundaries, one cache
+    hit, one remote cell, one local cell."""
+    journal = Journal(path)
+    sweep = journal.begin("sweep", t=100.0, cells=2)
+    prep = journal.begin("prepare", t=100.0)
+    journal.end(prep, t=100.5)
+    connect = journal.begin("ssh.connect", t=100.5, host="h1")
+    journal.end(connect, t=101.0, ok=True)
+    dispatch = journal.begin("dispatch", t=101.0, host="h1", cell="c1")
+    journal.end(dispatch, t=101.1, ok=True)
+    lease = journal.begin("lease", t=101.0, host="h1", cell="c1", lease="L1")
+    journal.record_remote("h1", [
+        {"ev": "begin", "span": "cell.run", "sid": "a1",
+         "actor": "worker/42", "cell": "c1", "lease": "L1", "t": 101.2},
+        {"ev": "end", "span": "cell.run", "sid": "a1",
+         "actor": "worker/42", "cell": "c1", "lease": "L1", "t": 102.2,
+         "fields": {"ok": True}},
+    ])
+    journal.end(lease, t=102.5, outcome="result", ok=True)
+    journal.point("cell.cache_hit", t=102.5, cell="c2", key="k")
+    journal.point("commit", t=102.5, cell="c2", ok=True)
+    journal.point("commit", t=102.5, cell="c1", ok=True)
+    journal.point("heartbeat", t=102.0, actor="driver", host="h1")
+    merge = journal.begin("merge", t=102.5)
+    journal.end(merge, t=103.0)
+    journal.end(sweep, t=103.0, state="done")
+    journal.close()
+    return read_journal(path)
+
+
+def test_fold_profile_partitions_the_wall_exactly(tmp_path):
+    events = synthetic_sweep_journal(str(tmp_path / "j.ndjson"))
+    profile = fold_profile(events)
+
+    assert math.isclose(profile["wall_s"], 3.0)
+    assert profile["coverage"] >= 0.95  # the acceptance-criteria floor
+    phases = profile["phases"]
+    assert math.isclose(sum(phases.values()), profile["wall_s"],
+                        rel_tol=1e-9)
+    assert math.isclose(phases["prepare_s"], 0.5)
+    assert math.isclose(phases["connect_s"], 0.5)  # prep end → first lease
+    assert math.isclose(phases["execute_s"], 1.5)  # lease window
+    assert math.isclose(phases["merge_s"], 0.5)
+
+
+def test_fold_profile_attribution_and_counts(tmp_path):
+    events = synthetic_sweep_journal(str(tmp_path / "j.ndjson"))
+    profile = fold_profile(events)
+
+    attribution = profile["attribution"]
+    assert math.isclose(attribution["worker_compute_s"], 1.0)
+    # Lease held 1.5s, worker computed 1.0s: 0.5s of wire/scheduling tax.
+    assert math.isclose(attribution["envelope_tax_s"], 0.5)
+    assert math.isclose(attribution["ssh_connect_s"], 0.5)
+    assert math.isclose(attribution["dispatch_s"], 0.1)
+    assert math.isclose(attribution["merge_s"], 0.5)
+
+    counts = profile["counts"]
+    assert counts["cell_runs"] == 1 and counts["cell_runs_aborted"] == 0
+    assert counts["leases"] == 1 and counts["leases_matched"] == 1
+    assert counts["commits"] == 2
+    assert counts["cache_hits"] == 1
+    assert counts["heartbeats"] == 1
+
+
+def test_fold_profile_survives_an_empty_journal():
+    profile = fold_profile([])
+    assert profile["wall_s"] == 0.0
+    assert profile["counts"]["commits"] == 0
+
+
+def test_render_profile_is_a_text_table(tmp_path):
+    events = synthetic_sweep_journal(str(tmp_path / "j.ndjson"))
+    text = render_profile(fold_profile(events))
+    assert "sweep wall time 3.000s" in text
+    assert "worker_compute" in text
+    assert "2 commit(s)" in text
+
+
+def test_timeline_lanes_group_actors_by_process(tmp_path):
+    events = synthetic_sweep_journal(str(tmp_path / "j.ndjson"))
+    records, lanes = timeline_records(events)
+
+    assert lanes == 2  # driver + host/h1 (worker rides as a thread)
+    meta = [r for r in records if r["ph"] == "M"]
+    process_names = {r["args"]["name"] for r in meta
+                     if r["name"] == "process_name"}
+    assert process_names == {"driver", "host/h1"}
+    thread_names = {r["args"]["name"] for r in meta
+                    if r["name"] == "thread_name"}
+    assert "worker 42" in thread_names
+
+
+def test_timeline_span_phases_and_rebased_timestamps(tmp_path):
+    events = synthetic_sweep_journal(str(tmp_path / "j.ndjson"))
+    records, _ = timeline_records(events)
+
+    slices = [r for r in records if r["ph"] == "X"]
+    assert {r["name"].split()[0] for r in slices} >= {
+        "sweep", "prepare", "ssh.connect", "cell.run", "merge"}
+    # Leases overlap on the driver lane, so they export as async pairs.
+    async_phs = {r["ph"] for r in records if r.get("cat") == "lease"}
+    assert async_phs == {"b", "e"}
+    instants = [r for r in records if r["ph"] == "i"]
+    assert any(r["name"].startswith("commit") for r in instants)
+    # Rebased to the first event and scaled to microseconds.
+    assert min(r["ts"] for r in records if "ts" in r) == 0.0
+    sweep_slice = next(r for r in slices if r["name"] == "sweep")
+    assert math.isclose(sweep_slice["dur"], 3.0 * 1_000_000)
+
+
+def test_timeline_of_nothing_is_empty():
+    assert timeline_records([]) == ([], 0)
